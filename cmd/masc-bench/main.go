@@ -1,0 +1,121 @@
+// Command masc-bench regenerates the tables and figures of the MASC paper
+// on the laptop-scale workload analogues.
+//
+//	masc-bench -experiment table3 -scale 1 -workers 8
+//	masc-bench -experiment all -scale 0.25
+//
+// Experiments: table1, fig1, table2, table3, fig5b, fig6, fig7, parallel,
+// ablation, all. Scale 1 is the benchmark size (minutes); use smaller
+// scales for a quick look.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"masc/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("experiment", "all", "table1|fig1|table2|table3|fig5b|fig6|fig7|parallel|memory|ablation|all")
+		scale   = flag.Float64("scale", 1.0, "workload scale (1 = benchmark size)")
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel compressor workers")
+		diskBps = flag.Float64("disk-bps", bench.DefaultDiskBps, "simulated disk bandwidth (bytes/s)")
+	)
+	flag.Parse()
+	if err := run(strings.ToLower(*exp), *scale, *workers, *diskBps); err != nil {
+		fmt.Fprintln(os.Stderr, "masc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale float64, workers int, diskBps float64) error {
+	all := exp == "all"
+	did := false
+	section := func(title string) {
+		fmt.Printf("\n==== %s ====\n", title)
+		did = true
+	}
+	if all || exp == "table1" {
+		section("Table 1 — transient vs adjoint sensitivity time")
+		rows, err := bench.RunTable1(nil, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable1(rows))
+	}
+	if all || exp == "fig1" {
+		section("Figure 1 — memory cost of storing Jacobians")
+		rows, err := bench.RunFig1(nil, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig1(rows))
+	}
+	if all || exp == "table2" {
+		section("Table 2 — datasets and the gzip reference")
+		rows, err := bench.RunTable2(nil, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable2(rows))
+	}
+	if all || exp == "table3" {
+		section("Table 3 — compression ratio and time by codec")
+		cells, err := bench.RunTable3(nil, nil, scale, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable3(cells))
+	}
+	if all || exp == "fig5b" || exp == "fig6" {
+		section("Figures 5b & 6 — residual and model-selection statistics")
+		f5, f6, err := bench.RunFig5b6(nil, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig5b(f5))
+		fmt.Println()
+		fmt.Print(bench.FormatFig6(f6))
+	}
+	if all || exp == "fig7" {
+		section("Figure 7 — end-to-end sensitivity simulation time")
+		rows, err := bench.RunFig7(nil, scale, workers, diskBps)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig7(rows))
+	}
+	if all || exp == "parallel" {
+		section("§6.4 — parallel compressor scaling")
+		rows, err := bench.RunParallel("", scale, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatParallel(rows))
+	}
+	if all || exp == "memory" {
+		section("Memory footprint by storage strategy (measured)")
+		rows, err := bench.RunMemory(nil, scale, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatMemory(rows))
+	}
+	if all || exp == "ablation" {
+		section("Ablation — MASC design choices")
+		rows, err := bench.RunAblation(nil, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatAblation(rows))
+	}
+	if !did {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+// Command masc runs a SPICE-subset netlist through the full MASC pipeline:
+// transient analysis with Jacobian-tensor capture, then adjoint sensitivity
+// analysis of every .obj objective with respect to every device parameter.
+//
+//	masc -netlist lowpass.sp -storage masc -workers 4
+//
+// The storage flag selects the Jacobian strategy the paper compares:
+// recompute (Xyce-style), memory, disk, masc, masc+markov.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"masc"
+)
+
+func main() {
+	var (
+		path    = flag.String("netlist", "", "netlist file (required)")
+		storage = flag.String("storage", "masc", "jacobian storage: recompute|memory|disk|masc|masc+markov")
+		workers = flag.Int("workers", 1, "parallel compressor workers")
+		diskBps = flag.Float64("disk-bps", 0, "simulated disk bandwidth in bytes/s (0 = unthrottled)")
+		top     = flag.Int("top", 12, "print the top-N sensitivities per objective")
+		csvPath = flag.String("csv", "", "write .print waveforms to this CSV file")
+	)
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "masc: -netlist is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*path, *storage, *workers, *diskBps, *top, *csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "masc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, storage string, workers int, diskBps float64, top int, csvPath string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	deck, err := masc.ParseNetlist(f)
+	if err != nil {
+		return err
+	}
+	if !deck.HasTran {
+		return fmt.Errorf("netlist has no .tran card")
+	}
+	if len(deck.Objectives) == 0 {
+		return fmt.Errorf("netlist has no .obj card")
+	}
+	fmt.Printf("%s\n%s\n", deck.Title, deck.Ckt)
+
+	run, err := masc.Simulate(deck.Ckt, masc.SimOptions{
+		TStep:           deck.Tran.TStep,
+		TStop:           deck.Tran.TStop,
+		Storage:         masc.Storage(storage),
+		Workers:         workers,
+		DiskBytesPerSec: diskBps,
+	}, deck.Objectives, nil)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("transient: %d steps, %d newton iterations, %d (re)factorizations\n",
+		run.Tran.Steps(), run.Tran.Stats.NewtonIters,
+		run.Tran.Stats.Factorizations+run.Tran.Stats.Refactorizations)
+	fmt.Printf("sensitivity: total %v (fetch %v, solve %v, ∂F/∂p %v)\n",
+		run.Sens.Timing.Total, run.Sens.Timing.Fetch,
+		run.Sens.Timing.FactorSolve, run.Sens.Timing.ParamEval)
+	if run.Storage != masc.StorageRecompute {
+		st := run.TensorStats
+		fmt.Printf("tensor: raw %d B, stored %d B (CR %.2f), peak resident %d B\n",
+			st.RawBytes, st.StoredBytes,
+			float64(st.RawBytes)/float64(st.StoredBytes), st.PeakResident)
+	}
+
+	if csvPath != "" {
+		if err := writeCSV(csvPath, deck, run.Tran); err != nil {
+			return err
+		}
+		fmt.Printf("waveforms written to %s\n", csvPath)
+	}
+
+	params := deck.Ckt.Params()
+	for o, obj := range deck.Objectives {
+		fmt.Printf("\nobjective %s — top sensitivities:\n", obj.Name)
+		type pv struct {
+			name string
+			v    float64
+		}
+		list := make([]pv, len(params))
+		for k := range params {
+			list[k] = pv{params[k].Name, run.Sens.DOdp[o][k]}
+		}
+		sort.Slice(list, func(i, j int) bool { return abs(list[i].v) > abs(list[j].v) })
+		n := top
+		if n > len(list) {
+			n = len(list)
+		}
+		for _, e := range list[:n] {
+			fmt.Printf("  dO/d(%-16s) = %+.6e\n", e.name, e.v)
+		}
+	}
+	return nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// writeCSV dumps the .print columns (or every node voltage when the deck
+// has no .print card) over the whole trajectory.
+func writeCSV(path string, deck *masc.Deck, tr *masc.TransientResult) error {
+	cols := deck.Prints
+	if len(cols) == 0 {
+		for i, name := range deck.Ckt.Names {
+			cols = append(cols, masc.PrintVar{Name: name, Node: int32(i)})
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprint(w, "time")
+	for _, c := range cols {
+		fmt.Fprintf(w, ",%s", c.Name)
+	}
+	fmt.Fprintln(w)
+	for i, tm := range tr.Times {
+		fmt.Fprintf(w, "%.12g", tm)
+		for _, c := range cols {
+			fmt.Fprintf(w, ",%.12g", tr.States[i][c.Node])
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,3 @@
+module masc
+
+go 1.22

@@ -1,0 +1,489 @@
+// Package adjoint implements discrete adjoint transient sensitivity
+// analysis (the reverse pass of the MASC paper) together with the direct
+// (forward) method used as a cross-check and baseline.
+//
+// For the backward-Euler residual chain
+//
+//	F_i(x_i, x_{i-1}, p) = (q(x_i) - q(x_{i-1}))/h_i + f(x_i, t_i, p) = 0
+//
+// and an objective O = Σ w·x_n[node] of the final state, the adjoint
+// recurrence is
+//
+//	J_nᵀ λ_n = ∂O/∂x_nᵀ
+//	J_iᵀ λ_i = (1/h_{i+1}) C_iᵀ λ_{i+1}      (i = n-1 … 0, J_0 = G_0)
+//
+// and the sensitivity accumulates as dO/dp = Σ_i λ_iᵀ ∂F_i/∂p. The
+// Jacobians J_i = G_i + C_i/h_i and C_i = ∂q/∂x|_i are exactly the matrices
+// the forward transient run already computed; JacobianSource abstracts
+// where they come back from — recomputation (Xyce-style), raw memory, disk,
+// or MASC-compressed memory.
+package adjoint
+
+import (
+	"fmt"
+	"time"
+
+	"masc/internal/circuit"
+	"masc/internal/device"
+	"masc/internal/lu"
+	"masc/internal/sparse"
+	"masc/internal/transient"
+)
+
+// JacobianSource supplies the per-step Jacobian tensors during the reverse
+// sweep. Fetch is called in strictly decreasing step order (n, n-1, …, 0);
+// the returned slices are valid until the matching Release.
+type JacobianSource interface {
+	// Fetch returns the J values (on the circuit's JPat) and C values (on
+	// CPat) of step i.
+	Fetch(i int) (jVals, cVals []float64, err error)
+	// Release indicates step i will not be fetched again.
+	Release(i int)
+}
+
+// Objective selects one scalar objective: O = Weight · x_k[Node], where k
+// is Step for positive Step and the final timestep when Step is zero (the
+// common case). Objectives at many distinct time points are exactly the
+// workload that makes Jacobian reuse worthwhile (Hu et al., DAC'20, cited
+// by the MASC paper).
+type Objective struct {
+	Name   string
+	Node   int32
+	Weight float64
+	Step   int // 0 = final step; otherwise the 1-based step index
+	// Integral switches the objective to the time integral
+	// O = Weight · Σ_i h_i·x_i[Node] ≈ Weight · ∫ x[Node] dt — the
+	// "objective at many time points" class in its densest form. Step is
+	// ignored when Integral is set.
+	Integral bool
+}
+
+// effStep resolves the objective's step index for a trajectory of n steps.
+func (o *Objective) effStep(n int) int {
+	if o.Step <= 0 || o.Step > n {
+		return n
+	}
+	return o.Step
+}
+
+// sourceAt returns the ∂O/∂x_i[Node] adjoint source weight at step i.
+func (o *Objective) sourceAt(i, n int, h float64) float64 {
+	if o.Integral {
+		if i == 0 {
+			return 0
+		}
+		return o.Weight * h
+	}
+	if o.effStep(n) == i {
+		return o.Weight
+	}
+	return 0
+}
+
+// Options configures a sensitivity analysis.
+type Options struct {
+	// Params are indices into ckt.Params(); nil means all parameters.
+	Params []int
+}
+
+// Timing is the wall-clock split of a sensitivity run.
+type Timing struct {
+	Total       time.Duration
+	Fetch       time.Duration // Jacobian acquisition (recompute/decompress/IO)
+	FactorSolve time.Duration // LU factorizations and adjoint solves
+	ParamEval   time.Duration // ∂F/∂p accumulation
+}
+
+// Result carries the sensitivities dO/dp.
+type Result struct {
+	// DOdp[o][k] is the sensitivity of objectives[o] with respect to
+	// parameter Params[k].
+	DOdp   [][]float64
+	Params []int
+	Timing Timing
+}
+
+// Sensitivities runs the adjoint reverse sweep over the trajectory tr.
+func Sensitivities(ckt *circuit.Circuit, tr *transient.Result, src JacobianSource, objs []Objective, opt Options) (*Result, error) {
+	n := tr.Steps()
+	if n < 1 {
+		return nil, fmt.Errorf("adjoint: trajectory has no integration steps")
+	}
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("adjoint: no objectives")
+	}
+	params := opt.Params
+	if params == nil {
+		params = make([]int, len(ckt.Params()))
+		for i := range params {
+			params[i] = i
+		}
+	}
+	t0 := time.Now()
+	res := &Result{
+		DOdp:   make([][]float64, len(objs)),
+		Params: params,
+	}
+	for o := range res.DOdp {
+		res.DOdp[o] = make([]float64, len(params))
+	}
+
+	N := ckt.N
+	ev := circuit.NewEval(ckt)
+	var fact *lu.LU
+	perm := lu.RCM(ckt.JPat)
+
+	trap, err := isTrap(tr)
+	if err != nil {
+		return nil, err
+	}
+	lam := make([][]float64, len(objs))     // λ_i per objective
+	lamNext := make([][]float64, len(objs)) // λ_{i+1}
+	pendQ := make([][]float64, len(objs))   // λ_{i+1}/h_{i+1} (dqdp regroup)
+	pendF := make([][]float64, len(objs))   // ½λ_{i+1} (trapezoidal dfdp regroup)
+	for o := range objs {
+		lam[o] = make([]float64, N)
+		lamNext[o] = make([]float64, N)
+		pendQ[o] = make([]float64, N)
+		if trap {
+			pendF[o] = make([]float64, N)
+		}
+	}
+	tmp := make([]float64, N)
+	acc := device.NewSensAccum(N)
+
+	factorize := func(j *sparse.Matrix) error {
+		if fact != nil {
+			if err := fact.Refactor(j); err == nil {
+				return nil
+			}
+		}
+		f, err := lu.Factor(j, lu.Options{ColPerm: perm})
+		if err != nil {
+			return err
+		}
+		fact = f
+		return nil
+	}
+
+	for i := n; i >= 0; i-- {
+		tFetch := time.Now()
+		jv, cv, err := src.Fetch(i)
+		if err != nil {
+			return nil, fmt.Errorf("adjoint: fetch step %d: %w", i, err)
+		}
+		res.Timing.Fetch += time.Since(tFetch)
+		// Step i+1 is no longer needed once step i has materialized —
+		// mirroring Algorithm 2's "decompress M_{n-1} using M_n, then
+		// free M_n". Releasing earlier would drop the decompression
+		// reference chain of a compressed store.
+		if i < n {
+			src.Release(i + 1)
+		}
+		J := &sparse.Matrix{P: ckt.JPat, Val: jv}
+		C := &sparse.Matrix{P: ckt.CPat, Val: cv}
+
+		tSolve := time.Now()
+		if err := factorize(J); err != nil {
+			return nil, fmt.Errorf("adjoint: factor step %d: %w", i, err)
+		}
+		for o := range objs {
+			if i == n {
+				for k := range lam[o] {
+					lam[o][k] = 0
+				}
+			} else if !trap {
+				// Backward Euler: rhs = (1/h_{i+1}) C_iᵀ λ_{i+1}.
+				C.MulVecT(lamNext[o], lam[o])
+				invH := 1 / tr.Hs[i+1]
+				for k := range lam[o] {
+					lam[o][k] *= invH
+				}
+			} else {
+				// Trapezoidal: ∂F_{i+1}/∂x_i = −C_i/h_{i+1} + ½G_i, with
+				// ½G_i = J_i − C_i/h_i for i ≥ 1 and ½G_0 = ½J_0 at the
+				// DC step. rhs = −(∂F_{i+1}/∂x_i)ᵀ λ_{i+1}.
+				C.MulVecT(lamNext[o], lam[o])
+				J.MulVecT(lamNext[o], tmp)
+				if i >= 1 {
+					coef := 1/tr.Hs[i+1] + 1/tr.Hs[i]
+					for k := range lam[o] {
+						lam[o][k] = coef*lam[o][k] - tmp[k]
+					}
+				} else {
+					coef := 1 / tr.Hs[1]
+					for k := range lam[o] {
+						lam[o][k] = coef*lam[o][k] - 0.5*tmp[k]
+					}
+				}
+			}
+			// The objective's ∂O/∂x_i source enters at its own step(s).
+			if w := objs[o].sourceAt(i, n, tr.Hs[i]); w != 0 {
+				lam[o][objs[o].Node] += w
+			}
+			fact.SolveT(lam[o])
+		}
+		res.Timing.FactorSolve += time.Since(tSolve)
+
+		// Accumulate dO/dp contributions of step i. The sparse accumulator
+		// keeps this O(device terminals), not O(N), per parameter.
+		tPar := time.Now()
+		xi, ti := tr.States[i], tr.Times[i]
+		for pk, p := range params {
+			acc.Reset()
+			ev.ParamSens(p, xi, ti, acc)
+			for o := range objs {
+				contrib := 0.0
+				if i >= 1 {
+					invH := 1 / tr.Hs[i]
+					for _, k := range acc.Touched {
+						// dfdp_i weight: λ_i for BE, ½λ_i + ½λ_{i+1}
+						// for the trapezoidal rule.
+						fw := lam[o][k]
+						if trap {
+							fw = 0.5*lam[o][k] + pendF[o][k]
+						}
+						// dqdp_i weight: λ_i/h_i − λ_{i+1}/h_{i+1}.
+						contrib += fw*acc.DFdp[k] +
+							(invH*lam[o][k]-pendQ[o][k])*acc.DQdp[k]
+					}
+				} else {
+					// At i=0 F_0 = f(x_0): full λ_0 weight on dfdp, plus
+					// the carries from F_1.
+					for _, k := range acc.Touched {
+						fw := lam[o][k]
+						if trap {
+							fw += pendF[o][k]
+						}
+						contrib += fw*acc.DFdp[k] - pendQ[o][k]*acc.DQdp[k]
+					}
+				}
+				// With the Lagrangian L = O − Σ λᵀF and the adjoint
+				// equations satisfied, dO/dp = −Σ λ_iᵀ ∂F_i/∂p.
+				res.DOdp[o][pk] -= contrib
+			}
+		}
+		res.Timing.ParamEval += time.Since(tPar)
+
+		for o := range objs {
+			if i >= 1 {
+				invH := 1 / tr.Hs[i]
+				for k, v := range lam[o] {
+					pendQ[o][k] = invH * v
+				}
+				if trap {
+					for k, v := range lam[o] {
+						pendF[o][k] = 0.5 * v
+					}
+				}
+			}
+			lamNext[o], lam[o] = lam[o], lamNext[o]
+		}
+	}
+	src.Release(0)
+	res.Timing.Total = time.Since(t0)
+	return res, nil
+}
+
+// isTrap resolves the trajectory's integration method (an empty Method is
+// treated as backward Euler for manually assembled Results).
+func isTrap(tr *transient.Result) (bool, error) {
+	switch tr.Method {
+	case "", transient.MethodBE:
+		return false, nil
+	case transient.MethodTrap:
+		return true, nil
+	default:
+		return false, fmt.Errorf("adjoint: unsupported integration method %q", tr.Method)
+	}
+}
+
+// DirectSensitivities computes the same dO/dp with the forward (direct)
+// method: one sensitivity state s = ∂x/∂p propagated per parameter. It is
+// O(#params) solves per step versus the adjoint's O(#objectives) and serves
+// as an independent cross-check.
+func DirectSensitivities(ckt *circuit.Circuit, tr *transient.Result, objs []Objective, opt Options) (*Result, error) {
+	n := tr.Steps()
+	if n < 1 {
+		return nil, fmt.Errorf("adjoint: trajectory has no integration steps")
+	}
+	params := opt.Params
+	if params == nil {
+		params = make([]int, len(ckt.Params()))
+		for i := range params {
+			params[i] = i
+		}
+	}
+	trap, err := isTrap(tr)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	N := ckt.N
+	ev := circuit.NewEval(ckt)
+	J := sparse.NewMatrix(ckt.JPat)
+	var fact *lu.LU
+	perm := lu.RCM(ckt.JPat)
+
+	factorize := func() error {
+		if fact != nil {
+			if err := fact.Refactor(J); err == nil {
+				return nil
+			}
+		}
+		f, err := lu.Factor(J, lu.Options{ColPerm: perm})
+		if err != nil {
+			return err
+		}
+		fact = f
+		return nil
+	}
+
+	s := make([][]float64, len(params)) // s_i per parameter
+	for k := range s {
+		s[k] = make([]float64, N)
+	}
+	acc := device.NewSensAccum(N)
+	// prevQ holds the previous step's sparse ∂q/∂p pairs per parameter.
+	type kv struct {
+		k int32
+		v float64
+	}
+	prevQ := make([][]kv, len(params))
+	prevF := make([][]kv, len(params)) // trapezoidal dfdp_{i-1} carry
+	rhs := make([]float64, N)
+	gs := make([]float64, N) // G_{i-1}·s scratch (trapezoidal)
+	cPrev := sparse.NewMatrix(ckt.CPat)
+	gPrev := sparse.NewMatrix(ckt.GPat)
+
+	// Step 0: DC sensitivity G_0 s_0 = -dfdp_0.
+	ev.Run(tr.States[0], tr.Times[0])
+	ev.BuildJ(J, 0)
+	ckt.AddGmin(J, 1e-12)
+	if err := factorize(); err != nil {
+		return nil, fmt.Errorf("adjoint: direct DC factor: %w", err)
+	}
+	for pk, p := range params {
+		acc.Reset()
+		ev.ParamSens(p, tr.States[0], tr.Times[0], acc)
+		for k := range rhs {
+			rhs[k] = 0
+		}
+		for _, k := range acc.Touched {
+			rhs[k] = -acc.DFdp[k]
+			prevQ[pk] = append(prevQ[pk], kv{k, acc.DQdp[k]})
+			if trap {
+				prevF[pk] = append(prevF[pk], kv{k, acc.DFdp[k]})
+			}
+		}
+		fact.Solve(rhs)
+		copy(s[pk], rhs)
+	}
+	copy(cPrev.Val, ev.C.Val)
+	copy(gPrev.Val, ev.G.Val)
+
+	res := &Result{
+		DOdp:   make([][]float64, len(objs)),
+		Params: params,
+	}
+	for o := range objs {
+		res.DOdp[o] = make([]float64, len(params))
+	}
+	for i := 1; i <= n; i++ {
+		h := tr.Hs[i]
+		invH := 1 / h
+		ev.Run(tr.States[i], tr.Times[i])
+		if trap {
+			ev.BuildJWeighted(J, 0.5, invH)
+		} else {
+			ev.BuildJ(J, invH)
+		}
+		if err := factorize(); err != nil {
+			return nil, fmt.Errorf("adjoint: direct factor step %d: %w", i, err)
+		}
+		for pk, p := range params {
+			acc.Reset()
+			ev.ParamSens(p, tr.States[i], tr.Times[i], acc)
+			// BE:   rhs = C_{i-1}s/h − (dqdp_i − dqdp_{i-1})/h − dfdp_i.
+			// Trap: rhs = C_{i-1}s/h − ½G_{i-1}s − (dqdp_i − dqdp_{i-1})/h
+			//             − ½(dfdp_i + dfdp_{i-1}).
+			cPrev.MulVec(s[pk], rhs)
+			for k := range rhs {
+				rhs[k] *= invH
+			}
+			if trap {
+				gPrev.MulVec(s[pk], gs)
+				for k := range rhs {
+					rhs[k] -= 0.5 * gs[k]
+				}
+				for _, k := range acc.Touched {
+					rhs[k] -= invH*acc.DQdp[k] + 0.5*acc.DFdp[k]
+				}
+				for _, e := range prevF[pk] {
+					rhs[e.k] -= 0.5 * e.v
+				}
+				prevF[pk] = prevF[pk][:0]
+				for _, k := range acc.Touched {
+					prevF[pk] = append(prevF[pk], kv{k, acc.DFdp[k]})
+				}
+			} else {
+				for _, k := range acc.Touched {
+					rhs[k] -= invH*acc.DQdp[k] + acc.DFdp[k]
+				}
+			}
+			for _, e := range prevQ[pk] {
+				rhs[e.k] += invH * e.v
+			}
+			prevQ[pk] = prevQ[pk][:0]
+			for _, k := range acc.Touched {
+				prevQ[pk] = append(prevQ[pk], kv{k, acc.DQdp[k]})
+			}
+			fact.Solve(rhs)
+			copy(s[pk], rhs)
+		}
+		copy(cPrev.Val, ev.C.Val)
+		if trap {
+			copy(gPrev.Val, ev.G.Val)
+		}
+		// Harvest objectives anchored at (or integrating over) this step.
+		for o := range objs {
+			if objs[o].Integral {
+				for pk := range params {
+					res.DOdp[o][pk] += objs[o].Weight * h * s[pk][objs[o].Node]
+				}
+			} else if objs[o].effStep(n) == i {
+				for pk := range params {
+					res.DOdp[o][pk] = objs[o].Weight * s[pk][objs[o].Node]
+				}
+			}
+		}
+	}
+	res.Timing.Total = time.Since(t0)
+	return res, nil
+}
+
+// XyceNaiveSensitivities reproduces the pre-MASC flow the paper's Table 1
+// times: the adjoint is solved once per objective, and every sweep
+// recomputes every per-step Jacobian from scratch. With stored (or
+// compressed) tensors the same objectives share one sweep — that gap is
+// the paper's motivation.
+func XyceNaiveSensitivities(ckt *circuit.Circuit, tr *transient.Result, objs []Objective, opt Options) (*Result, error) {
+	var total *Result
+	for o := range objs {
+		src := NewRecomputeSource(ckt, tr)
+		r, err := Sensitivities(ckt, tr, src, objs[o:o+1], opt)
+		if err != nil {
+			return nil, err
+		}
+		if total == nil {
+			total = r
+			continue
+		}
+		total.DOdp = append(total.DOdp, r.DOdp[0])
+		total.Timing.Total += r.Timing.Total
+		total.Timing.Fetch += r.Timing.Fetch
+		total.Timing.FactorSolve += r.Timing.FactorSolve
+		total.Timing.ParamEval += r.Timing.ParamEval
+	}
+	return total, nil
+}

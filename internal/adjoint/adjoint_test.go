@@ -1,0 +1,643 @@
+package adjoint
+
+import (
+	"math"
+	"testing"
+
+	"masc/internal/circuit"
+	"masc/internal/device"
+	"masc/internal/jactensor"
+	"masc/internal/sparse"
+	"masc/internal/transient"
+)
+
+// captureInto wires a jactensor store into transient options.
+func captureInto(opt transient.Options, store jactensor.Store) transient.Options {
+	opt.Capture = func(step int, _ float64, _ []float64, J, C *sparse.Matrix) {
+		if err := store.Put(step, J.Val, C.Val); err != nil {
+			panic(err)
+		}
+	}
+	return opt
+}
+
+type testCase struct {
+	name  string
+	build func(tb testing.TB) (*circuit.Circuit, *circuit.Builder)
+	opt   transient.Options
+	obj   string // node name for the objective
+	// fdRelTol is the adjoint-vs-finite-difference tolerance; devices with
+	// region boundaries (MOSFET) need looser checks.
+	fdRelTol float64
+}
+
+func rcLadder(tb testing.TB) (*circuit.Circuit, *circuit.Builder) {
+	b := circuit.NewBuilder()
+	b.AddVSource("vin", "n0", "0", device.Sin{VA: 2, Freq: 5e3})
+	for i := 0; i < 6; i++ {
+		from := nodeName(i)
+		to := nodeName(i + 1)
+		b.AddResistor(rname("r", i), from, to, 1e3*(1+0.2*float64(i)))
+		b.AddCapacitor(rname("c", i), to, "0", 1e-8*(1+0.1*float64(i)))
+	}
+	ckt, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ckt, b
+}
+
+func nodeName(i int) string {
+	return "n" + string(rune('0'+i))
+}
+
+func rname(p string, i int) string {
+	return p + string(rune('0'+i))
+}
+
+func diodeRect(tb testing.TB) (*circuit.Circuit, *circuit.Builder) {
+	b := circuit.NewBuilder()
+	b.AddVSource("vin", "in", "0", device.Sin{VA: 3, Freq: 2e3})
+	b.AddDiode("d1", "in", "out")
+	b.AddResistor("rl", "out", "0", 2e3)
+	b.AddCapacitor("cl", "out", "0", 5e-8)
+	ckt, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ckt, b
+}
+
+func bjtAmp(tb testing.TB) (*circuit.Circuit, *circuit.Builder) {
+	b := circuit.NewBuilder()
+	b.AddVSource("vcc", "vcc", "0", device.DC(9))
+	b.AddVSource("vin", "sig", "0", device.Sin{VO: 0, VA: 0.05, Freq: 10e3})
+	b.AddResistor("rs", "sig", "base", 1e3)
+	b.AddResistor("rb1", "vcc", "base", 68e3)
+	b.AddResistor("rb2", "base", "0", 12e3)
+	b.AddResistor("rc", "vcc", "col", 3.3e3)
+	b.AddResistor("re", "em", "0", 680)
+	b.AddCapacitor("ce", "em", "0", 1e-7)
+	b.AddBJT("q1", "col", "base", "em")
+	b.AddCapacitor("cout", "col", "0", 1e-11)
+	ckt, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ckt, b
+}
+
+func mosInverter(tb testing.TB) (*circuit.Circuit, *circuit.Builder) {
+	b := circuit.NewBuilder()
+	b.AddVSource("vdd", "vdd", "0", device.DC(3))
+	b.AddVSource("vin", "in", "0", device.Sin{VO: 1.5, VA: 1.0, Freq: 50e3})
+	b.AddResistor("rd", "vdd", "out", 20e3)
+	m := b.AddMOSFET("m1", "out", "in", "0")
+	m.KP = 5e-4
+	b.AddCapacitor("cl", "out", "0", 2e-12)
+	ckt, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ckt, b
+}
+
+func rlcTank(tb testing.TB) (*circuit.Circuit, *circuit.Builder) {
+	b := circuit.NewBuilder()
+	b.AddVSource("vin", "in", "0", device.Pulse{V1: 0, V2: 1, TR: 1e-9, PW: 1, PE: 2})
+	b.AddResistor("r1", "in", "a", 50)
+	b.AddInductor("l1", "a", "b", 1e-4)
+	b.AddCapacitor("c1", "b", "0", 1e-8)
+	b.AddResistor("r2", "b", "0", 10e3)
+	ckt, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ckt, b
+}
+
+func cases() []testCase {
+	return []testCase{
+		{"rc_ladder", rcLadder, transient.Options{TStop: 2e-4, TStep: 2e-6}, "n6", 2e-3},
+		{"diode_rectifier", diodeRect, transient.Options{TStop: 5e-4, TStep: 5e-6}, "out", 5e-3},
+		{"bjt_amp", bjtAmp, transient.Options{TStop: 1e-4, TStep: 1e-6}, "col", 5e-3},
+		{"mos_inverter", mosInverter, transient.Options{TStop: 2e-5, TStep: 2e-7}, "out", 3e-2},
+		// Short enough that the ringing is still alive — at 10 decay
+		// constants dO/dL collapses to cancellation noise.
+		{"rlc_tank", rlcTank, transient.Options{TStop: 1e-5, TStep: 5e-8}, "b", 2e-3},
+	}
+}
+
+// finalStateObjective computes O = x_final[node] for the current parameter
+// values by re-running the transient analysis.
+func finalStateObjective(tb testing.TB, ckt *circuit.Circuit, opt transient.Options, node int32) float64 {
+	res, err := transient.Run(ckt, opt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res.States[len(res.States)-1][node]
+}
+
+func TestAdjointAgainstDirectAndFD(t *testing.T) {
+	for _, tc := range cases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ckt, b := tc.build(t)
+			node, err := b.NodeIndex(tc.obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			store := jactensor.NewMemStore()
+			res, err := transient.Run(ckt, captureInto(tc.opt, store))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.StepsCut != 0 {
+				t.Fatalf("step cuts (%d) would break FD comparability", res.Stats.StepsCut)
+			}
+			if err := store.EndForward(); err != nil {
+				t.Fatal(err)
+			}
+			objs := []Objective{{Name: "v(" + tc.obj + ")", Node: node, Weight: 1}}
+
+			adj, err := Sensitivities(ckt, res, store, objs, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			adjR, err := Sensitivities(ckt, res, NewRecomputeSource(ckt, res), objs, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir, err := DirectSensitivities(ckt, res, objs, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			params := ckt.Params()
+			// The two adjoint sources must agree to round-off.
+			for k := range params {
+				a, b2 := adj.DOdp[0][k], adjR.DOdp[0][k]
+				if diff := math.Abs(a - b2); diff > 1e-9*math.Max(1, math.Abs(a)) {
+					t.Fatalf("param %s: stored-adjoint %g vs recompute-adjoint %g", params[k].Name, a, b2)
+				}
+			}
+			// Adjoint and direct must agree tightly (same discretization).
+			for k := range params {
+				a, d := adj.DOdp[0][k], dir.DOdp[0][k]
+				scale := math.Max(math.Abs(a), math.Abs(d))
+				if scale < 1e-15 {
+					continue
+				}
+				if diff := math.Abs(a - d); diff > 1e-6*scale {
+					t.Fatalf("param %s: adjoint %g vs direct %g (rel %g)", params[k].Name, a, d, math.Abs(a-d)/scale)
+				}
+			}
+			// Adjoint vs central finite differences of the whole simulation.
+			for k, p := range params {
+				v0 := p.Get()
+				// 1e-3 relative balances truncation against cancellation:
+				// the objective is O(1), so ΔO quantization stays far below
+				// the signal even for Is ~ 1e-14-scale parameters.
+				h := math.Abs(v0) * 1e-3
+				if h == 0 {
+					h = 1e-9
+				}
+				// Skip derivatives FD cannot resolve: the induced ΔO must
+				// clear the double-precision noise floor of the objective.
+				if math.Abs(adj.DOdp[0][k])*h < 1e-13 {
+					continue
+				}
+				p.Set(v0 + h)
+				op := finalStateObjective(t, ckt, tc.opt, node)
+				p.Set(v0 - h)
+				om := finalStateObjective(t, ckt, tc.opt, node)
+				p.Set(v0)
+				fd := (op - om) / (2 * h)
+				a := adj.DOdp[0][k]
+				scale := math.Max(math.Abs(a), math.Abs(fd))
+				if scale < 1e-12 {
+					continue
+				}
+				if diff := math.Abs(a - fd); diff > tc.fdRelTol*scale+1e-12 {
+					t.Fatalf("param %s: adjoint %g vs FD %g (rel %g)", p.Name, a, fd, math.Abs(a-fd)/scale)
+				}
+			}
+		})
+	}
+}
+
+func TestMultipleObjectives(t *testing.T) {
+	ckt, b := rcLadder(t)
+	store := jactensor.NewMemStore()
+	opt := transient.Options{TStop: 1e-4, TStep: 2e-6}
+	res, err := transient.Run(ckt, captureInto(opt, store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	n3, _ := b.NodeIndex("n3")
+	n6, _ := b.NodeIndex("n6")
+	objs := []Objective{
+		{Name: "v(n3)", Node: n3, Weight: 1},
+		{Name: "v(n6)", Node: n6, Weight: 1},
+		{Name: "2v(n6)", Node: n6, Weight: 2},
+	}
+	adj, err := Sensitivities(ckt, res, store, objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Linearity: objective 2 = 2 × objective 1 element-wise.
+	for k := range adj.DOdp[1] {
+		if diff := math.Abs(adj.DOdp[2][k] - 2*adj.DOdp[1][k]); diff > 1e-12*math.Max(1, math.Abs(adj.DOdp[1][k])) {
+			t.Fatalf("weighted objective not linear at param %d", k)
+		}
+	}
+	// Objectives at different nodes must differ.
+	same := true
+	for k := range adj.DOdp[0] {
+		if math.Abs(adj.DOdp[0][k]-adj.DOdp[1][k]) > 1e-15 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("objectives at different nodes produced identical sensitivities")
+	}
+}
+
+func TestParamSubset(t *testing.T) {
+	ckt, b := rcLadder(t)
+	store := jactensor.NewMemStore()
+	opt := transient.Options{TStop: 1e-4, TStep: 2e-6}
+	res, err := transient.Run(ckt, captureInto(opt, store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	n6, _ := b.NodeIndex("n6")
+	objs := []Objective{{Node: n6, Weight: 1}}
+	full, err := Sensitivities(ckt, res, NewRecomputeSource(ckt, res), objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Sensitivities(ckt, res, NewRecomputeSource(ckt, res), objs, Options{Params: []int{2, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.DOdp[0]) != 2 {
+		t.Fatalf("subset result has %d params", len(sub.DOdp[0]))
+	}
+	if math.Abs(sub.DOdp[0][0]-full.DOdp[0][2]) > 1e-12 || math.Abs(sub.DOdp[0][1]-full.DOdp[0][5]) > 1e-12 {
+		t.Fatal("subset sensitivities disagree with full run")
+	}
+}
+
+func TestErrorsOnDegenerateInput(t *testing.T) {
+	ckt, b := rcLadder(t)
+	n6, _ := b.NodeIndex("n6")
+	res := &transient.Result{Times: []float64{0}, Hs: []float64{0}, States: [][]float64{make([]float64, ckt.N)}}
+	if _, err := Sensitivities(ckt, res, NewRecomputeSource(ckt, res), []Objective{{Node: n6, Weight: 1}}, Options{}); err == nil {
+		t.Fatal("expected error for empty trajectory")
+	}
+	goodRes, err := transient.Run(ckt, transient.Options{TStop: 1e-5, TStep: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sensitivities(ckt, goodRes, NewRecomputeSource(ckt, goodRes), nil, Options{}); err == nil {
+		t.Fatal("expected error for no objectives")
+	}
+}
+
+func BenchmarkAdjointRecompute(b *testing.B) {
+	ckt, bld := bjtAmp(b)
+	opt := transient.Options{TStop: 5e-5, TStep: 1e-6}
+	res, err := transient.Run(ckt, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	node, _ := bld.NodeIndex("col")
+	objs := []Objective{{Node: node, Weight: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sensitivities(ckt, res, NewRecomputeSource(ckt, res), objs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdjointMemStore(b *testing.B) {
+	ckt, bld := bjtAmp(b)
+	store := jactensor.NewMemStore()
+	opt := captureInto(transient.Options{TStop: 5e-5, TStep: 1e-6}, store)
+	res, err := transient.Run(ckt, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := store.EndForward(); err != nil {
+		b.Fatal(err)
+	}
+	node, _ := bld.NodeIndex("col")
+	objs := []Objective{{Node: node, Weight: 1}}
+	// The adjoint releases steps as it walks; a benchmark reusing one
+	// store across iterations must ignore those releases.
+	src := keepAll{store}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sensitivities(ckt, res, src, objs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// keepAll wraps a JacobianSource, ignoring Release so the source can be
+// swept repeatedly.
+type keepAll struct{ JacobianSource }
+
+func (keepAll) Release(int) {}
+
+// TestMultiTimePointObjectives anchors objectives at interior steps and
+// validates against finite differences of the state at those steps.
+func TestMultiTimePointObjectives(t *testing.T) {
+	ckt, b := rcLadder(t)
+	opt := transient.Options{TStop: 1e-4, TStep: 1e-6}
+	store := jactensor.NewMemStore()
+	res, err := transient.Run(ckt, captureInto(opt, store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	n3, _ := b.NodeIndex("n3")
+	n6, _ := b.NodeIndex("n6")
+	mid := res.Steps() / 2
+	objs := []Objective{
+		{Name: "v(n3)@mid", Node: n3, Weight: 1, Step: mid},
+		{Name: "v(n6)@final", Node: n6, Weight: 1},
+		{Name: "v(n6)@quarter", Node: n6, Weight: 1, Step: res.Steps() / 4},
+	}
+	adj, err := Sensitivities(ckt, res, store, objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := DirectSensitivities(ckt, res, objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := XyceNaiveSensitivities(ckt, res, objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := ckt.Params()
+	for o := range objs {
+		for k := range params {
+			a, d, nv := adj.DOdp[o][k], dir.DOdp[o][k], naive.DOdp[o][k]
+			scale := math.Max(1e-12, math.Max(math.Abs(a), math.Abs(d)))
+			if math.Abs(a-d) > 1e-6*scale {
+				t.Fatalf("obj %d param %s: adjoint %g vs direct %g", o, params[k].Name, a, d)
+			}
+			if math.Abs(a-nv) > 1e-9*scale {
+				t.Fatalf("obj %d param %s: adjoint %g vs naive %g", o, params[k].Name, a, nv)
+			}
+		}
+	}
+	// FD spot-check on a couple of parameters for the mid-step objective.
+	for _, k := range []int{0, 3} {
+		p := params[k]
+		v0 := p.Get()
+		h := math.Abs(v0) * 1e-3
+		objAt := func() float64 {
+			r2, err := transient.Run(ckt, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r2.States[mid][n3]
+		}
+		p.Set(v0 + h)
+		op := objAt()
+		p.Set(v0 - h)
+		om := objAt()
+		p.Set(v0)
+		fd := (op - om) / (2 * h)
+		a := adj.DOdp[0][k]
+		scale := math.Max(math.Abs(a), math.Abs(fd))
+		if scale < 1e-12 {
+			continue
+		}
+		if math.Abs(a-fd) > 5e-3*scale {
+			t.Fatalf("mid-step objective, param %s: adjoint %g vs FD %g", p.Name, a, fd)
+		}
+	}
+}
+
+// TestAdjointOnAdaptiveGrid validates the h-varying adjoint recurrence:
+// the trajectory uses LTE-controlled non-uniform steps, and the adjoint
+// must still match the direct method exactly (same discretization).
+func TestAdjointOnAdaptiveGrid(t *testing.T) {
+	ckt, b := diodeRect(t)
+	opt := transient.Options{TStop: 3e-4, TStep: 2e-6, Adaptive: true}
+	store := jactensor.NewMemStore()
+	res, err := transient.Run(ckt, captureInto(opt, store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	// Ensure the grid is genuinely non-uniform.
+	uniform := true
+	for i := 2; i < len(res.Hs); i++ {
+		if math.Abs(res.Hs[i]-res.Hs[1]) > 1e-18 {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		t.Skip("grid came out uniform; adaptive test has nothing to bite on")
+	}
+	node, _ := b.NodeIndex("out")
+	objs := []Objective{{Node: node, Weight: 1}}
+	adj, err := Sensitivities(ckt, res, store, objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := DirectSensitivities(ckt, res, objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range adj.DOdp[0] {
+		a, d := adj.DOdp[0][k], dir.DOdp[0][k]
+		scale := math.Max(math.Abs(a), math.Abs(d))
+		if scale < 1e-15 {
+			continue
+		}
+		if math.Abs(a-d) > 1e-6*scale {
+			t.Fatalf("param %d: adjoint %g vs direct %g on adaptive grid", k, a, d)
+		}
+	}
+}
+
+// TestTrapezoidalAdjoint validates the trapezoidal adjoint recurrence on a
+// nonlinear circuit against both the direct method (same discretization,
+// tight) and finite differences of trapezoidal simulations (loose).
+func TestTrapezoidalAdjoint(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func(tb testing.TB) (*circuit.Circuit, *circuit.Builder)
+		opt   transient.Options
+		obj   string
+	}{
+		{"rc", rcLadder, transient.Options{TStop: 2e-4, TStep: 2e-6, Method: transient.MethodTrap}, "n6"},
+		{"diode", diodeRect, transient.Options{TStop: 4e-4, TStep: 4e-6, Method: transient.MethodTrap}, "out"},
+		{"bjt", bjtAmp, transient.Options{TStop: 6e-5, TStep: 1e-6, Method: transient.MethodTrap}, "col"},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ckt, b := tc.build(t)
+			node, _ := b.NodeIndex(tc.obj)
+			store := jactensor.NewMemStore()
+			res, err := transient.Run(ckt, captureInto(tc.opt, store))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := store.EndForward(); err != nil {
+				t.Fatal(err)
+			}
+			objs := []Objective{{Node: node, Weight: 1}}
+			adj, err := Sensitivities(ckt, res, store, objs, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			adjR, err := Sensitivities(ckt, res, NewRecomputeSource(ckt, res), objs, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir, err := DirectSensitivities(ckt, res, objs, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			params := ckt.Params()
+			for k := range params {
+				a, d, r2 := adj.DOdp[0][k], dir.DOdp[0][k], adjR.DOdp[0][k]
+				scale := math.Max(math.Abs(a), math.Abs(d))
+				if scale < 1e-15 {
+					continue
+				}
+				// The absolute floor covers cancellation noise when a
+				// tiny sensitivity is the difference of ~1e-5 terms.
+				if math.Abs(a-d) > 1e-6*scale+1e-14 {
+					t.Fatalf("param %s: trap adjoint %g vs direct %g", params[k].Name, a, d)
+				}
+				if math.Abs(a-r2) > 1e-9*math.Max(1, scale) {
+					t.Fatalf("param %s: stored %g vs recompute %g", params[k].Name, a, r2)
+				}
+			}
+			// FD spot checks.
+			for _, k := range []int{0, 2} {
+				p := params[k]
+				v0 := p.Get()
+				// Flat relative step: O is nonlinear in R/C-scale values, so
+				// the huge-step trick for linear-entry parameters is wrong
+				// here; detectability is guarded below instead.
+				h := math.Abs(v0) * 1e-3
+				if math.Abs(adj.DOdp[0][k])*h < 1e-13 {
+					continue
+				}
+				obj := func() float64 {
+					r2, err := transient.Run(ckt, tc.opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return r2.States[len(r2.States)-1][node]
+				}
+				p.Set(v0 + h)
+				op := obj()
+				p.Set(v0 - h)
+				om := obj()
+				p.Set(v0)
+				fd := (op - om) / (2 * h)
+				a := adj.DOdp[0][k]
+				scale := math.Max(math.Abs(a), math.Abs(fd))
+				if scale < 1e-12 {
+					continue
+				}
+				if math.Abs(a-fd) > 1e-2*scale {
+					t.Fatalf("param %s: trap adjoint %g vs FD %g", p.Name, a, fd)
+				}
+			}
+		})
+	}
+}
+
+// TestIntegralObjective validates ∫x dt objectives against the direct
+// method and finite differences of the integral itself.
+func TestIntegralObjective(t *testing.T) {
+	ckt, b := diodeRect(t)
+	opt := transient.Options{TStop: 3e-4, TStep: 3e-6}
+	store := jactensor.NewMemStore()
+	res, err := transient.Run(ckt, captureInto(opt, store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	node, _ := b.NodeIndex("out")
+	objs := []Objective{{Name: "∫v(out)dt", Node: node, Weight: 1, Integral: true}}
+	adj, err := Sensitivities(ckt, res, store, objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := DirectSensitivities(ckt, res, objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := ckt.Params()
+	for k := range params {
+		a, d := adj.DOdp[0][k], dir.DOdp[0][k]
+		scale := math.Max(math.Abs(a), math.Abs(d))
+		if scale < 1e-15 {
+			continue
+		}
+		if math.Abs(a-d) > 1e-6*scale+1e-14 {
+			t.Fatalf("param %s: integral adjoint %g vs direct %g", params[k].Name, a, d)
+		}
+	}
+	integral := func() float64 {
+		r2, err := transient.Run(ckt, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for i := 1; i < len(r2.Times); i++ {
+			sum += r2.Hs[i] * r2.States[i][node]
+		}
+		return sum
+	}
+	for _, k := range []int{1, 2} { // rl.r and cl.c
+		p := params[k]
+		v0 := p.Get()
+		h := math.Abs(v0) * 1e-3
+		if math.Abs(adj.DOdp[0][k])*h < 1e-15 {
+			continue
+		}
+		p.Set(v0 + h)
+		op := integral()
+		p.Set(v0 - h)
+		om := integral()
+		p.Set(v0)
+		fd := (op - om) / (2 * h)
+		a := adj.DOdp[0][k]
+		scale := math.Max(math.Abs(a), math.Abs(fd))
+		if scale < 1e-15 {
+			continue
+		}
+		if math.Abs(a-fd) > 1e-2*scale {
+			t.Fatalf("param %s: integral adjoint %g vs FD %g", p.Name, a, fd)
+		}
+	}
+}

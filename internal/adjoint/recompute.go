@@ -1,0 +1,50 @@
+package adjoint
+
+import (
+	"masc/internal/circuit"
+	"masc/internal/sparse"
+	"masc/internal/transient"
+)
+
+// RecomputeSource is the Xyce-style baseline JacobianSource: it rebuilds
+// J_i and C_i from the stored trajectory by re-running the device
+// evaluations — no tensor storage, maximal Jacobian time. The adjoint
+// Timing.Fetch of a run over this source is exactly the paper's T_jac.
+type RecomputeSource struct {
+	ckt  *circuit.Circuit
+	tr   *transient.Result
+	ev   *circuit.Eval
+	j    *sparse.Matrix
+	gmin float64
+}
+
+// NewRecomputeSource returns a source over the trajectory tr.
+func NewRecomputeSource(ckt *circuit.Circuit, tr *transient.Result) *RecomputeSource {
+	return &RecomputeSource{
+		ckt:  ckt,
+		tr:   tr,
+		ev:   circuit.NewEval(ckt),
+		j:    sparse.NewMatrix(ckt.JPat),
+		gmin: 1e-12,
+	}
+}
+
+// Fetch implements JacobianSource by re-evaluating the circuit at step i's
+// converged state — mirroring exactly what transient.Run captured,
+// including the integration method's Jacobian weighting.
+func (s *RecomputeSource) Fetch(i int) ([]float64, []float64, error) {
+	s.ev.Run(s.tr.States[i], s.tr.Times[i])
+	switch {
+	case i == 0:
+		s.ev.BuildJ(s.j, 0)
+		s.ckt.AddGmin(s.j, s.gmin)
+	case s.tr.Method == transient.MethodTrap:
+		s.ev.BuildJWeighted(s.j, 0.5, 1/s.tr.Hs[i])
+	default:
+		s.ev.BuildJ(s.j, 1/s.tr.Hs[i])
+	}
+	return s.j.Val, s.ev.C.Val, nil
+}
+
+// Release implements JacobianSource; recomputation holds no per-step state.
+func (s *RecomputeSource) Release(int) {}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"masc/internal/workload"
+)
+
+// Table2Row mirrors the paper's Table 2: dataset shape plus the gzip
+// reference point.
+type Table2Row struct {
+	Name     string
+	Elems    int
+	Steps    int
+	CSRBytes int64
+	NZBytes  int64
+	GzipCR   float64
+	GzipSec  float64
+}
+
+// RunTable2 simulates the seven compression datasets and measures the gzip
+// baseline over each captured tensor.
+func RunTable2(names []string, scale float64) ([]Table2Row, error) {
+	if names == nil {
+		names = workload.Table2Names()
+	}
+	rows := make([]Table2Row, 0, len(names))
+	for _, name := range names {
+		ds, err := workload.Build(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		tn, err := CaptureTensor(ds)
+		if err != nil {
+			return nil, err
+		}
+		pair, err := NewCodecPair("gzip", tn, 1, false)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := MeasureCodec(pair, tn)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			Name:     ds.Name,
+			Elems:    ds.Elems,
+			Steps:    tn.Steps,
+			CSRBytes: ds.CSRBytes(tn.Steps),
+			NZBytes:  tn.RawBytes(),
+			GzipCR:   cr.CR,
+			GzipSec:  cr.CompressTime.Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders the rows in the paper's column layout.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %9s %7s %12s %12s %10s %12s\n",
+		"Dataset", "#CirElem", "#Steps", "S_CSR", "S_NZ", "CR(gzip)", "Tcomp(gzip)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %9d %7d %12s %12s %10.2f %11.2fs\n",
+			r.Name, r.Elems, r.Steps, fmtBytes(r.CSRBytes), fmtBytes(r.NZBytes),
+			r.GzipCR, r.GzipSec)
+	}
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package circuit
+
+import (
+	"fmt"
+
+	"masc/internal/device"
+)
+
+// Builder constructs a Circuit from named nodes. Node "0" (or "gnd") is
+// ground. Devices needing branch-current unknowns allocate them through the
+// builder.
+type Builder struct {
+	nodes   map[string]int32
+	names   []string
+	isVolt  []bool
+	devices []device.Device
+	errs    []error
+}
+
+// NewBuilder returns an empty circuit builder.
+func NewBuilder() *Builder {
+	return &Builder{nodes: make(map[string]int32)}
+}
+
+// Node returns (allocating if needed) the unknown index for a node name.
+func (b *Builder) Node(name string) int32 {
+	if name == "0" || name == "gnd" || name == "GND" {
+		return device.Ground
+	}
+	if idx, ok := b.nodes[name]; ok {
+		return idx
+	}
+	idx := int32(len(b.names))
+	b.nodes[name] = idx
+	b.names = append(b.names, "v("+name+")")
+	b.isVolt = append(b.isVolt, true)
+	return idx
+}
+
+// Branch allocates a branch-current unknown for the named device.
+func (b *Builder) Branch(devName string) int32 {
+	idx := int32(len(b.names))
+	b.names = append(b.names, "i("+devName+")")
+	b.isVolt = append(b.isVolt, false)
+	return idx
+}
+
+// NodeIndex returns the unknown index of an existing node name, or an error
+// if the node was never mentioned.
+func (b *Builder) NodeIndex(name string) (int32, error) {
+	if name == "0" || name == "gnd" || name == "GND" {
+		return device.Ground, nil
+	}
+	idx, ok := b.nodes[name]
+	if !ok {
+		return 0, fmt.Errorf("circuit: unknown node %q", name)
+	}
+	return idx, nil
+}
+
+// Add registers an already-constructed device.
+func (b *Builder) Add(d device.Device) {
+	b.devices = append(b.devices, d)
+}
+
+// AddResistor adds a resistor between named nodes.
+func (b *Builder) AddResistor(name, n1, n2 string, r float64) *device.Resistor {
+	if r <= 0 {
+		b.errs = append(b.errs, fmt.Errorf("circuit: %s: non-positive resistance %g", name, r))
+		r = 1
+	}
+	d := &device.Resistor{Name: name, A: b.Node(n1), B: b.Node(n2), R: r}
+	b.Add(d)
+	return d
+}
+
+// AddCapacitor adds a capacitor between named nodes.
+func (b *Builder) AddCapacitor(name, n1, n2 string, c float64) *device.Capacitor {
+	if c <= 0 {
+		b.errs = append(b.errs, fmt.Errorf("circuit: %s: non-positive capacitance %g", name, c))
+		c = 1e-12
+	}
+	d := &device.Capacitor{Name: name, A: b.Node(n1), B: b.Node(n2), C: c}
+	b.Add(d)
+	return d
+}
+
+// AddInductor adds an inductor between named nodes.
+func (b *Builder) AddInductor(name, n1, n2 string, l float64) *device.Inductor {
+	d := &device.Inductor{Name: name, A: b.Node(n1), B: b.Node(n2), Br: b.Branch(name), L: l}
+	b.Add(d)
+	return d
+}
+
+// AddVSource adds an independent voltage source (positive node first).
+func (b *Builder) AddVSource(name, np, nn string, w device.Waveform) *device.VSource {
+	d := device.NewVSource(name, b.Node(np), b.Node(nn), b.Branch(name), w)
+	b.Add(d)
+	return d
+}
+
+// AddISource adds an independent current source (current flows P→N inside).
+func (b *Builder) AddISource(name, np, nn string, w device.Waveform) *device.ISource {
+	d := device.NewISource(name, b.Node(np), b.Node(nn), w)
+	b.Add(d)
+	return d
+}
+
+// AddVCCS adds a voltage-controlled current source (output pair, then
+// controlling pair).
+func (b *Builder) AddVCCS(name, np, nn, ncp, ncn string, gm float64) *device.VCCS {
+	d := &device.VCCS{Name: name, P: b.Node(np), N: b.Node(nn),
+		CP: b.Node(ncp), CN: b.Node(ncn), Gm: gm}
+	b.Add(d)
+	return d
+}
+
+// AddVCVS adds a voltage-controlled voltage source (output pair, then
+// controlling pair).
+func (b *Builder) AddVCVS(name, np, nn, ncp, ncn string, gain float64) *device.VCVS {
+	d := &device.VCVS{Name: name, P: b.Node(np), N: b.Node(nn),
+		CP: b.Node(ncp), CN: b.Node(ncn), Br: b.Branch(name), Gain: gain}
+	b.Add(d)
+	return d
+}
+
+// AddDiode adds a junction diode (anode first).
+func (b *Builder) AddDiode(name, na, nb string) *device.Diode {
+	d := device.NewDiode(name, b.Node(na), b.Node(nb))
+	b.Add(d)
+	return d
+}
+
+// AddBJT adds an NPN transistor (collector, base, emitter).
+func (b *Builder) AddBJT(name, nc, nb, ne string) *device.BJT {
+	d := device.NewBJT(name, b.Node(nc), b.Node(nb), b.Node(ne))
+	b.Add(d)
+	return d
+}
+
+// AddMOSFET adds an NMOS transistor (drain, gate, source).
+func (b *Builder) AddMOSFET(name, nd, ng, ns string) *device.MOSFET {
+	d := device.NewMOSFET(name, b.Node(nd), b.Node(ng), b.Node(ns))
+	b.Add(d)
+	return d
+}
+
+// Build assembles the circuit. It fails if any device was added with
+// invalid arguments or if the circuit is empty.
+func (b *Builder) Build() (*Circuit, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if len(b.devices) == 0 {
+		return nil, fmt.Errorf("circuit: no devices")
+	}
+	if len(b.names) == 0 {
+		return nil, fmt.Errorf("circuit: no unknowns (everything grounded?)")
+	}
+	c := &Circuit{
+		N:              len(b.names),
+		Devices:        b.devices,
+		Names:          b.names,
+		VoltageUnknown: b.isVolt,
+	}
+	if err := assemble(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

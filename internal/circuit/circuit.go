@@ -1,0 +1,162 @@
+// Package circuit assembles device models into the MNA system the
+// simulator solves:
+//
+//	d/dt q(x,p) + f(x,t,p) = 0,   x ∈ ℝᴰ
+//
+// Assembly discovers the shared sparsity patterns of G = ∂f/∂x and
+// C = ∂q/∂x once (the MASC "shared indices"), binds every device stamp to a
+// value slot, and precomputes the slot maps that scatter G and C into the
+// union pattern of the system Jacobian J = G + C/h.
+package circuit
+
+import (
+	"fmt"
+
+	"masc/internal/device"
+	"masc/internal/sparse"
+)
+
+// Circuit is an assembled circuit ready for evaluation.
+type Circuit struct {
+	N       int // number of unknowns (node voltages + branch currents)
+	Devices []device.Device
+
+	// Unknown names, index-aligned; branch unknowns are "i(name)".
+	Names []string
+	// VoltageUnknown[i] reports whether unknown i is a node voltage (true)
+	// or a branch current (false). Newton damping applies to voltages only.
+	VoltageUnknown []bool
+
+	GPat, CPat, JPat *sparse.Pattern
+	gToJ, cToJ       []int32
+
+	params []Param
+}
+
+// Param is one adjustable parameter of the assembled circuit.
+type Param struct {
+	Name  string
+	Dev   device.Device
+	Local int // index into Dev.Params()
+	info  device.ParamInfo
+}
+
+// Get returns the current parameter value.
+func (p *Param) Get() float64 { return p.info.Get() }
+
+// Set assigns the parameter value.
+func (p *Param) Set(v float64) { p.info.Set(v) }
+
+// Params returns the flattened parameter list of all devices, in device
+// order. The slice is shared; callers must not modify it.
+func (c *Circuit) Params() []Param { return c.params }
+
+// Assemble builds the shared patterns and binds every device. It must be
+// called once before Eval.
+func assemble(c *Circuit) error {
+	pc := &device.PatternCollector{
+		G: sparse.NewBuilder(c.N),
+		C: sparse.NewBuilder(c.N),
+	}
+	for _, d := range c.Devices {
+		d.Collect(pc)
+	}
+	// Every unknown gets a structural G diagonal: it carries gmin in DC
+	// analysis and guarantees a pivot candidate for floating rows.
+	for i := int32(0); i < int32(c.N); i++ {
+		pc.G.Add(i, i)
+	}
+	c.GPat = pc.G.Build()
+	c.CPat = pc.C.Build()
+	sb := &device.SlotBinder{GPat: c.GPat, CPat: c.CPat}
+	for _, d := range c.Devices {
+		d.Bind(sb)
+	}
+	c.JPat, c.gToJ, c.cToJ = sparse.Union(c.GPat, c.CPat)
+	for _, d := range c.Devices {
+		for li, pi := range d.Params() {
+			c.params = append(c.params, Param{Name: pi.Name, Dev: d, Local: li, info: pi})
+		}
+	}
+	return nil
+}
+
+// Eval holds the reusable evaluation buffers for one circuit.
+type Eval struct {
+	ckt *Circuit
+	// Outputs of the most recent Run.
+	F, Q []float64
+	G, C *sparse.Matrix
+	st   device.EvalState
+}
+
+// NewEval allocates evaluation buffers for c.
+func NewEval(c *Circuit) *Eval {
+	return &Eval{
+		ckt: c,
+		F:   make([]float64, c.N),
+		Q:   make([]float64, c.N),
+		G:   sparse.NewMatrix(c.GPat),
+		C:   sparse.NewMatrix(c.CPat),
+	}
+}
+
+// Run evaluates f, q, G and C at state x and time t.
+func (e *Eval) Run(x []float64, t float64) {
+	for i := range e.F {
+		e.F[i] = 0
+		e.Q[i] = 0
+	}
+	e.G.Clear()
+	e.C.Clear()
+	e.st = device.EvalState{X: x, T: t, F: e.F, Q: e.Q, Gv: e.G.Val, Cv: e.C.Val}
+	for _, d := range e.ckt.Devices {
+		d.Eval(&e.st)
+	}
+}
+
+// ParamSens adds ∂f/∂p and ∂q/∂p of parameter p (by global index) at state
+// x, time t into the accumulator (which is NOT reset first).
+func (e *Eval) ParamSens(p int, x []float64, t float64, acc *device.SensAccum) {
+	pr := &e.ckt.params[p]
+	st := device.EvalState{X: x, T: t}
+	pr.Dev.AddParamSens(pr.Local, &st, acc)
+}
+
+// BuildJ assembles J = G + invH·C into j (which must be on JPat), from the
+// most recent Run.
+func (e *Eval) BuildJ(j *sparse.Matrix, invH float64) {
+	e.BuildJWeighted(j, 1, invH)
+}
+
+// BuildJWeighted assembles J = gw·G + cw·C into j: gw=1, cw=1/h is the
+// backward-Euler Jacobian; gw=1/2, cw=1/h the trapezoidal one.
+func (e *Eval) BuildJWeighted(j *sparse.Matrix, gw, cw float64) {
+	if j.P != e.ckt.JPat {
+		panic("circuit: BuildJ target not on the union pattern")
+	}
+	j.Clear()
+	if gw != 0 {
+		sparse.AXPYInto(j, gw, e.G, e.ckt.gToJ)
+	}
+	if cw != 0 {
+		sparse.AXPYInto(j, cw, e.C, e.ckt.cToJ)
+	}
+}
+
+// AddGmin adds g to every structural diagonal of j's G-part. Used by the DC
+// solver's gmin stepping.
+func (c *Circuit) AddGmin(j *sparse.Matrix, g float64) {
+	d := j.P.DiagSlots()
+	for i := 0; i < c.N; i++ {
+		if d[i] >= 0 {
+			j.Val[d[i]] += g
+		}
+	}
+}
+
+// String summarizes the circuit for logs.
+func (c *Circuit) String() string {
+	return fmt.Sprintf("circuit{unknowns=%d devices=%d gnnz=%d cnnz=%d jnnz=%d params=%d}",
+		c.N, len(c.Devices), c.GPat.NNZ(), c.CPat.NNZ(), c.JPat.NNZ(), len(c.params))
+}

@@ -1,0 +1,184 @@
+// Package ansz implements a byte-oriented rANS (range Asymmetric Numeral
+// Systems, Duda 2013) entropy coder — the modern entropy stage the MASC
+// paper's §2.2 surveys. As a compress.Compressor it encodes the raw bytes
+// of the value array against a per-blob adaptive byte histogram; it is a
+// pure entropy coder with no decorrelation, so on Jacobian tensors it
+// measures how much of the redundancy is visible to order-0 statistics
+// alone.
+package ansz
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encoding parameters: 12-bit cumulative frequency precision, 32-bit state
+// renormalized a byte at a time with a 2^23 lower bound.
+const (
+	probBits  = 12
+	probScale = 1 << probBits
+	ransLow   = 1 << 23
+)
+
+// Compressor implements compress.Compressor with order-0 rANS over the
+// little-endian bytes of the float64 stream.
+type Compressor struct{}
+
+// New returns an rANS byte codec.
+func New() *Compressor { return &Compressor{} }
+
+// Name implements compress.Compressor.
+func (c *Compressor) Name() string { return "rans" }
+
+// Lossless implements compress.Compressor.
+func (c *Compressor) Lossless() bool { return true }
+
+// normalizeFreqs scales a byte histogram to sum exactly to probScale with
+// every present symbol keeping frequency ≥ 1.
+func normalizeFreqs(hist *[256]uint32, total int) (freqs [256]uint32) {
+	if total == 0 {
+		return
+	}
+	remaining := uint32(probScale)
+	nonzero := 0
+	for _, h := range hist {
+		if h > 0 {
+			nonzero++
+		}
+	}
+	seen := 0
+	for s, h := range hist {
+		if h == 0 {
+			continue
+		}
+		seen++
+		var f uint32
+		if seen == nonzero {
+			f = remaining // the last symbol absorbs rounding
+		} else {
+			f = uint32(uint64(h) * probScale / uint64(total))
+			if f == 0 {
+				f = 1
+			}
+			// Never starve the remaining symbols.
+			if maxF := remaining - uint32(nonzero-seen); f > maxF {
+				f = maxF
+			}
+		}
+		freqs[s] = f
+		remaining -= f
+	}
+	return
+}
+
+// buildTables derives cumulative frequencies and the decode slot table.
+func buildTables(freqs *[256]uint32) (cum [257]uint32, slots []byte) {
+	for s := 0; s < 256; s++ {
+		cum[s+1] = cum[s] + freqs[s]
+	}
+	slots = make([]byte, probScale)
+	for s := 0; s < 256; s++ {
+		for i := cum[s]; i < cum[s+1]; i++ {
+			slots[i] = byte(s)
+		}
+	}
+	return
+}
+
+// Compress implements compress.Compressor. ref is ignored.
+func (c *Compressor) Compress(dst []byte, cur, ref []float64) []byte {
+	raw := make([]byte, 8*len(cur))
+	for i, v := range cur {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	}
+	var hist [256]uint32
+	for _, b := range raw {
+		hist[b]++
+	}
+	freqs := normalizeFreqs(&hist, len(raw))
+	cum, _ := buildTables(&freqs)
+
+	// Header: element count + the 256 frequencies (delta-free uvarints —
+	// mostly zeros, cheap).
+	dst = binary.AppendUvarint(dst, uint64(len(cur)))
+	for s := 0; s < 256; s++ {
+		dst = binary.AppendUvarint(dst, uint64(freqs[s]))
+	}
+
+	// rANS encodes back-to-front; the byte stream comes out reversed.
+	out := make([]byte, 0, len(raw)/2+16)
+	state := uint32(ransLow)
+	// Renormalization bound: the decoder keeps its state in
+	// [ransLow, ransLow<<8); encoding symbol s from a state below
+	// ((ransLow>>probBits)<<8)·f lands back inside that interval.
+	for i := len(raw) - 1; i >= 0; i-- {
+		s := raw[i]
+		f := freqs[s]
+		for state >= ((ransLow>>probBits)<<8)*f {
+			out = append(out, byte(state))
+			state >>= 8
+		}
+		state = (state/f)<<probBits + state%f + cum[s]
+	}
+	var st [4]byte
+	binary.LittleEndian.PutUint32(st[:], state)
+	dst = append(dst, st[:]...)
+	// Reverse the emitted bytes so the decoder reads forward.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return append(dst, out...)
+}
+
+// Decompress implements compress.Compressor.
+func (c *Compressor) Decompress(cur []float64, blob []byte, ref []float64) error {
+	n64, k := binary.Uvarint(blob)
+	if k <= 0 {
+		return fmt.Errorf("ansz: bad element count")
+	}
+	off := k
+	if int(n64) != len(cur) {
+		return fmt.Errorf("ansz: blob holds %d elements, want %d", n64, len(cur))
+	}
+	var freqs [256]uint32
+	sum := uint32(0)
+	for s := 0; s < 256; s++ {
+		f, k := binary.Uvarint(blob[off:])
+		if k <= 0 {
+			return fmt.Errorf("ansz: truncated frequency table")
+		}
+		off += k
+		freqs[s] = uint32(f)
+		sum += uint32(f)
+	}
+	nraw := 8 * len(cur)
+	if nraw > 0 && sum != probScale {
+		return fmt.Errorf("ansz: frequency table sums to %d", sum)
+	}
+	if len(blob) < off+4 {
+		return fmt.Errorf("ansz: truncated state")
+	}
+	cum, slots := buildTables(&freqs)
+	state := binary.LittleEndian.Uint32(blob[off:])
+	off += 4
+
+	raw := make([]byte, nraw)
+	for i := 0; i < nraw; i++ {
+		slot := state & (probScale - 1)
+		s := slots[slot]
+		raw[i] = s
+		state = freqs[s]*(state>>probBits) + slot - cum[s]
+		for state < ransLow {
+			if off >= len(blob) {
+				return fmt.Errorf("ansz: truncated stream at byte %d", i)
+			}
+			state = state<<8 | uint32(blob[off])
+			off++
+		}
+	}
+	for i := range cur {
+		cur[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package ansz
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"masc/internal/compress/codectest"
+)
+
+func TestConformance(t *testing.T) {
+	codectest.RunLossless(t, New())
+	codectest.RunAppend(t, New())
+}
+
+func TestSkewedDistributionCompresses(t *testing.T) {
+	// A stream whose bytes are mostly zero must approach the entropy bound:
+	// values like 1e-30 * small ints share exponent bytes and zero bytes.
+	vals := make([]float64, 4096)
+	for i := range vals {
+		if i%10 == 0 {
+			vals[i] = 1e-30
+		}
+	}
+	blob := New().Compress(nil, vals, nil)
+	if len(blob)*4 > 8*len(vals) {
+		t.Fatalf("skewed stream compressed to %d of %d bytes", len(blob), 8*len(vals))
+	}
+}
+
+func TestUniformBytesDoNotExplode(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 2048)
+	for i := range vals {
+		vals[i] = math.Float64frombits(rng.Uint64())
+	}
+	blob := New().Compress(nil, vals, nil)
+	// Incompressible input: allow a few percent overhead plus the table.
+	if len(blob) > 8*len(vals)+8*len(vals)/16+600 {
+		t.Fatalf("uniform stream exploded: %d of %d bytes", len(blob), 8*len(vals))
+	}
+	got := make([]float64, len(vals))
+	if err := New().Decompress(got, blob, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestNormalizeFreqsInvariants(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var hist [256]uint32
+		total := 0
+		for i := 0; i < int(n)+1; i++ {
+			b := rng.Intn(256)
+			hist[b]++
+			total++
+		}
+		freqs := normalizeFreqs(&hist, total)
+		var sum uint32
+		for s := 0; s < 256; s++ {
+			if hist[s] > 0 && freqs[s] == 0 {
+				return false // present symbol starved
+			}
+			if hist[s] == 0 && freqs[s] != 0 {
+				return false // absent symbol granted mass
+			}
+			sum += freqs[s]
+		}
+		return sum == probScale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	c := New()
+	vals := []float64{1, 2, 3, 4}
+	blob := c.Compress(nil, vals, nil)
+	got := make([]float64, 4)
+	if err := c.Decompress(got, nil, nil); err == nil {
+		t.Fatal("expected error on empty blob")
+	}
+	if err := c.Decompress(got[:2], blob, nil); err == nil {
+		t.Fatal("expected error on wrong length")
+	}
+	if err := c.Decompress(got, blob[:len(blob)-3], nil); err == nil {
+		t.Fatal("expected error on truncated blob")
+	}
+	// Corrupt the frequency table so it no longer sums to probScale.
+	bad := append([]byte(nil), blob...)
+	_, k := binary.Uvarint(bad)
+	bad[k] ^= 0x7F
+	if err := c.Decompress(got, bad, nil); err == nil {
+		t.Fatal("expected error on corrupt frequency table")
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1<<14)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 1e-9
+	}
+	b.SetBytes(int64(8 * len(vals)))
+	var blob []byte
+	for i := 0; i < b.N; i++ {
+		blob = New().Compress(blob[:0], vals, nil)
+	}
+}

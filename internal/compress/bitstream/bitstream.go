@@ -1,0 +1,157 @@
+// Package bitstream implements MSB-first bit-granular writers and readers
+// used by the residual coders. The writer accumulates bits into a 64-bit
+// register and spills whole bytes; the reader mirrors the layout exactly, so
+// a stream produced by Writer is consumed bit-for-bit by Reader.
+package bitstream
+
+import "errors"
+
+// ErrOverrun is reported by Reader when a read extends past the end of the
+// underlying buffer.
+var ErrOverrun = errors.New("bitstream: read past end of stream")
+
+// Writer appends bits MSB-first to a growing byte buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf   []byte
+	acc   uint64 // pending bits, left-aligned within the low `n` bits
+	n     uint   // number of pending bits in acc (0..7 after spill)
+	total int    // total bits written
+}
+
+// NewWriter returns a Writer with capacity for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// Reset discards all written bits, retaining the allocated buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.acc = 0
+	w.n = 0
+	w.total = 0
+}
+
+// WriteBit appends a single bit (the low bit of b).
+func (w *Writer) WriteBit(b uint64) {
+	w.WriteBits(b&1, 1)
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= (1 << n) - 1
+	}
+	w.total += int(n)
+	// Fill the accumulator; spill bytes as they complete.
+	for n > 0 {
+		space := 8 - w.n // bits until the current byte completes
+		if n < space {
+			w.acc = w.acc<<n | v
+			w.n += n
+			return
+		}
+		// Take the top `space` bits of v.
+		chunk := v >> (n - space)
+		w.acc = w.acc<<space | chunk
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc = 0
+		w.n = 0
+		n -= space
+		if n < 64 && n > 0 {
+			v &= (1 << n) - 1
+		}
+	}
+}
+
+// BitLen reports the total number of bits written so far.
+func (w *Writer) BitLen() int { return w.total }
+
+// Bytes returns the encoded stream, padding the final partial byte with
+// zero bits. The returned slice aliases the Writer's buffer until the next
+// Write or Reset.
+func (w *Writer) Bytes() []byte {
+	if w.n == 0 {
+		return w.buf
+	}
+	pad := 8 - w.n
+	last := byte(w.acc << pad)
+	return append(w.buf, last)
+}
+
+// Len reports the length in bytes of the stream Bytes would return.
+func (w *Writer) Len() int { return (w.total + 7) / 8 }
+
+// Reader consumes bits MSB-first from a byte buffer.
+type Reader struct {
+	buf   []byte
+	pos   int    // next byte index
+	acc   uint64 // buffered bits, right-aligned
+	n     uint   // number of buffered bits
+	err   error
+	total int // bits consumed
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// Reset re-points the reader at buf and clears any error.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+	r.acc = 0
+	r.n = 0
+	r.err = nil
+	r.total = 0
+}
+
+// Err returns the first overrun error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// BitsRead reports the total number of bits consumed.
+func (r *Reader) BitsRead() int { return r.total }
+
+// ReadBit reads a single bit, returning 0 or 1.
+func (r *Reader) ReadBit() uint64 {
+	return r.ReadBits(1)
+}
+
+// ReadBits reads n bits (n in [0,64]) MSB-first and returns them
+// right-aligned. On overrun it records ErrOverrun and returns the bits that
+// were available padded with zeros.
+func (r *Reader) ReadBits(n uint) uint64 {
+	if n == 0 {
+		return 0
+	}
+	r.total += int(n)
+	var out uint64
+	need := n
+	for need > 0 {
+		if r.n == 0 {
+			if r.pos >= len(r.buf) {
+				r.err = ErrOverrun
+				return out << need // pad with zeros
+			}
+			r.acc = uint64(r.buf[r.pos])
+			r.pos++
+			r.n = 8
+		}
+		take := need
+		if take > r.n {
+			take = r.n
+		}
+		shift := r.n - take
+		bits := (r.acc >> shift) & ((1 << take) - 1)
+		out = out<<take | bits
+		r.n -= take
+		r.acc &= (1 << r.n) - 1
+		need -= take
+	}
+	return out
+}

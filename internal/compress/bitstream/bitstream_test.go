@@ -1,0 +1,171 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleBits(t *testing.T) {
+	w := NewWriter(0)
+	pattern := []uint64{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if got := w.BitLen(); got != len(pattern) {
+		t.Fatalf("BitLen = %d, want %d", got, len(pattern))
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		if got := r.ReadBit(); got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+}
+
+func TestWriteBitsAlignment(t *testing.T) {
+	// Write widths that straddle byte boundaries in every way.
+	widths := []uint{1, 3, 7, 8, 9, 13, 16, 17, 31, 32, 33, 63, 64}
+	vals := []uint64{0, 1, 0xA5, 0xFFFF, 0xDEADBEEF, 0x0123456789ABCDEF, ^uint64(0)}
+	w := NewWriter(0)
+	type rec struct {
+		v uint64
+		n uint
+	}
+	var recs []rec
+	for _, n := range widths {
+		for _, v := range vals {
+			masked := v
+			if n < 64 {
+				masked &= (1 << n) - 1
+			}
+			w.WriteBits(v, n)
+			recs = append(recs, rec{masked, n})
+		}
+	}
+	r := NewReader(w.Bytes())
+	for i, rc := range recs {
+		if got := r.ReadBits(rc.n); got != rc.v {
+			t.Fatalf("record %d (width %d): got %#x, want %#x", i, rc.n, got, rc.v)
+		}
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+}
+
+func TestZeroWidth(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xFF, 0)
+	if w.BitLen() != 0 {
+		t.Fatalf("zero-width write changed BitLen to %d", w.BitLen())
+	}
+	r := NewReader(nil)
+	if got := r.ReadBits(0); got != 0 {
+		t.Fatalf("zero-width read = %d", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("zero-width read errored: %v", r.Err())
+	}
+}
+
+func TestOverrun(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0x3, 2)
+	r := NewReader(w.Bytes())
+	r.ReadBits(8) // reads the single padded byte
+	r.ReadBits(4) // past the end
+	if r.Err() != ErrOverrun {
+		t.Fatalf("expected ErrOverrun, got %v", r.Err())
+	}
+}
+
+func TestPaddingIsZero(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0x7, 3)
+	b := w.Bytes()
+	if len(b) != 1 {
+		t.Fatalf("len = %d, want 1", len(b))
+	}
+	if b[0] != 0xE0 {
+		t.Fatalf("byte = %#x, want 0xE0 (111 followed by zero padding)", b[0])
+	}
+}
+
+func TestReset(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xABCD, 16)
+	w.Reset()
+	w.WriteBits(0x5, 3)
+	r := NewReader(w.Bytes())
+	if got := r.ReadBits(3); got != 0x5 {
+		t.Fatalf("after reset got %#x, want 0x5", got)
+	}
+	r.Reset(w.Bytes())
+	if got := r.ReadBits(3); got != 0x5 {
+		t.Fatalf("after reader reset got %#x, want 0x5", got)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count%200) + 1
+		type rec struct {
+			v uint64
+			w uint
+		}
+		recs := make([]rec, n)
+		wtr := NewWriter(0)
+		for i := range recs {
+			width := uint(rng.Intn(64)) + 1
+			v := rng.Uint64()
+			if width < 64 {
+				v &= (1 << width) - 1
+			}
+			recs[i] = rec{v, width}
+			wtr.WriteBits(v, width)
+		}
+		r := NewReader(wtr.Bytes())
+		for _, rc := range recs {
+			if r.ReadBits(rc.w) != rc.v {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	w := NewWriter(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%1000 == 0 {
+			w.Reset()
+		}
+		w.WriteBits(uint64(i)*0x9E3779B97F4A7C15, uint(i%64)+1)
+	}
+}
+
+func BenchmarkReadBits(b *testing.B) {
+	w := NewWriter(1 << 20)
+	for i := 0; i < 100000; i++ {
+		w.WriteBits(uint64(i)*0x9E3779B97F4A7C15, uint(i%64)+1)
+	}
+	data := w.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	r := NewReader(data)
+	for i := 0; i < b.N; i++ {
+		if i%100000 == 0 {
+			r.Reset(data)
+		}
+		r.ReadBits(uint(i%64) + 1)
+	}
+}

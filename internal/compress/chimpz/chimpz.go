@@ -1,0 +1,111 @@
+// Package chimpz is a Gorilla/Chimp-family streaming XOR codec: each value
+// is XORed with its predecessor in the stream and the residual encoded with
+// a leading-zero window. It represents the time-series-database lineage the
+// MASC paper builds on (Chimp, VLDB'22) but, applied to a matrix value
+// stream, sees only 1-D spatial correlation.
+package chimpz
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"masc/internal/compress/bitstream"
+)
+
+// Compressor implements compress.Compressor.
+type Compressor struct {
+	// UseRef, when set, XORs against the reference matrix (temporal
+	// predecessor) instead of the stream predecessor — the "temporal
+	// Chimp" variant used in ablation studies.
+	UseRef bool
+}
+
+// New returns the stream-predecessor variant.
+func New() *Compressor { return &Compressor{} }
+
+// NewTemporal returns the reference-matrix variant.
+func NewTemporal() *Compressor { return &Compressor{UseRef: true} }
+
+// Name implements compress.Compressor.
+func (c *Compressor) Name() string {
+	if c.UseRef {
+		return "chimp-temporal"
+	}
+	return "chimp"
+}
+
+// Lossless implements compress.Compressor.
+func (c *Compressor) Lossless() bool { return true }
+
+// predecessor returns the prediction bits for element i.
+func (c *Compressor) predecessor(i int, prev uint64, ref []float64) uint64 {
+	if c.UseRef && ref != nil {
+		return math.Float64bits(ref[i])
+	}
+	return prev
+}
+
+// Compress implements compress.Compressor.
+func (c *Compressor) Compress(dst []byte, cur, ref []float64) []byte {
+	w := bitstream.NewWriter(len(cur))
+	var prev uint64
+	var winLZ, winLen uint
+	for i, v := range cur {
+		vb := math.Float64bits(v)
+		x := vb ^ c.predecessor(i, prev, ref)
+		prev = vb
+		if x == 0 {
+			w.WriteBit(0)
+			continue
+		}
+		lz := uint(bits.LeadingZeros64(x))
+		if lz > 31 {
+			lz = 31
+		}
+		tz := uint(bits.TrailingZeros64(x))
+		if winLen > 0 && lz >= winLZ && tz >= 64-winLZ-winLen {
+			w.WriteBits(0b10, 2)
+			w.WriteBits(x>>(64-winLZ-winLen), winLen)
+			continue
+		}
+		length := 64 - lz - tz
+		w.WriteBits(0b11, 2)
+		w.WriteBits(uint64(lz), 5)
+		w.WriteBits(uint64(length-1), 6)
+		w.WriteBits(x>>tz, length)
+		winLZ, winLen = lz, length
+	}
+	return append(dst, w.Bytes()...)
+}
+
+// Decompress implements compress.Compressor.
+func (c *Compressor) Decompress(cur []float64, blob []byte, ref []float64) error {
+	r := bitstream.NewReader(blob)
+	var prev uint64
+	var winLZ, winLen uint
+	for i := range cur {
+		pred := c.predecessor(i, prev, ref)
+		if r.ReadBit() == 0 {
+			prev = pred
+			cur[i] = math.Float64frombits(pred)
+			continue
+		}
+		var x uint64
+		if r.ReadBit() == 0 { // shared window
+			x = r.ReadBits(winLen) << (64 - winLZ - winLen)
+		} else {
+			lz := uint(r.ReadBits(5))
+			length := uint(r.ReadBits(6)) + 1
+			x = r.ReadBits(length) << (64 - lz - length)
+			winLZ, winLen = lz, length
+		}
+		vb := pred ^ x
+		prev = vb
+		cur[i] = math.Float64frombits(vb)
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("chimpz: %w", err)
+	}
+	return nil
+}

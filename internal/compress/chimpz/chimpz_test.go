@@ -1,0 +1,47 @@
+package chimpz
+
+import (
+	"math"
+	"testing"
+
+	"masc/internal/compress/codectest"
+)
+
+func TestConformanceStream(t *testing.T) {
+	codectest.RunLossless(t, New())
+	codectest.RunAppend(t, New())
+}
+
+func TestConformanceTemporal(t *testing.T) {
+	codectest.RunLossless(t, NewTemporal())
+	codectest.RunAppend(t, NewTemporal())
+}
+
+func TestTemporalBeatsStreamOnSmoothTensor(t *testing.T) {
+	// When consecutive matrices are nearly identical, the temporal variant
+	// should produce a much smaller stream than the spatial one.
+	n := 2048
+	ref := make([]float64, n)
+	cur := make([]float64, n)
+	for i := range ref {
+		ref[i] = math.Sin(float64(i)) * 1e3 * float64(1+i%17)
+		cur[i] = ref[i]
+	}
+	for i := 0; i < n/100; i++ {
+		cur[i*97%n] *= 1 + 1e-12
+	}
+	st := len(New().Compress(nil, cur, ref))
+	tp := len(NewTemporal().Compress(nil, cur, ref))
+	if tp*2 > st {
+		t.Fatalf("temporal %d bytes not clearly smaller than stream %d bytes", tp, st)
+	}
+}
+
+func TestTruncatedBlob(t *testing.T) {
+	c := New()
+	blob := c.Compress(nil, []float64{1.5, 2.5, 3.5, math.Pi}, nil)
+	got := make([]float64, 4)
+	if err := c.Decompress(got, blob[:1], nil); err == nil {
+		t.Fatal("expected error on truncated blob")
+	}
+}

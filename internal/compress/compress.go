@@ -1,0 +1,21 @@
+// Package compress defines the compressor contract shared by MASC and all
+// baseline codecs. A Compressor encodes one matrix's value array, optionally
+// predicting from a reference array (the temporally adjacent matrix in the
+// MASC scheme). Implementations live in subpackages; Registry-style lookup
+// for benchmarks is provided by the parent masc module.
+package compress
+
+// Compressor encodes/decodes fixed-length float64 value arrays.
+//
+// Compress appends the encoding of cur to dst and returns the extended
+// slice. ref, when non-nil, is the prediction reference (same length as
+// cur); codecs that do not exploit a reference may ignore it, but every
+// codec must produce a stream that Decompress can invert given the same
+// ref. Decompress fills cur (len(cur) tells the codec the element count).
+type Compressor interface {
+	Name() string
+	Compress(dst []byte, cur, ref []float64) []byte
+	Decompress(cur []float64, blob []byte, ref []float64) error
+	// Lossless reports whether Decompress reproduces bit-exact values.
+	Lossless() bool
+}

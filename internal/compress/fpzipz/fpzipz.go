@@ -1,0 +1,94 @@
+// Package fpzipz is an FPZIP-family baseline (Lindstrom & Isenburg, 2006):
+// a spatial Lorenzo prediction (the previous element, the 1-D Lorenzo
+// stencil) followed by a monotone float→integer map, an integer residual
+// and a bit-length-grouped entropy-light code. Like the original it is a
+// purely spatial predictive coder — it never sees the temporal neighbour —
+// which is exactly the gap MASC's spatiotemporal predictor closes.
+package fpzipz
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"masc/internal/compress/bitstream"
+)
+
+// Compressor implements compress.Compressor.
+type Compressor struct{}
+
+// New returns an FPZIP-like codec.
+func New() *Compressor { return &Compressor{} }
+
+// Name implements compress.Compressor.
+func (c *Compressor) Name() string { return "fpzip" }
+
+// Lossless implements compress.Compressor.
+func (c *Compressor) Lossless() bool { return true }
+
+// toOrdered maps IEEE-754 bits to an order-preserving unsigned integer:
+// negative floats map below positive ones and ordering matches numeric
+// ordering (NaNs map consistently by bit pattern).
+func toOrdered(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b>>63 == 1 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+func fromOrdered(u uint64) float64 {
+	if u>>63 == 1 {
+		return math.Float64frombits(u &^ (1 << 63))
+	}
+	return math.Float64frombits(^u)
+}
+
+// Compress implements compress.Compressor. ref is ignored (spatial-only).
+func (c *Compressor) Compress(dst []byte, cur, ref []float64) []byte {
+	w := bitstream.NewWriter(len(cur))
+	prev := uint64(1 << 63) // ordered code of +0
+	for _, v := range cur {
+		o := toOrdered(v)
+		d := o - prev
+		prev = o
+		// Zigzag the two's-complement difference.
+		z := (d << 1) ^ uint64(int64(d)>>63)
+		if z == 0 {
+			w.WriteBit(0)
+			continue
+		}
+		w.WriteBit(1)
+		n := uint(64 - bits.LeadingZeros64(z))
+		w.WriteBits(uint64(n-1), 6)
+		// The top bit of z is implicitly 1.
+		if n > 1 {
+			w.WriteBits(z&((1<<(n-1))-1), n-1)
+		}
+	}
+	return append(dst, w.Bytes()...)
+}
+
+// Decompress implements compress.Compressor.
+func (c *Compressor) Decompress(cur []float64, blob []byte, ref []float64) error {
+	r := bitstream.NewReader(blob)
+	prev := uint64(1 << 63)
+	for i := range cur {
+		var z uint64
+		if r.ReadBit() == 1 {
+			n := uint(r.ReadBits(6)) + 1
+			z = 1
+			if n > 1 {
+				z = 1<<(n-1) | r.ReadBits(n-1)
+			}
+		}
+		d := (z >> 1) ^ uint64(-int64(z&1))
+		o := prev + d
+		prev = o
+		cur[i] = fromOrdered(o)
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("fpzipz: %w", err)
+	}
+	return nil
+}

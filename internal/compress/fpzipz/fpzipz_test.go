@@ -1,0 +1,58 @@
+package fpzipz
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"masc/internal/compress/codectest"
+)
+
+func TestConformance(t *testing.T) {
+	codectest.RunLossless(t, New())
+	codectest.RunAppend(t, New())
+}
+
+func TestOrderedMapMonotone(t *testing.T) {
+	vals := []float64{math.Inf(-1), -math.MaxFloat64, -1, -math.SmallestNonzeroFloat64,
+		math.Copysign(0, -1), 0, math.SmallestNonzeroFloat64, 1, math.MaxFloat64, math.Inf(1)}
+	for i := 1; i < len(vals); i++ {
+		a, b := toOrdered(vals[i-1]), toOrdered(vals[i])
+		if a > b {
+			t.Fatalf("ordering violated between %g and %g", vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestOrderedMapInvertible(t *testing.T) {
+	f := func(bits uint64) bool {
+		v := math.Float64frombits(bits)
+		return math.Float64bits(fromOrdered(toOrdered(v))) == bits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmoothSequenceCompresses(t *testing.T) {
+	n := 4096
+	vals := make([]float64, n)
+	for i := range vals {
+		// Very smooth: neighbouring values differ only in low mantissa
+		// bits, which is the regime the Lorenzo predictor targets.
+		vals[i] = 1000 + math.Sin(float64(i)/100)*1e-9
+	}
+	blob := New().Compress(nil, vals, nil)
+	if len(blob)*2 > 8*n {
+		t.Fatalf("smooth sequence compressed to %d of %d bytes", len(blob), 8*n)
+	}
+}
+
+func TestTruncatedBlob(t *testing.T) {
+	c := New()
+	blob := c.Compress(nil, []float64{1, 2, 3, 4, 5, 6, 7, 8}, nil)
+	got := make([]float64, 8)
+	if err := c.Decompress(got, blob[:1], nil); err == nil {
+		t.Fatal("expected error on truncated blob")
+	}
+}

@@ -1,0 +1,36 @@
+package gzipz
+
+import (
+	"testing"
+
+	"masc/internal/compress/codectest"
+)
+
+func TestConformance(t *testing.T) {
+	codectest.RunLossless(t, New())
+	codectest.RunAppend(t, New())
+}
+
+func TestDecompressErrors(t *testing.T) {
+	c := New()
+	got := make([]float64, 4)
+	if err := c.Decompress(got, []byte{1, 2, 3}, nil); err == nil {
+		t.Fatal("expected error on garbage blob")
+	}
+	blob := c.Compress(nil, []float64{1, 2}, nil)
+	if err := c.Decompress(got, blob, nil); err == nil {
+		t.Fatal("expected error when blob holds fewer values than requested")
+	}
+}
+
+func TestRepeatedDataCompresses(t *testing.T) {
+	c := New()
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = 3.25
+	}
+	blob := c.Compress(nil, vals, nil)
+	if len(blob)*20 > 8*len(vals) {
+		t.Fatalf("constant array compressed to %d of %d bytes", len(blob), 8*len(vals))
+	}
+}

@@ -1,0 +1,226 @@
+// Package huffz implements a canonical Huffman byte codec — the classical
+// entropy coder the MASC paper's §2.2 contrasts with ANS. Like ansz it is
+// an order-0 coder over the raw value bytes: simpler and slightly weaker
+// than rANS, exactly the trade the paper describes.
+package huffz
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"masc/internal/compress/bitstream"
+)
+
+// maxCodeLen caps code lengths so the canonical tables stay small; 15 bits
+// suffices for any 256-symbol alphabet of ≥ 2-symbol blobs after the
+// package-merge-style rebalancing below.
+const maxCodeLen = 15
+
+// Compressor implements compress.Compressor.
+type Compressor struct{}
+
+// New returns a canonical Huffman byte codec.
+func New() *Compressor { return &Compressor{} }
+
+// Name implements compress.Compressor.
+func (c *Compressor) Name() string { return "huffman" }
+
+// Lossless implements compress.Compressor.
+func (c *Compressor) Lossless() bool { return true }
+
+type hnode struct {
+	freq        uint64
+	sym         int // -1 for internal
+	left, right *hnode
+}
+
+type hheap []*hnode
+
+func (h hheap) Len() int            { return len(h) }
+func (h hheap) Less(i, j int) bool  { return h[i].freq < h[j].freq }
+func (h hheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hheap) Push(x interface{}) { *h = append(*h, x.(*hnode)) }
+func (h *hheap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// codeLengths builds Huffman code lengths from a histogram, then flattens
+// any length above maxCodeLen (rare; handled by re-running with damped
+// frequencies, which strictly reduces depth).
+func codeLengths(hist *[256]uint64) [256]uint8 {
+	var lens [256]uint8
+	damped := *hist
+	for {
+		h := &hheap{}
+		for s, f := range damped {
+			if f > 0 {
+				heap.Push(h, &hnode{freq: f, sym: s})
+			}
+		}
+		if h.Len() == 0 {
+			return lens
+		}
+		if h.Len() == 1 {
+			lens[(*h)[0].sym] = 1
+			return lens
+		}
+		for h.Len() > 1 {
+			a := heap.Pop(h).(*hnode)
+			b := heap.Pop(h).(*hnode)
+			heap.Push(h, &hnode{freq: a.freq + b.freq, sym: -1, left: a, right: b})
+		}
+		root := heap.Pop(h).(*hnode)
+		lens = [256]uint8{}
+		depth := assignDepths(root, 0, &lens)
+		if depth <= maxCodeLen {
+			return lens
+		}
+		// Damp the histogram (halve, keep ≥1) and retry: flattens the tree.
+		for s := range damped {
+			if damped[s] > 1 {
+				damped[s] = (damped[s] + 1) / 2
+			}
+		}
+	}
+}
+
+func assignDepths(n *hnode, d uint8, lens *[256]uint8) uint8 {
+	if n.sym >= 0 {
+		lens[n.sym] = d
+		return d
+	}
+	l := assignDepths(n.left, d+1, lens)
+	r := assignDepths(n.right, d+1, lens)
+	if r > l {
+		return r
+	}
+	return l
+}
+
+// canonicalCodes assigns canonical codes from lengths: symbols sorted by
+// (length, value) receive consecutive codes.
+func canonicalCodes(lens *[256]uint8) (codes [256]uint32) {
+	var countPerLen [maxCodeLen + 1]uint32
+	for _, l := range lens {
+		countPerLen[l]++
+	}
+	var nextCode [maxCodeLen + 2]uint32
+	code := uint32(0)
+	countPerLen[0] = 0
+	for l := 1; l <= maxCodeLen; l++ {
+		code = (code + countPerLen[l-1]) << 1
+		nextCode[l] = code
+	}
+	for s := 0; s < 256; s++ {
+		if l := lens[s]; l > 0 {
+			codes[s] = nextCode[l]
+			nextCode[l]++
+		}
+	}
+	return
+}
+
+// Compress implements compress.Compressor. ref is ignored.
+func (c *Compressor) Compress(dst []byte, cur, ref []float64) []byte {
+	raw := make([]byte, 8*len(cur))
+	for i, v := range cur {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	}
+	var hist [256]uint64
+	for _, b := range raw {
+		hist[b]++
+	}
+	lens := codeLengths(&hist)
+	codes := canonicalCodes(&lens)
+
+	dst = binary.AppendUvarint(dst, uint64(len(cur)))
+	// Header: 256 nibble-packed code lengths (4 bits each, ≤ 15).
+	for s := 0; s < 256; s += 2 {
+		dst = append(dst, lens[s]<<4|lens[s+1])
+	}
+	w := bitstream.NewWriter(len(raw) / 2)
+	for _, b := range raw {
+		w.WriteBits(uint64(codes[b]), uint(lens[b]))
+	}
+	return append(dst, w.Bytes()...)
+}
+
+// Decompress implements compress.Compressor.
+func (c *Compressor) Decompress(cur []float64, blob []byte, ref []float64) error {
+	n64, k := binary.Uvarint(blob)
+	if k <= 0 {
+		return fmt.Errorf("huffz: bad element count")
+	}
+	off := k
+	if int(n64) != len(cur) {
+		return fmt.Errorf("huffz: blob holds %d elements, want %d", n64, len(cur))
+	}
+	if len(blob) < off+128 {
+		return fmt.Errorf("huffz: truncated length table")
+	}
+	var lens [256]uint8
+	for s := 0; s < 256; s += 2 {
+		b := blob[off+s/2]
+		lens[s] = b >> 4
+		lens[s+1] = b & 0x0F
+	}
+	off += 128
+	codes := canonicalCodes(&lens)
+
+	// Build a (length → first code, first symbol index) canonical decode
+	// table over symbols sorted by (length, value).
+	type lenGroup struct {
+		first uint32 // first canonical code of this length
+		count uint32
+		base  int // index into ordered symbol list
+	}
+	var groups [maxCodeLen + 1]lenGroup
+	var ordered []byte
+	for l := uint8(1); l <= maxCodeLen; l++ {
+		g := &groups[l]
+		g.base = len(ordered)
+		first := uint32(math.MaxUint32)
+		for s := 0; s < 256; s++ {
+			if lens[s] == l {
+				if codes[s] < first {
+					first = codes[s]
+				}
+				ordered = append(ordered, byte(s))
+				g.count++
+			}
+		}
+		g.first = first
+	}
+
+	r := bitstream.NewReader(blob[off:])
+	raw := make([]byte, 8*len(cur))
+	for i := range raw {
+		code := uint32(0)
+		length := uint8(0)
+		for {
+			code = code<<1 | uint32(r.ReadBit())
+			length++
+			if length > maxCodeLen {
+				return fmt.Errorf("huffz: invalid code at byte %d", i)
+			}
+			g := &groups[length]
+			if g.count > 0 && code >= g.first && code-g.first < g.count {
+				raw[i] = ordered[g.base+int(code-g.first)]
+				break
+			}
+		}
+	}
+	if r.Err() != nil {
+		return fmt.Errorf("huffz: %w", r.Err())
+	}
+	for i := range cur {
+		cur[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package huffz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"masc/internal/compress/codectest"
+)
+
+func TestConformance(t *testing.T) {
+	codectest.RunLossless(t, New())
+	codectest.RunAppend(t, New())
+}
+
+func TestCanonicalCodesArePrefixFree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var hist [256]uint64
+		for i := 0; i < 1000; i++ {
+			// Zipf-ish skew.
+			hist[rng.Intn(1+rng.Intn(256))]++
+		}
+		lens := codeLengths(&hist)
+		codes := canonicalCodes(&lens)
+		// No code may be a prefix of another.
+		for a := 0; a < 256; a++ {
+			if lens[a] == 0 {
+				continue
+			}
+			for b := 0; b < 256; b++ {
+				if a == b || lens[b] == 0 || lens[a] > lens[b] {
+					continue
+				}
+				if codes[b]>>(lens[b]-lens[a]) == codes[a] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKraftInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var hist [256]uint64
+	for i := 0; i < 256; i++ {
+		hist[i] = uint64(rng.Intn(10000)) + 1
+	}
+	lens := codeLengths(&hist)
+	sum := 0.0
+	for _, l := range lens {
+		if l > 0 {
+			sum += math.Pow(2, -float64(l))
+		}
+	}
+	if sum > 1+1e-12 {
+		t.Fatalf("Kraft sum %g > 1", sum)
+	}
+	if sum < 1-1e-12 {
+		t.Fatalf("Kraft sum %g < 1: tree not full", sum)
+	}
+}
+
+func TestDepthCapRespected(t *testing.T) {
+	// Fibonacci-like frequencies force deep trees; the damping loop must
+	// cap lengths at maxCodeLen.
+	var hist [256]uint64
+	a, b := uint64(1), uint64(1)
+	for i := 0; i < 40; i++ {
+		hist[i] = a
+		a, b = b, a+b
+	}
+	lens := codeLengths(&hist)
+	for s, l := range lens {
+		if l > maxCodeLen {
+			t.Fatalf("symbol %d got length %d", s, l)
+		}
+		if hist[s] > 0 && l == 0 {
+			t.Fatalf("symbol %d starved", s)
+		}
+	}
+}
+
+func TestSkewedStreamCompresses(t *testing.T) {
+	vals := make([]float64, 4096)
+	for i := range vals {
+		if i%10 == 0 {
+			vals[i] = 1e-30
+		}
+	}
+	blob := New().Compress(nil, vals, nil)
+	if len(blob)*4 > 8*len(vals) {
+		t.Fatalf("skewed stream compressed to %d of %d bytes", len(blob), 8*len(vals))
+	}
+}
+
+func TestSingleSymbolStream(t *testing.T) {
+	vals := make([]float64, 100) // all zero: a single-symbol alphabet
+	blob := New().Compress(nil, vals, nil)
+	got := make([]float64, len(vals))
+	if err := New().Decompress(got, blob, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != 0 {
+			t.Fatal("single-symbol roundtrip broken")
+		}
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	c := New()
+	blob := c.Compress(nil, []float64{1, 2, 3}, nil)
+	got := make([]float64, 3)
+	if err := c.Decompress(got, nil, nil); err == nil {
+		t.Fatal("expected error on empty blob")
+	}
+	if err := c.Decompress(got[:1], blob, nil); err == nil {
+		t.Fatal("expected error on wrong length")
+	}
+	if err := c.Decompress(got, blob[:40], nil); err == nil {
+		t.Fatal("expected error on truncated table")
+	}
+}

@@ -1,0 +1,65 @@
+package masczip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecompress feeds arbitrary bytes to the decoder: it must never panic
+// or over-allocate, only return an error or garbage values.
+func FuzzDecompress(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	p := mnaPattern(rng, 24, 30)
+	c := New(p, Options{})
+	ref := mnaValues(rng, p, 0.01)
+	cur := evolve(rng, ref, 1e-5)
+	f.Add(c.Compress(nil, cur, ref))
+	cm := New(p, Options{Markov: true, CalibEvery: 1, Workers: 2})
+	f.Add(cm.Compress(nil, cur, ref))
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		out := make([]float64, p.NNZ())
+		_ = c.Decompress(out, blob, ref)
+		_ = c.Decompress(out, blob, nil)
+	})
+}
+
+// FuzzRoundTrip mutates the value stream: whatever the bits, a
+// compress/decompress cycle must be the identity.
+func FuzzRoundTrip(f *testing.F) {
+	rng := rand.New(rand.NewSource(2))
+	p := mnaPattern(rng, 12, 12)
+	nnz := p.NNZ()
+	seed := make([]byte, 8*nnz)
+	rng.Read(seed)
+	f.Add(seed, true)
+	f.Add(seed, false)
+	f.Fuzz(func(t *testing.T, raw []byte, markov bool) {
+		if len(raw) < 8*nnz {
+			t.Skip()
+		}
+		cur := make([]float64, nnz)
+		ref := make([]float64, nnz)
+		for i := range cur {
+			bits := uint64(0)
+			for b := 0; b < 8; b++ {
+				bits = bits<<8 | uint64(raw[8*i+b])
+			}
+			cur[i] = math.Float64frombits(bits)
+			ref[i] = math.Float64frombits(bits ^ 0xFF)
+		}
+		c := New(p, Options{Markov: markov, CalibEvery: 2})
+		blob := c.Compress(nil, cur, ref)
+		got := make([]float64, nnz)
+		if err := c.Decompress(got, blob, ref); err != nil {
+			t.Fatalf("decompress own blob: %v", err)
+		}
+		for i := range cur {
+			if math.Float64bits(got[i]) != math.Float64bits(cur[i]) {
+				t.Fatalf("roundtrip mismatch at %d", i)
+			}
+		}
+	})
+}

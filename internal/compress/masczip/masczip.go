@@ -1,0 +1,696 @@
+package masczip
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+
+	"masc/internal/compress/bitstream"
+	"masc/internal/sparse"
+)
+
+// Options configures a Compressor.
+type Options struct {
+	// Markov enables the Markov model-selection mode: most matrices carry
+	// no per-element selector bits; every CalibEvery-th matrix runs
+	// best-fit selection and refreshes the transition statistics.
+	Markov bool
+	// CalibEvery is the calibration period in Markov mode (default 16).
+	CalibEvery int
+	// Workers > 1 splits each matrix into row chunks compressed in
+	// parallel goroutines.
+	Workers int
+	// CollectStats accumulates model-selection and residual statistics
+	// (Figures 5b and 6 of the paper).
+	CollectStats bool
+
+	// Ablation switches.
+	DisableStamp        bool // drop the stamp-based spatial candidates
+	DisableLastValue    bool // drop the last-value candidate in region L
+	DisableSharedWindow bool // always re-emit the residual window
+}
+
+// Stats aggregates encoder-side statistics across all compressed matrices.
+type Stats struct {
+	Elements int64
+	// SelectorElements counts elements that actually went through model
+	// selection (a nonzero temporal residual); the model-family counters
+	// below partition it. Elements whose temporal prediction was bit-exact
+	// take the 1-bit fast path and are not "selections" (Figure 6
+	// semantics of the paper).
+	SelectorElements int64
+	Temporal         int64
+	Stamp            int64
+	LastValue        int64
+	// LZHist[i] counts residuals whose leading-zero class is 8·i
+	// (i = 0..7); LZHist[8] counts all-zero residuals.
+	LZHist [9]int64
+	// SelectorBits / PayloadBits split the stream cost.
+	SelectorBits int64
+	PayloadBits  int64
+}
+
+func (s *Stats) merge(o *Stats) {
+	s.Elements += o.Elements
+	s.SelectorElements += o.SelectorElements
+	s.Temporal += o.Temporal
+	s.Stamp += o.Stamp
+	s.LastValue += o.LastValue
+	for i := range s.LZHist {
+		s.LZHist[i] += o.LZHist[i]
+	}
+	s.SelectorBits += o.SelectorBits
+	s.PayloadBits += o.PayloadBits
+}
+
+// Compressor implements compress.Compressor for one shared pattern.
+// It is not safe for concurrent use by multiple goroutines (internally it
+// parallelizes over chunks when Workers > 1).
+type Compressor struct {
+	plan  *plan
+	opt   Options
+	seq   int // matrices compressed so far
+	cnt   markovCounts
+	stats Stats
+	zeros []float64
+}
+
+// New returns a MASC compressor bound to pattern p.
+func New(p *sparse.Pattern, opt Options) *Compressor {
+	if opt.CalibEvery <= 0 {
+		opt.CalibEvery = 16
+	}
+	if opt.Workers < 1 {
+		opt.Workers = 1
+	}
+	return &Compressor{plan: newPlan(p), opt: opt}
+}
+
+// Name implements compress.Compressor.
+func (c *Compressor) Name() string {
+	if c.opt.Markov {
+		return "masc+markov"
+	}
+	return "masc"
+}
+
+// Lossless implements compress.Compressor.
+func (c *Compressor) Lossless() bool { return true }
+
+// Stats returns the accumulated encoder statistics.
+func (c *Compressor) Stats() Stats { return c.stats }
+
+// ResetStats clears the accumulated statistics.
+func (c *Compressor) ResetStats() { c.stats = Stats{} }
+
+// header flag bits.
+const (
+	flagCalib = 1 << 0
+)
+
+func (c *Compressor) refOrZeros(ref []float64) []float64 {
+	if ref != nil {
+		return ref
+	}
+	if len(c.zeros) != c.plan.nnz {
+		c.zeros = make([]float64, c.plan.nnz)
+	}
+	return c.zeros
+}
+
+// Compress implements compress.Compressor.
+func (c *Compressor) Compress(dst []byte, cur, ref []float64) []byte {
+	if len(cur) != c.plan.nnz {
+		panic(fmt.Sprintf("masczip: value count %d does not match pattern nnz %d", len(cur), c.plan.nnz))
+	}
+	ref = c.refOrZeros(ref)
+	calib := !c.opt.Markov || c.seq%c.opt.CalibEvery == 0
+	c.seq++
+
+	bounds := c.plan.chunkRows(c.opt.Workers)
+	nchunks := len(bounds) - 1
+
+	var flags byte
+	if calib {
+		flags |= flagCalib
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(cur)))
+	// The chunk row boundaries travel in the header: re-deriving them from
+	// the chunk count alone is not a fixed point of the partitioner when
+	// boundary collisions drop segments.
+	dst = binary.AppendUvarint(dst, uint64(nchunks))
+	for i := 1; i < nchunks; i++ {
+		dst = binary.AppendUvarint(dst, uint64(bounds[i]-bounds[i-1]))
+	}
+	tables := c.cnt.tables()
+	if !calib {
+		tb := tables.pack()
+		dst = append(dst, tb[:]...)
+	}
+
+	payloads := make([][]byte, nchunks)
+	counts := make([]markovCounts, nchunks)
+	stats := make([]Stats, nchunks)
+	run := func(ci int) {
+		w := bitstream.NewWriter(1024)
+		ec := &chunkCoder{
+			plan: c.plan, opt: &c.opt,
+			cur: cur, ref: ref,
+			rowLo: bounds[ci], rowHi: bounds[ci+1],
+			calib: calib, tables: &tables,
+			counts: &counts[ci],
+		}
+		if c.opt.CollectStats {
+			ec.stats = &stats[ci]
+		}
+		ec.encode(w)
+		payloads[ci] = append([]byte(nil), w.Bytes()...)
+	}
+	if nchunks == 1 {
+		run(0)
+	} else {
+		var wg sync.WaitGroup
+		for ci := 0; ci < nchunks; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				run(ci)
+			}(ci)
+		}
+		wg.Wait()
+	}
+	if calib {
+		for i := range counts {
+			c.cnt.merge(&counts[i])
+		}
+	}
+	if c.opt.CollectStats {
+		for i := range stats {
+			c.stats.merge(&stats[i])
+		}
+	}
+	for _, p := range payloads {
+		dst = binary.AppendUvarint(dst, uint64(len(p)))
+	}
+	for _, p := range payloads {
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+// Decompress implements compress.Compressor.
+func (c *Compressor) Decompress(cur []float64, blob []byte, ref []float64) error {
+	if len(cur) != c.plan.nnz {
+		return fmt.Errorf("masczip: value count %d does not match pattern nnz %d", len(cur), c.plan.nnz)
+	}
+	ref = c.refOrZeros(ref)
+	if len(blob) < 1 {
+		return fmt.Errorf("masczip: empty blob")
+	}
+	flags := blob[0]
+	off := 1
+	n, k := binary.Uvarint(blob[off:])
+	if k <= 0 {
+		return fmt.Errorf("masczip: bad element count")
+	}
+	off += k
+	if int(n) != len(cur) {
+		return fmt.Errorf("masczip: blob holds %d elements, want %d", n, len(cur))
+	}
+	nchunks64, k := binary.Uvarint(blob[off:])
+	if k <= 0 {
+		return fmt.Errorf("masczip: bad chunk count")
+	}
+	off += k
+	nchunks := int(nchunks64)
+	if nchunks < 1 || nchunks > c.plan.pat.N {
+		return fmt.Errorf("masczip: implausible chunk count %d", nchunks)
+	}
+	bounds := make([]int32, nchunks+1)
+	for i := 1; i < nchunks; i++ {
+		d, k := binary.Uvarint(blob[off:])
+		if k <= 0 {
+			return fmt.Errorf("masczip: truncated chunk boundary %d", i)
+		}
+		off += k
+		bounds[i] = bounds[i-1] + int32(d)
+		if bounds[i] <= bounds[i-1] || bounds[i] >= int32(c.plan.pat.N) {
+			return fmt.Errorf("masczip: invalid chunk boundary %d", bounds[i])
+		}
+	}
+	bounds[nchunks] = int32(c.plan.pat.N)
+	calib := flags&flagCalib != 0
+	var tables markovTables
+	if !calib {
+		if len(blob) < off+3 {
+			return fmt.Errorf("masczip: truncated markov table")
+		}
+		tables = unpackTables([3]byte{blob[off], blob[off+1], blob[off+2]})
+		off += 3
+	}
+	lens := make([]int, nchunks)
+	for i := range lens {
+		l, k := binary.Uvarint(blob[off:])
+		if k <= 0 {
+			return fmt.Errorf("masczip: bad chunk length %d", i)
+		}
+		off += k
+		if l > uint64(len(blob)) {
+			return fmt.Errorf("masczip: chunk %d length %d exceeds blob", i, l)
+		}
+		lens[i] = int(l)
+	}
+	starts := make([]int, nchunks)
+	for i := range lens {
+		starts[i] = off
+		off += lens[i]
+	}
+	if off > len(blob) {
+		return fmt.Errorf("masczip: truncated payload")
+	}
+	var firstErr error
+	var mu sync.Mutex
+	run := func(ci int) {
+		r := bitstream.NewReader(blob[starts[ci] : starts[ci]+lens[ci]])
+		dc := &chunkCoder{
+			plan: c.plan, opt: &c.opt,
+			cur: cur, ref: ref,
+			rowLo: bounds[ci], rowHi: bounds[ci+1],
+			calib: calib, tables: &tables,
+		}
+		if err := dc.decode(r); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("masczip: chunk %d: %w", ci, err)
+			}
+			mu.Unlock()
+		}
+	}
+	if nchunks == 1 {
+		run(0)
+	} else {
+		var wg sync.WaitGroup
+		for ci := 0; ci < nchunks; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				run(ci)
+			}(ci)
+		}
+		wg.Wait()
+	}
+	return firstErr
+}
+
+// chunkCoder encodes or decodes the rows [rowLo, rowHi) of one matrix.
+type chunkCoder struct {
+	plan   *plan
+	opt    *Options
+	cur    []float64 // encoder: input; decoder: output
+	ref    []float64
+	rowLo  int32
+	rowHi  int32
+	calib  bool
+	tables *markovTables
+	counts *markovCounts // calibration output (encoder only)
+	stats  *Stats        // optional
+
+	win   window
+	prevU uint8 // Markov chain states per region
+	prevL uint8
+	prevD uint8
+}
+
+// window is the shared leading-zero window of the residual coder.
+type window struct {
+	lz8 uint // leading-zero class (multiple of 8)
+	len uint // meaningful bit count
+}
+
+// inChunk reports whether slot k's row belongs to this chunk, i.e. whether
+// its current-matrix value is available during chunked decoding.
+func (cc *chunkCoder) inChunk(k int32) bool {
+	r := cc.plan.rowOf[k]
+	return r >= cc.rowLo && r < cc.rowHi
+}
+
+// candsU computes the region-U candidate predictions for slot k.
+func (cc *chunkCoder) candsU(k int32, out *[4]float64) int {
+	pl := cc.plan
+	ref := cc.ref
+	out[0] = ref[k]
+	if cc.opt.DisableStamp {
+		out[1], out[2], out[3] = out[0], out[0], out[0]
+		return 4
+	}
+	if t := pl.tr[k]; t >= 0 {
+		out[1] = ref[t]
+	} else {
+		out[1] = out[0]
+	}
+	i := pl.rowOf[k]
+	j := pl.pat.ColIdx[k]
+	if d := pl.diag[i]; d >= 0 {
+		out[2] = -ref[d]
+	} else {
+		out[2] = out[0]
+	}
+	if d := pl.diag[j]; d >= 0 {
+		out[3] = -ref[d]
+	} else {
+		out[3] = out[0]
+	}
+	return 4
+}
+
+// candsL computes the region-L candidates; lastVal is the previously coded
+// value in the same row (NaN when none).
+func (cc *chunkCoder) candsL(k int32, lastVal float64, haveLast bool, out *[4]float64) int {
+	pl := cc.plan
+	ref := cc.ref
+	out[0] = ref[k]
+	if cc.opt.DisableStamp {
+		out[1], out[2] = out[0], out[0]
+	} else {
+		if t := pl.tr[k]; t >= 0 {
+			// The symmetric mate lives in region U of row ColIdx[k]; its
+			// decoded current value is available only within this chunk.
+			if cc.inChunk(t) {
+				out[1] = cc.cur[t]
+			} else {
+				out[1] = ref[t]
+			}
+		} else {
+			out[1] = out[0]
+		}
+		if d := pl.diag[pl.rowOf[k]]; d >= 0 {
+			out[2] = -ref[d]
+		} else {
+			out[2] = out[0]
+		}
+	}
+	if !cc.opt.DisableLastValue && haveLast {
+		out[3] = lastVal
+	} else {
+		out[3] = out[0]
+	}
+	return 4
+}
+
+// candsD computes the region-D candidates: temporal and the negated sum of
+// the row's decoded off-diagonal values (the MNA row-conservation stamp).
+func (cc *chunkCoder) candsD(row int32, k int32, out *[4]float64) int {
+	out[0] = cc.ref[k]
+	if cc.opt.DisableStamp {
+		out[1] = out[0]
+		return 2
+	}
+	pl := cc.plan
+	sum := 0.0
+	for s := pl.pat.RowPtr[row]; s < pl.pat.RowPtr[row+1]; s++ {
+		if s != k {
+			sum += cc.cur[s]
+		}
+	}
+	out[1] = -sum
+	return 2
+}
+
+// bestSym picks the candidate closest to val (bit-exact match wins
+// immediately; ties prefer the lowest symbol).
+func bestSym(val float64, cands *[4]float64, n int) uint8 {
+	vb := math.Float64bits(val)
+	best := -1
+	bestDist := math.Inf(1)
+	for s := 0; s < n; s++ {
+		if math.Float64bits(cands[s]) == vb {
+			return uint8(s)
+		}
+		d := math.Abs(cands[s] - val)
+		if math.IsNaN(d) {
+			d = math.Inf(1)
+		}
+		if d < bestDist {
+			bestDist = d
+			best = s
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return uint8(best)
+}
+
+// encodeResidual writes the XOR residual with the window code.
+func (cc *chunkCoder) encodeResidual(w *bitstream.Writer, val, pred float64) {
+	x := math.Float64bits(val) ^ math.Float64bits(pred)
+	if x == 0 {
+		w.WriteBit(1)
+		if cc.stats != nil {
+			cc.stats.LZHist[8]++
+			cc.stats.PayloadBits++
+		}
+		return
+	}
+	before := w.BitLen()
+	w.WriteBit(0)
+	lz := uint(bits.LeadingZeros64(x))
+	lz8 := (lz >> 3) << 3
+	if lz8 > 56 {
+		lz8 = 56
+	}
+	tz := uint(bits.TrailingZeros64(x))
+	length := 64 - lz8 - tz
+	prevShift := 64 - cc.win.lz8 - cc.win.len
+	// Share the previous window only when the residual fits it AND the
+	// shared form is no longer than re-describing a tight window (1+len
+	// shared vs 10+len fresh): a stale wide window wastes bits.
+	fits := !cc.opt.DisableSharedWindow && cc.win.len > 0 &&
+		lz >= cc.win.lz8 && tz >= prevShift && cc.win.len <= length+9
+	if fits {
+		w.WriteBit(1)
+		w.WriteBits(x>>prevShift, cc.win.len)
+	} else {
+		w.WriteBit(0)
+		w.WriteBits(uint64(lz8>>3), 3)
+		w.WriteBits(uint64(length-1), 6)
+		w.WriteBits(x>>tz, length)
+		cc.win.lz8 = lz8
+		cc.win.len = length
+	}
+	if cc.stats != nil {
+		cc.stats.LZHist[lz8>>3]++
+		cc.stats.PayloadBits += int64(w.BitLen() - before)
+	}
+}
+
+// decodeResidual mirrors encodeResidual and returns the value.
+func (cc *chunkCoder) decodeResidual(r *bitstream.Reader, pred float64) float64 {
+	if r.ReadBit() == 1 {
+		return pred
+	}
+	var x uint64
+	if r.ReadBit() == 1 {
+		prevShift := 64 - cc.win.lz8 - cc.win.len
+		x = r.ReadBits(cc.win.len) << prevShift
+	} else {
+		lz8 := uint(r.ReadBits(3)) << 3
+		length := uint(r.ReadBits(6)) + 1
+		x = r.ReadBits(length) << (64 - lz8 - length)
+		cc.win.lz8 = lz8
+		cc.win.len = length
+	}
+	return math.Float64frombits(math.Float64bits(pred) ^ x)
+}
+
+// codeElement encodes or decodes one element (exactly one of w, r is
+// non-nil) and returns the decoded value (decoder) or val (encoder), plus
+// the selected model symbol for statistics.
+//
+// Wire format per element:
+//
+//	'1'                         — the temporal prediction is bit-exact
+//	                              (the dominant case in idle circuit
+//	                              regions; the paper's 1-bit scenario)
+//	'0' + selector + residual   — best-fit mode: 1 (D) or 2 (U/L) selector
+//	                              bits, then the window-coded XOR residual
+//	'0' + residual              — Markov mode: the selector is predicted
+//	                              from the decision history, no bits
+func (cc *chunkCoder) codeElement(w *bitstream.Writer, r *bitstream.Reader,
+	val float64, cands *[4]float64, nSyms int, prev *uint8,
+	table []uint8, counts func(prev, sym uint8)) (float64, uint8) {
+
+	if w != nil { // encode
+		if math.Float64bits(val) == math.Float64bits(cands[0]) {
+			w.WriteBit(1)
+			if cc.stats != nil {
+				cc.stats.Elements++
+				cc.stats.PayloadBits++
+				cc.stats.LZHist[8]++
+			}
+			*prev = 0
+			return val, 0
+		}
+		w.WriteBit(0)
+		var sym uint8
+		if cc.calib {
+			sym = bestSym(val, cands, nSyms)
+			bitsN := uint(2)
+			if nSyms == 2 {
+				bitsN = 1
+			}
+			w.WriteBits(uint64(sym), bitsN)
+			if counts != nil {
+				counts(*prev, sym)
+			}
+			if cc.stats != nil {
+				cc.stats.SelectorBits += int64(bitsN)
+			}
+		} else {
+			sym = table[*prev]
+		}
+		*prev = sym
+		cc.encodeResidual(w, val, cands[sym])
+		return val, sym
+	}
+	// decode
+	if r.ReadBit() == 1 {
+		*prev = 0
+		return cands[0], 0
+	}
+	var sym uint8
+	if cc.calib {
+		bitsN := uint(2)
+		if nSyms == 2 {
+			bitsN = 1
+		}
+		sym = uint8(r.ReadBits(bitsN))
+	} else {
+		sym = table[*prev]
+	}
+	*prev = sym
+	return cc.decodeResidual(r, cands[sym]), sym
+}
+
+// encode writes the chunk's three regions (U, L, D) to w.
+func (cc *chunkCoder) encode(w *bitstream.Writer) {
+	cc.runRegions(w, nil)
+}
+
+// decode fills cc.cur for the chunk's rows from r.
+func (cc *chunkCoder) decode(r *bitstream.Reader) error {
+	cc.runRegions(nil, r)
+	return r.Err()
+}
+
+// runRegions drives the shared encode/decode control flow. Exactly one of
+// w and r is non-nil.
+func (cc *chunkCoder) runRegions(w *bitstream.Writer, r *bitstream.Reader) {
+	pl := cc.plan
+	var cands [4]float64
+
+	countU := func(p, s uint8) { cc.counts.u[p][s]++ }
+	countL := func(p, s uint8) { cc.counts.l[p][s]++ }
+	countD := func(p, s uint8) { cc.counts.d[p][s]++ }
+	if cc.counts == nil {
+		countU, countL, countD = nil, nil, nil
+	}
+
+	// Region U.
+	cc.win = window{}
+	for k := pl.uRowPtr[cc.rowLo]; k < pl.uRowPtr[cc.rowHi]; k++ {
+		slot := pl.uSlots[k]
+		n := cc.candsU(slot, &cands)
+		var val float64
+		if w != nil {
+			val = cc.cur[slot]
+		}
+		v, sym := cc.codeElement(w, r, val, &cands, n, &cc.prevU, cc.tables.u[:], countU)
+		if r != nil {
+			cc.cur[slot] = v
+		} else if math.Float64bits(val) != math.Float64bits(cands[0]) {
+			cc.note(sym, regionU)
+		}
+	}
+
+	// Region L: per-row last-value chaining.
+	cc.win = window{}
+	for row := cc.rowLo; row < cc.rowHi; row++ {
+		lastVal := 0.0
+		haveLast := false
+		for k := pl.lRowPtr[row]; k < pl.lRowPtr[row+1]; k++ {
+			slot := pl.lSlots[k]
+			n := cc.candsL(slot, lastVal, haveLast, &cands)
+			var val float64
+			if w != nil {
+				val = cc.cur[slot]
+			}
+			v, sym := cc.codeElement(w, r, val, &cands, n, &cc.prevL, cc.tables.l[:], countL)
+			if r != nil {
+				cc.cur[slot] = v
+			} else if math.Float64bits(val) != math.Float64bits(cands[0]) {
+				cc.note(sym, regionL)
+			}
+			lastVal, haveLast = v, true
+		}
+	}
+
+	// Region D.
+	cc.win = window{}
+	for row := cc.rowLo; row < cc.rowHi; row++ {
+		slot := pl.diag[row]
+		if slot < 0 {
+			continue
+		}
+		n := cc.candsD(row, slot, &cands)
+		var val float64
+		if w != nil {
+			val = cc.cur[slot]
+		}
+		v, sym := cc.codeElement(w, r, val, &cands, n, &cc.prevD, cc.tables.d[:], countD)
+		if r != nil {
+			cc.cur[slot] = v
+		} else if math.Float64bits(val) != math.Float64bits(cands[0]) {
+			cc.note(sym, regionD)
+		}
+	}
+}
+
+type region int
+
+const (
+	regionU region = iota
+	regionL
+	regionD
+)
+
+// note maps a selector symbol to the paper's three model families for the
+// Figure-6 statistics. It is called only for selector-coded elements (the
+// temporal-exact fast path is tallied separately in codeElement).
+func (cc *chunkCoder) note(sym uint8, rg region) {
+	if cc.stats == nil {
+		return
+	}
+	cc.stats.Elements++
+	cc.stats.SelectorElements++
+	switch rg {
+	case regionU, regionD:
+		if sym == 0 {
+			cc.stats.Temporal++
+		} else {
+			cc.stats.Stamp++
+		}
+	case regionL:
+		switch sym {
+		case 0:
+			cc.stats.Temporal++
+		case 3:
+			cc.stats.LastValue++
+		default:
+			cc.stats.Stamp++
+		}
+	}
+}

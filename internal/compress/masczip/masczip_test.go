@@ -1,0 +1,437 @@
+package masczip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"masc/internal/sparse"
+)
+
+// mnaPattern builds an MNA-like symmetric-structure pattern: a ring of
+// two-terminal stamps plus random extra stamps, all with diagonals.
+func mnaPattern(rng *rand.Rand, n, extraStamps int) *sparse.Pattern {
+	b := sparse.NewBuilder(n)
+	stamp := func(i, j int32) {
+		b.Add(i, i)
+		b.Add(j, j)
+		b.Add(i, j)
+		b.Add(j, i)
+	}
+	for i := 0; i < n; i++ {
+		stamp(int32(i), int32((i+1)%n))
+	}
+	for e := 0; e < extraStamps; e++ {
+		i, j := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if i != j {
+			stamp(i, j)
+		}
+	}
+	return b.Build()
+}
+
+// mnaValues fills a value array with MNA-like structure: symmetric
+// off-diagonal values, diagonals ≈ negated row sums, plus noise.
+func mnaValues(rng *rand.Rand, p *sparse.Pattern, noise float64) []float64 {
+	v := make([]float64, p.NNZ())
+	tr := p.TransposeSlots()
+	diag := p.DiagSlots()
+	for i := int32(0); i < int32(p.N); i++ {
+		for k := p.RowPtr[i]; k < p.RowPtr[i+1]; k++ {
+			j := p.ColIdx[k]
+			if j <= i {
+				continue
+			}
+			g := -(1 + rng.Float64()*9) // off-diagonal conductance, negative
+			v[k] = g
+			if t := tr[k]; t >= 0 {
+				v[t] = g * (1 + noise*rng.NormFloat64())
+			}
+		}
+	}
+	for i := int32(0); i < int32(p.N); i++ {
+		d := diag[i]
+		if d < 0 {
+			continue
+		}
+		sum := 0.0
+		for k := p.RowPtr[i]; k < p.RowPtr[i+1]; k++ {
+			if k != d {
+				sum += v[k]
+			}
+		}
+		v[d] = -sum * (1 + noise*rng.NormFloat64())
+	}
+	return v
+}
+
+// evolve perturbs values multiplicatively, mimicking a Newton-converged
+// Jacobian at the next timestep.
+func evolve(rng *rand.Rand, v []float64, eps float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x * (1 + eps*rng.NormFloat64())
+	}
+	return out
+}
+
+func roundTrip(t *testing.T, c *Compressor, cur, ref []float64) []byte {
+	t.Helper()
+	blob := c.Compress(nil, cur, ref)
+	got := make([]float64, len(cur))
+	if err := c.Decompress(got, blob, ref); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	for i := range cur {
+		if math.Float64bits(got[i]) != math.Float64bits(cur[i]) {
+			t.Fatalf("value %d: got %x want %x", i, math.Float64bits(got[i]), math.Float64bits(cur[i]))
+		}
+	}
+	return blob
+}
+
+func TestRoundTripBestFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := mnaPattern(rng, 60, 100)
+	c := New(p, Options{})
+	ref := mnaValues(rng, p, 0.01)
+	cur := evolve(rng, ref, 1e-4)
+	roundTrip(t, c, cur, ref)
+}
+
+func TestRoundTripNilRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := mnaPattern(rng, 40, 60)
+	c := New(p, Options{})
+	cur := mnaValues(rng, p, 0.05)
+	roundTrip(t, c, cur, nil)
+}
+
+func TestRoundTripMarkovSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := mnaPattern(rng, 50, 80)
+	c := New(p, Options{Markov: true, CalibEvery: 4})
+	vals := mnaValues(rng, p, 0.02)
+	var ref []float64
+	// A chain of matrices exercises both calibration and markov blobs.
+	for step := 0; step < 10; step++ {
+		roundTrip(t, c, vals, ref)
+		ref = vals
+		vals = evolve(rng, vals, 1e-5)
+	}
+}
+
+func TestRoundTripParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := mnaPattern(rng, 200, 400)
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		c := New(p, Options{Workers: workers})
+		ref := mnaValues(rng, p, 0.01)
+		cur := evolve(rng, ref, 1e-4)
+		roundTrip(t, c, cur, ref)
+	}
+}
+
+func TestParallelBlobDecodableBySerial(t *testing.T) {
+	// The chunk layout is stored in the blob, so a compressor configured
+	// with different Workers must still decode it.
+	rng := rand.New(rand.NewSource(5))
+	p := mnaPattern(rng, 100, 200)
+	enc := New(p, Options{Workers: 7})
+	dec := New(p, Options{Workers: 1})
+	ref := mnaValues(rng, p, 0.01)
+	cur := evolve(rng, ref, 1e-3)
+	blob := enc.Compress(nil, cur, ref)
+	got := make([]float64, len(cur))
+	if err := dec.Decompress(got, blob, ref); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cur {
+		if got[i] != cur[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestAblationsStillLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := mnaPattern(rng, 60, 120)
+	opts := []Options{
+		{DisableStamp: true},
+		{DisableLastValue: true},
+		{DisableSharedWindow: true},
+		{DisableStamp: true, DisableLastValue: true, DisableSharedWindow: true},
+		{Markov: true, DisableStamp: true},
+	}
+	for oi, o := range opts {
+		c := New(p, o)
+		ref := mnaValues(rng, p, 0.02)
+		cur := evolve(rng, ref, 1e-4)
+		blob := c.Compress(nil, cur, ref)
+		got := make([]float64, len(cur))
+		if err := c.Decompress(got, blob, ref); err != nil {
+			t.Fatalf("option %d: %v", oi, err)
+		}
+		for i := range cur {
+			if got[i] != cur[i] {
+				t.Fatalf("option %d: mismatch at %d", oi, i)
+			}
+		}
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := mnaPattern(rng, 30, 40)
+	c := New(p, Options{})
+	cur := mnaValues(rng, p, 0.01)
+	cur[0] = math.NaN()
+	cur[1] = math.Inf(1)
+	cur[2] = math.Inf(-1)
+	cur[3] = 0
+	cur[4] = math.Copysign(0, -1)
+	cur[5] = math.SmallestNonzeroFloat64
+	cur[6] = math.MaxFloat64
+	ref := evolve(rng, cur, 1e-3)
+	ref[0] = 1 // don't let the NaN leak into ref arithmetic checks
+	blob := c.Compress(nil, cur, ref)
+	got := make([]float64, len(cur))
+	if err := c.Decompress(got, blob, ref); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cur {
+		if math.Float64bits(got[i]) != math.Float64bits(cur[i]) {
+			t.Fatalf("special value %d not bit-exact", i)
+		}
+	}
+}
+
+func TestCompressionRatioOnSmoothTensor(t *testing.T) {
+	// Temporally smooth MNA tensors must compress far below 8 bytes/value.
+	rng := rand.New(rand.NewSource(8))
+	p := mnaPattern(rng, 300, 600)
+	c := New(p, Options{})
+	vals := mnaValues(rng, p, 0.0)
+	var ref []float64
+	var total, raw int
+	for step := 0; step < 20; step++ {
+		blob := c.Compress(nil, vals, ref)
+		total += len(blob)
+		raw += 8 * len(vals)
+		ref = vals
+		// Only a subset of entries move, and only slightly — like a
+		// mildly nonlinear circuit between Newton-converged steps.
+		vals = append([]float64(nil), vals...)
+		for i := 0; i < len(vals)/10; i++ {
+			k := rng.Intn(len(vals))
+			vals[k] *= 1 + 1e-9*rng.NormFloat64()
+		}
+	}
+	cr := float64(raw) / float64(total)
+	if cr < 8 {
+		t.Fatalf("compression ratio %.2f too low for a smooth tensor", cr)
+	}
+}
+
+func TestMarkovSmallerThanBestFitOnStableData(t *testing.T) {
+	// When the same model keeps winning, Markov mode should spend fewer
+	// bits (no per-element selectors).
+	rng := rand.New(rand.NewSource(9))
+	p := mnaPattern(rng, 200, 300)
+	base := mnaValues(rng, p, 0.0)
+	seq := make([][]float64, 24)
+	for i := range seq {
+		seq[i] = evolve(rng, base, 1e-12)
+	}
+	size := func(opt Options) int {
+		c := New(p, opt)
+		total := 0
+		var ref []float64
+		for _, v := range seq {
+			total += len(c.Compress(nil, v, ref))
+			ref = v
+		}
+		return total
+	}
+	bf := size(Options{})
+	mk := size(Options{Markov: true, CalibEvery: 8})
+	if mk >= bf {
+		t.Fatalf("markov (%d bytes) not smaller than best-fit (%d bytes)", mk, bf)
+	}
+}
+
+func TestStatsCollected(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	p := mnaPattern(rng, 80, 150)
+	c := New(p, Options{CollectStats: true})
+	ref := mnaValues(rng, p, 0.01)
+	cur := evolve(rng, ref, 1e-6)
+	c.Compress(nil, cur, ref)
+	st := c.Stats()
+	if st.Elements != int64(p.NNZ()) {
+		t.Fatalf("stats cover %d elements, want %d", st.Elements, p.NNZ())
+	}
+	if st.Temporal+st.Stamp+st.LastValue != st.SelectorElements {
+		t.Fatalf("model families don't add up: %+v", st)
+	}
+	if st.SelectorElements > st.Elements {
+		t.Fatalf("selector elements exceed total: %+v", st)
+	}
+	var hist int64
+	for _, h := range st.LZHist {
+		hist += h
+	}
+	if hist != st.Elements {
+		t.Fatalf("LZ histogram covers %d of %d", hist, st.Elements)
+	}
+	c.ResetStats()
+	if c.Stats().Elements != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := mnaPattern(rng, 20, 30)
+	c := New(p, Options{})
+	cur := mnaValues(rng, p, 0.01)
+	blob := c.Compress(nil, cur, nil)
+	got := make([]float64, len(cur))
+	if err := c.Decompress(got, nil, nil); err == nil {
+		t.Fatal("expected error on empty blob")
+	}
+	if err := c.Decompress(got[:1], blob, nil); err == nil {
+		t.Fatal("expected error on wrong length")
+	}
+	if err := c.Decompress(got, blob[:3], nil); err == nil {
+		t.Fatal("expected error on truncated blob")
+	}
+	// A blob for a different pattern must be rejected by the sanity header.
+	p2 := mnaPattern(rng, 21, 30)
+	c2 := New(p2, Options{})
+	got2 := make([]float64, p2.NNZ())
+	if err := c2.Decompress(got2, blob, nil); err == nil {
+		t.Fatal("expected error on foreign blob")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, sz uint8, markov bool, workers uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz%50) + 4
+		p := mnaPattern(rng, n, n)
+		c := New(p, Options{Markov: markov, Workers: int(workers%5) + 1, CalibEvery: 3})
+		var ref []float64
+		for step := 0; step < 3; step++ {
+			cur := mnaValues(rng, p, 0.1)
+			blob := c.Compress(nil, cur, ref)
+			got := make([]float64, len(cur))
+			if err := c.Decompress(got, blob, ref); err != nil {
+				return false
+			}
+			for i := range cur {
+				if math.Float64bits(got[i]) != math.Float64bits(cur[i]) {
+					return false
+				}
+			}
+			ref = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := mnaPattern(rng, 2000, 6000)
+	c := New(p, Options{})
+	ref := mnaValues(rng, p, 0.01)
+	cur := evolve(rng, ref, 1e-6)
+	var blob []byte
+	b.SetBytes(int64(8 * len(cur)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob = c.Compress(blob[:0], cur, ref)
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := mnaPattern(rng, 2000, 6000)
+	c := New(p, Options{})
+	ref := mnaValues(rng, p, 0.01)
+	cur := evolve(rng, ref, 1e-6)
+	blob := c.Compress(nil, cur, ref)
+	got := make([]float64, len(cur))
+	b.SetBytes(int64(8 * len(cur)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Decompress(got, blob, ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCorruptedBlobNoPanic flips random bits/truncates blobs and requires
+// Decompress to fail cleanly or produce garbage — never panic or over-
+// allocate.
+func TestCorruptedBlobNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	p := mnaPattern(rng, 40, 60)
+	c := New(p, Options{Markov: true, CalibEvery: 2, Workers: 3})
+	ref := mnaValues(rng, p, 0.02)
+	cur := evolve(rng, ref, 1e-4)
+	c.Compress(nil, cur, ref) // advance to a markov matrix
+	blob := c.Compress(nil, cur, ref)
+	got := make([]float64, len(cur))
+	for trial := 0; trial < 300; trial++ {
+		mutated := append([]byte(nil), blob...)
+		switch trial % 3 {
+		case 0: // single bit flip
+			i := rng.Intn(len(mutated))
+			mutated[i] ^= 1 << uint(rng.Intn(8))
+		case 1: // truncation
+			mutated = mutated[:rng.Intn(len(mutated))]
+		case 2: // byte scramble in the header region
+			if len(mutated) > 4 {
+				mutated[rng.Intn(4)] = byte(rng.Intn(256))
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic: %v", trial, r)
+				}
+			}()
+			_ = c.Decompress(got, mutated, ref)
+		}()
+	}
+}
+
+// TestChunkLayoutIndependentOfDecoderWorkers: blobs carry their own chunk
+// layout; the decoder's Workers option must not matter.
+func TestChunkLayoutIndependentOfDecoderWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := mnaPattern(rng, 120, 200)
+	ref := mnaValues(rng, p, 0.01)
+	cur := evolve(rng, ref, 1e-5)
+	enc := New(p, Options{Workers: 5})
+	blob := enc.Compress(nil, cur, ref)
+	for _, w := range []int{1, 2, 8, 99} {
+		dec := New(p, Options{Workers: w})
+		got := make([]float64, len(cur))
+		if err := dec.Decompress(got, blob, ref); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range cur {
+			if got[i] != cur[i] {
+				t.Fatalf("workers=%d: mismatch at %d", w, i)
+			}
+		}
+	}
+}

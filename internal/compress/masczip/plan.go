@@ -1,0 +1,174 @@
+// Package masczip implements the MASC spatiotemporal compressor for sparse
+// Jacobian tensors (Li et al., DAC 2024). One Compressor instance is bound
+// to a sparsity Pattern — the paper's shared indices — and compresses the
+// per-timestep value arrays with three prediction models (temporal,
+// MNA-stamp spatial, last-value), best-fit or Markov model selection, and a
+// leading-zero-window XOR residual code.
+package masczip
+
+import (
+	"masc/internal/sparse"
+)
+
+// plan is the per-pattern precomputation shared by every matrix of a
+// tensor: region slot lists, stamp-mate tables and chunk balancing data.
+// Building it once per simulation is the computational realization of the
+// shared-indices idea.
+type plan struct {
+	pat   *sparse.Pattern
+	nnz   int
+	rowOf []int32 // row of each slot
+	tr    []int32 // slot of the transposed entry, -1 if absent
+	diag  []int32 // slot of (r,r) per row, -1 if absent
+
+	// Strictly-upper and strictly-lower slots in row-major order, with
+	// per-row pointers so any row range maps to contiguous subslices.
+	uSlots, lSlots   []int32
+	uRowPtr, lRowPtr []int32 // length n+1
+}
+
+func newPlan(p *sparse.Pattern) *plan {
+	n := int32(p.N)
+	pl := &plan{
+		pat:     p,
+		nnz:     p.NNZ(),
+		rowOf:   make([]int32, p.NNZ()),
+		tr:      p.TransposeSlots(),
+		diag:    p.DiagSlots(),
+		uRowPtr: make([]int32, n+1),
+		lRowPtr: make([]int32, n+1),
+	}
+	for i := int32(0); i < n; i++ {
+		for k := p.RowPtr[i]; k < p.RowPtr[i+1]; k++ {
+			pl.rowOf[k] = i
+			switch c := p.ColIdx[k]; {
+			case c > i:
+				pl.uSlots = append(pl.uSlots, k)
+			case c < i:
+				pl.lSlots = append(pl.lSlots, k)
+			}
+		}
+		pl.uRowPtr[i+1] = int32(len(pl.uSlots))
+		pl.lRowPtr[i+1] = int32(len(pl.lSlots))
+	}
+	return pl
+}
+
+// chunkRows partitions rows into at most w contiguous ranges of roughly
+// equal nnz. The result has len ≤ w+1 boundaries and is deterministic, so
+// encoder and decoder derive identical chunks from (pattern, w).
+func (pl *plan) chunkRows(w int) []int32 {
+	n := int32(pl.pat.N)
+	if w < 1 {
+		w = 1
+	}
+	if int32(w) > n {
+		w = int(n)
+	}
+	bounds := []int32{0}
+	total := int64(pl.nnz)
+	for c := 1; c < w; c++ {
+		target := total * int64(c) / int64(w)
+		// First row whose cumulative nnz passes the target.
+		row := bounds[len(bounds)-1]
+		for row < n && int64(pl.pat.RowPtr[row]) < target {
+			row++
+		}
+		if row > bounds[len(bounds)-1] {
+			bounds = append(bounds, row)
+		}
+	}
+	bounds = append(bounds, n)
+	return bounds
+}
+
+// Model-selector symbol spaces. Per region:
+//
+//	U: 0 temporal, 1 transpose (stamp), 2 -diag(row) (stamp), 3 -diag(col) (stamp)
+//	L: 0 temporal, 1 symmetric current transpose (stamp), 2 -diag(row) (stamp), 3 last value
+//	D: 0 temporal, 1 negated off-diagonal row sum (stamp)
+const (
+	uSyms = 4
+	lSyms = 4
+	dSyms = 2
+)
+
+// markovCounts is the decision-history table populated during best-fit
+// (calibration) matrices: counts[prev][next] transition frequencies.
+type markovCounts struct {
+	u [uSyms][uSyms]uint32
+	l [lSyms][lSyms]uint32
+	d [dSyms][dSyms]uint32
+}
+
+func (m *markovCounts) merge(o *markovCounts) {
+	for i := range m.u {
+		for j := range m.u[i] {
+			m.u[i][j] += o.u[i][j]
+		}
+	}
+	for i := range m.l {
+		for j := range m.l[i] {
+			m.l[i][j] += o.l[i][j]
+		}
+	}
+	for i := range m.d {
+		for j := range m.d[i] {
+			m.d[i][j] += o.d[i][j]
+		}
+	}
+}
+
+// markovTables is the frozen argmax policy derived from counts; 18 bits
+// are stored in every Markov-mode blob so the decoder (which runs in
+// reverse order) needs no encoder-side state.
+type markovTables struct {
+	u [uSyms]uint8
+	l [lSyms]uint8
+	d [dSyms]uint8
+}
+
+func argmaxRow(row []uint32) uint8 {
+	best, bi := uint32(0), 0
+	for i, v := range row {
+		if v > best {
+			best = v
+			bi = i
+		}
+	}
+	return uint8(bi)
+}
+
+func (m *markovCounts) tables() markovTables {
+	var t markovTables
+	for i := range m.u {
+		t.u[i] = argmaxRow(m.u[i][:])
+	}
+	for i := range m.l {
+		t.l[i] = argmaxRow(m.l[i][:])
+	}
+	for i := range m.d {
+		t.d[i] = argmaxRow(m.d[i][:])
+	}
+	return t
+}
+
+// pack/unpack move the 18-bit policy through a byte header.
+func (t *markovTables) pack() [3]byte {
+	var b [3]byte
+	b[0] = t.u[0] | t.u[1]<<2 | t.u[2]<<4 | t.u[3]<<6
+	b[1] = t.l[0] | t.l[1]<<2 | t.l[2]<<4 | t.l[3]<<6
+	b[2] = t.d[0] | t.d[1]<<1
+	return b
+}
+
+func unpackTables(b [3]byte) markovTables {
+	var t markovTables
+	for i := 0; i < 4; i++ {
+		t.u[i] = (b[0] >> (2 * i)) & 3
+		t.l[i] = (b[1] >> (2 * i)) & 3
+	}
+	t.d[0] = b[2] & 1
+	t.d[1] = (b[2] >> 1) & 1
+	return t
+}

@@ -1,0 +1,115 @@
+// Package ndzipz is an NDZIP-family baseline (Knorr et al., DCC'21): an
+// integer-Lorenzo transform (XOR with the previous element), bit
+// transposition of 64-value blocks (a 64×64 bit-matrix transpose), and
+// zero-word run suppression via a per-block bitmap. NDZIP targets
+// grid-structured HPC data; on sparse-Jacobian value streams its shuffle
+// rarely produces zero words, reproducing the paper's CR ≈ 1 result.
+package ndzipz
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Compressor implements compress.Compressor.
+type Compressor struct{}
+
+// New returns an NDZIP-like codec.
+func New() *Compressor { return &Compressor{} }
+
+// Name implements compress.Compressor.
+func (c *Compressor) Name() string { return "ndzip" }
+
+// Lossless implements compress.Compressor.
+func (c *Compressor) Lossless() bool { return true }
+
+const blockVals = 64
+
+// transpose64 transposes a 64×64 bit matrix in place
+// (Hacker's Delight §7-3, block-swap form).
+func transpose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := uint(32); j != 0; j >>= 1 {
+		for k := 0; k < 64; k = ((k | int(j)) + 1) &^ int(j) {
+			t := (a[k] ^ (a[k|int(j)] >> j)) & m
+			a[k] ^= t
+			a[k|int(j)] ^= t << j
+		}
+		// The mask for the next (halved) block size.
+		m ^= m << (j >> 1)
+	}
+}
+
+// Compress implements compress.Compressor. ref is ignored.
+func (c *Compressor) Compress(dst []byte, cur, ref []float64) []byte {
+	var prev uint64
+	var blk [64]uint64
+	n := len(cur)
+	for base := 0; base < n; base += blockVals {
+		m := n - base
+		if m > blockVals {
+			m = blockVals
+		}
+		for i := 0; i < m; i++ {
+			b := math.Float64bits(cur[base+i])
+			blk[i] = b ^ prev
+			prev = b
+		}
+		for i := m; i < blockVals; i++ {
+			blk[i] = 0
+		}
+		transpose64(&blk)
+		// Bitmap of nonzero words followed by the nonzero words.
+		var bitmap uint64
+		for i, w := range blk {
+			if w != 0 {
+				bitmap |= 1 << uint(i)
+			}
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, bitmap)
+		for _, w := range blk {
+			if w != 0 {
+				dst = binary.LittleEndian.AppendUint64(dst, w)
+			}
+		}
+	}
+	return dst
+}
+
+// Decompress implements compress.Compressor.
+func (c *Compressor) Decompress(cur []float64, blob []byte, ref []float64) error {
+	var prev uint64
+	var blk [64]uint64
+	off := 0
+	n := len(cur)
+	for base := 0; base < n; base += blockVals {
+		if off+8 > len(blob) {
+			return fmt.Errorf("ndzipz: truncated bitmap at element %d", base)
+		}
+		bitmap := binary.LittleEndian.Uint64(blob[off:])
+		off += 8
+		for i := 0; i < blockVals; i++ {
+			if bitmap&(1<<uint(i)) != 0 {
+				if off+8 > len(blob) {
+					return fmt.Errorf("ndzipz: truncated word at element %d", base)
+				}
+				blk[i] = binary.LittleEndian.Uint64(blob[off:])
+				off += 8
+			} else {
+				blk[i] = 0
+			}
+		}
+		transpose64(&blk)
+		m := n - base
+		if m > blockVals {
+			m = blockVals
+		}
+		for i := 0; i < m; i++ {
+			b := blk[i] ^ prev
+			prev = b
+			cur[base+i] = math.Float64frombits(b)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package ndzipz
+
+import (
+	"math/rand"
+	"testing"
+
+	"masc/internal/compress/codectest"
+)
+
+func TestConformance(t *testing.T) {
+	codectest.RunLossless(t, New())
+	codectest.RunAppend(t, New())
+}
+
+func TestTranspose64Involution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var a, b [64]uint64
+	for i := range a {
+		a[i] = rng.Uint64()
+	}
+	b = a
+	transpose64(&b)
+	// Spot-check the transpose property: bit (i,j) of b equals (j,i) of a.
+	for i := 0; i < 64; i += 7 {
+		for j := 0; j < 64; j += 5 {
+			orig := (a[i] >> uint(63-j)) & 1
+			tr := (b[j] >> uint(63-i)) & 1
+			if orig != tr {
+				t.Fatalf("transpose wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	transpose64(&b)
+	if a != b {
+		t.Fatal("transpose is not an involution")
+	}
+}
+
+func TestConstantBlockShrinks(t *testing.T) {
+	// A constant stream XORs to zero after the first value: the shuffle
+	// produces mostly zero words, so blocks collapse to their bitmaps.
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = 7.5
+	}
+	blob := New().Compress(nil, vals, nil)
+	if len(blob)*4 > 8*len(vals) {
+		t.Fatalf("constant stream compressed to %d of %d bytes", len(blob), 8*len(vals))
+	}
+}
+
+func TestTruncatedBlob(t *testing.T) {
+	c := New()
+	blob := c.Compress(nil, []float64{1, 2, 3, 4}, nil)
+	got := make([]float64, 4)
+	if err := c.Decompress(got, blob[:4], nil); err == nil {
+		t.Fatal("expected error on truncated blob")
+	}
+	if err := c.Decompress(got, nil, nil); err == nil {
+		t.Fatal("expected error on empty blob")
+	}
+}

@@ -1,0 +1,157 @@
+// Package parallelz wraps any pattern-free codec with chunk parallelism:
+// the value array is split into contiguous chunks compressed by independent
+// goroutines, mirroring the OpenMP parallelization of the paper's §6.4 for
+// the baseline codecs. (MASC itself parallelizes internally with
+// row-aligned chunks; this wrapper is for stream codecs like gzip, fpzip
+// or chimp whose state simply restarts per chunk.)
+package parallelz
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"masc/internal/compress"
+)
+
+// Compressor implements compress.Compressor by fanning out to an inner
+// codec factory. A factory (rather than a shared instance) keeps per-chunk
+// state isolated without demanding thread safety from the inner codec.
+type Compressor struct {
+	newInner func() compress.Compressor
+	workers  int
+	name     string
+	lossless bool
+}
+
+// New wraps the codec produced by factory with `workers`-way chunking.
+func New(factory func() compress.Compressor, workers int) *Compressor {
+	if workers < 1 {
+		workers = 1
+	}
+	probe := factory()
+	return &Compressor{
+		newInner: factory,
+		workers:  workers,
+		name:     fmt.Sprintf("parallel(%s,%d)", probe.Name(), workers),
+		lossless: probe.Lossless(),
+	}
+}
+
+// Name implements compress.Compressor.
+func (c *Compressor) Name() string { return c.name }
+
+// Lossless implements compress.Compressor.
+func (c *Compressor) Lossless() bool { return c.lossless }
+
+// bounds returns the w-way chunk boundaries for n values.
+func bounds(n, w int) []int {
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	b := make([]int, w+1)
+	for i := 0; i <= w; i++ {
+		b[i] = i * n / w
+	}
+	return b
+}
+
+// Compress implements compress.Compressor.
+func (c *Compressor) Compress(dst []byte, cur, ref []float64) []byte {
+	bounds := bounds(len(cur), c.workers)
+	nchunks := len(bounds) - 1
+	payloads := make([][]byte, nchunks)
+	var wg sync.WaitGroup
+	for i := 0; i < nchunks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lo, hi := bounds[i], bounds[i+1]
+			var r []float64
+			if ref != nil {
+				r = ref[lo:hi]
+			}
+			payloads[i] = c.newInner().Compress(nil, cur[lo:hi], r)
+		}(i)
+	}
+	wg.Wait()
+	dst = binary.AppendUvarint(dst, uint64(len(cur)))
+	dst = binary.AppendUvarint(dst, uint64(nchunks))
+	for _, p := range payloads {
+		dst = binary.AppendUvarint(dst, uint64(len(p)))
+	}
+	for _, p := range payloads {
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+// Decompress implements compress.Compressor.
+func (c *Compressor) Decompress(cur []float64, blob []byte, ref []float64) error {
+	n64, k := binary.Uvarint(blob)
+	if k <= 0 {
+		return fmt.Errorf("parallelz: bad header")
+	}
+	off := k
+	if int(n64) != len(cur) {
+		return fmt.Errorf("parallelz: blob holds %d values, want %d", n64, len(cur))
+	}
+	nc64, k := binary.Uvarint(blob[off:])
+	if k <= 0 {
+		return fmt.Errorf("parallelz: bad chunk count")
+	}
+	off += k
+	nchunks := int(nc64)
+	if nchunks < 1 || nchunks > len(cur)+1 {
+		return fmt.Errorf("parallelz: implausible chunk count %d", nchunks)
+	}
+	lens := make([]int, nchunks)
+	for i := range lens {
+		l, k := binary.Uvarint(blob[off:])
+		if k <= 0 {
+			return fmt.Errorf("parallelz: bad chunk length %d", i)
+		}
+		if l > uint64(len(blob)) {
+			return fmt.Errorf("parallelz: chunk %d length %d exceeds blob", i, l)
+		}
+		off += k
+		lens[i] = int(l)
+	}
+	starts := make([]int, nchunks)
+	for i := range lens {
+		starts[i] = off
+		off += lens[i]
+	}
+	if off > len(blob) {
+		return fmt.Errorf("parallelz: truncated payload")
+	}
+	// The encoder's chunk count is authoritative from the blob.
+	bounds := bounds(len(cur), nchunks)
+	if len(bounds)-1 != nchunks {
+		return fmt.Errorf("parallelz: chunk layout mismatch")
+	}
+	errs := make([]error, nchunks)
+	var wg sync.WaitGroup
+	for i := 0; i < nchunks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lo, hi := bounds[i], bounds[i+1]
+			var r []float64
+			if ref != nil {
+				r = ref[lo:hi]
+			}
+			errs[i] = c.newInner().Decompress(cur[lo:hi], blob[starts[i]:starts[i]+lens[i]], r)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("parallelz: chunk %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package parallelz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"masc/internal/compress"
+	"masc/internal/compress/chimpz"
+	"masc/internal/compress/codectest"
+	"masc/internal/compress/fpzipz"
+	"masc/internal/compress/gzipz"
+)
+
+func factories() map[string]func() compress.Compressor {
+	return map[string]func() compress.Compressor{
+		"gzip":  func() compress.Compressor { return gzipz.New() },
+		"fpzip": func() compress.Compressor { return fpzipz.New() },
+		"chimp": func() compress.Compressor { return chimpz.NewTemporal() },
+	}
+}
+
+func TestConformanceAllInners(t *testing.T) {
+	for name, mk := range factories() {
+		for _, w := range []int{1, 2, 4, 7} {
+			c := New(mk, w)
+			t.Run(c.Name(), func(t *testing.T) {
+				codectest.RunLossless(t, c)
+				codectest.RunAppend(t, c)
+			})
+		}
+		_ = name
+	}
+}
+
+func TestCrossWorkerDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]float64, 5000)
+	ref := make([]float64, 5000)
+	for i := range vals {
+		ref[i] = rng.NormFloat64()
+		vals[i] = ref[i] * (1 + 1e-9*rng.NormFloat64())
+	}
+	enc := New(func() compress.Compressor { return chimpz.NewTemporal() }, 5)
+	blob := enc.Compress(nil, vals, ref)
+	// A decoder configured with a different worker count must still work:
+	// the chunk layout travels in the blob.
+	dec := New(func() compress.Compressor { return chimpz.NewTemporal() }, 2)
+	got := make([]float64, len(vals))
+	if err := dec.Decompress(got, blob, ref); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestCorruptBlobs(t *testing.T) {
+	c := New(func() compress.Compressor { return gzipz.New() }, 3)
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	blob := c.Compress(nil, vals, nil)
+	got := make([]float64, len(vals))
+	if err := c.Decompress(got, nil, nil); err == nil {
+		t.Fatal("expected error on empty blob")
+	}
+	if err := c.Decompress(got[:2], blob, nil); err == nil {
+		t.Fatal("expected error on wrong length")
+	}
+	if err := c.Decompress(got, blob[:4], nil); err == nil {
+		t.Fatal("expected error on truncated blob")
+	}
+}
+
+func TestNameAndLosslessPropagate(t *testing.T) {
+	c := New(func() compress.Compressor { return gzipz.New() }, 4)
+	if c.Name() != "parallel(gzip,4)" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	if !c.Lossless() {
+		t.Fatal("gzip wrapper must report lossless")
+	}
+}

@@ -1,0 +1,70 @@
+package spicemate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"masc/internal/compress/codectest"
+)
+
+func TestConformanceLossy(t *testing.T) {
+	codectest.RunLossy(t, New(), 1e-6)
+	codectest.RunAppend(t, New())
+}
+
+func TestTightToleranceIsNearlyLossless(t *testing.T) {
+	c := NewWithTolerance(1e-15)
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 1e6
+	}
+	blob := c.Compress(nil, vals, nil)
+	got := make([]float64, len(vals))
+	if err := c.Decompress(got, blob, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if math.Abs(got[i]-vals[i]) > 1e-15*math.Abs(vals[i]) {
+			t.Fatalf("value %d: %g vs %g", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestLooserToleranceCompressesBetter(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = (1 + rng.Float64()) * 1e-9
+	}
+	tight := NewWithTolerance(1e-12).Compress(nil, vals, nil)
+	loose := NewWithTolerance(1e-3).Compress(nil, vals, nil)
+	if len(loose) >= len(tight) {
+		t.Fatalf("loose tolerance (%d bytes) not smaller than tight (%d bytes)", len(loose), len(tight))
+	}
+}
+
+func TestNotLossless(t *testing.T) {
+	if New().Lossless() {
+		t.Fatal("spicemate must report itself lossy")
+	}
+}
+
+func TestBadToleranceDefaults(t *testing.T) {
+	for _, tol := range []float64{0, -1, 2} {
+		c := NewWithTolerance(tol)
+		if c.RelTol != 1e-6 {
+			t.Fatalf("tolerance %g should default to 1e-6, got %g", tol, c.RelTol)
+		}
+	}
+}
+
+func TestTruncatedBlob(t *testing.T) {
+	c := New()
+	blob := c.Compress(nil, []float64{1, 2, 3}, nil)
+	got := make([]float64, 3)
+	if err := c.Decompress(got, blob[:1], nil); err == nil {
+		t.Fatal("expected error on truncated blob")
+	}
+}

@@ -1,0 +1,182 @@
+package device
+
+// BJT is an Ebers–Moll bipolar transistor (EM3 form) with constant junction
+// capacitances. NPN polarity by default; PNP mirrors all junction voltages
+// and terminal currents.
+//
+//	iC =  Is·(e_be - e_bc) - (Is/BR)·(e_bc - 1)
+//	iB =  (Is/BF)·(e_be - 1) + (Is/BR)·(e_bc - 1)
+//	iE = -(iC + iB)
+//
+// where e_be = exp(v_be/Vt), e_bc = exp(v_bc/Vt), with Gmin in parallel
+// with both junctions and the exponentials continued linearly.
+type BJT struct {
+	Name    string
+	C, B, E int32
+	PNP     bool
+	Is      float64
+	BF, BR  float64
+	CJE     float64 // zero-bias B-E depletion capacitance
+	CJC     float64 // zero-bias B-C depletion capacitance
+	TF      float64 // forward transit time (B-E diffusion charge)
+	VAF     float64 // forward Early voltage; 0 disables the Early effect
+	Gmin    float64
+
+	// G slots: rows {C,B,E} × cols {C,B,E}.
+	gs [9]int32
+	// C slots for the two junction caps.
+	be, bc pairStamp
+}
+
+// NewBJT returns an NPN transistor with textbook defaults.
+func NewBJT(name string, c, b, e int32) *BJT {
+	return &BJT{
+		Name: name, C: c, B: b, E: e,
+		Is: 1e-16, BF: 100, BR: 1,
+		CJE: 1e-12, CJC: 0.5e-12, TF: 4e-10, Gmin: 1e-12,
+	}
+}
+
+// Label implements Device.
+func (q *BJT) Label() string { return q.Name }
+
+func (q *BJT) nodes() [3]int32 { return [3]int32{q.C, q.B, q.E} }
+
+// Collect implements Device.
+func (q *BJT) Collect(pc *PatternCollector) {
+	n := q.nodes()
+	for _, r := range n {
+		for _, c := range n {
+			pc.AddG(r, c)
+		}
+	}
+	q.be.collectC(pc, q.B, q.E)
+	q.bc.collectC(pc, q.B, q.C)
+}
+
+// Bind implements Device.
+func (q *BJT) Bind(sb *SlotBinder) {
+	n := q.nodes()
+	for ri, r := range n {
+		for ci, c := range n {
+			q.gs[ri*3+ci] = sb.G(r, c)
+		}
+	}
+	q.be.bindC(sb, q.B, q.E)
+	q.bc.bindC(sb, q.B, q.C)
+}
+
+// sign returns +1 for NPN, -1 for PNP.
+func (q *BJT) sign() float64 {
+	if q.PNP {
+		return -1
+	}
+	return 1
+}
+
+// junctions evaluates both junction exponentials at the present state.
+func (q *BJT) junctions(ev *EvalState) (vbe, vbc, ef, def, er, der float64) {
+	s := q.sign()
+	vbe = s * (ev.V(q.B) - ev.V(q.E))
+	vbc = s * (ev.V(q.B) - ev.V(q.C))
+	ef, def = limexp(vbe / Vt)
+	er, der = limexp(vbc / Vt)
+	return
+}
+
+// Eval implements Device.
+func (q *BJT) Eval(ev *EvalState) {
+	s := q.sign()
+	vbe, vbc, ef, def, er, der := q.junctions(ev)
+
+	// Early effect: the transport current scales with κ = 1 − vbc/VAF
+	// (base-width modulation); VAF = 0 disables it.
+	kap, dKap := 1.0, 0.0
+	if q.VAF != 0 {
+		kap = 1 - vbc/q.VAF
+		dKap = -1 / q.VAF
+	}
+	iT := q.Is * (ef - er) * kap
+	iC := iT - (q.Is/q.BR)*(er-1) + q.Gmin*(-vbc)
+	iB := (q.Is/q.BF)*(ef-1) + (q.Is/q.BR)*(er-1) + q.Gmin*(vbe+vbc)
+	// Derivatives w.r.t. vbe and vbc.
+	dICdVbe := q.Is * def / Vt * kap
+	dICdVbc := -q.Is*der/Vt*kap + q.Is*(ef-er)*dKap -
+		(q.Is/q.BR)*der/Vt - q.Gmin
+	dIBdVbe := (q.Is/q.BF)*def/Vt + q.Gmin
+	dIBdVbc := (q.Is/q.BR)*der/Vt + q.Gmin
+
+	ev.AddF(q.C, s*iC)
+	ev.AddF(q.B, s*iB)
+	ev.AddF(q.E, -s*(iC+iB))
+
+	// Chain rule: vbe = s(vB - vE), vbc = s(vB - vC); terminal current
+	// rows are also scaled by s, so the s² factors cancel in G.
+	// d(s·iC)/dvX and friends, for X ∈ {C,B,E}:
+	diC := [3]float64{-dICdVbc, dICdVbe + dICdVbc, -dICdVbe} // cols C,B,E
+	diB := [3]float64{-dIBdVbc, dIBdVbe + dIBdVbc, -dIBdVbe}
+	for ci := 0; ci < 3; ci++ {
+		ev.AddG(q.gs[0*3+ci], diC[ci])              // row C
+		ev.AddG(q.gs[1*3+ci], diB[ci])              // row B
+		ev.AddG(q.gs[2*3+ci], -(diC[ci] + diB[ci])) // row E
+	}
+
+	// Junction charges: depletion capacitance on both junctions plus the
+	// forward diffusion charge TF·iF on B-E. Charges are evaluated in the
+	// polarity frame and mirrored through s; the capacitance stamps are
+	// polarity-independent (the s factors cancel).
+	je := Junction{CJ0: q.CJE, VJ: 0.75, M: 0.33, FC: 0.5, TT: q.TF}
+	jc := Junction{CJ0: q.CJC, VJ: 0.75, M: 0.33, FC: 0.5}
+	iF := q.Is * (ef - 1)
+	gF := q.Is * def / Vt
+	qbe, cbe := je.Charge(vbe, iF, gF)
+	qbc, cbc := jc.Charge(vbc, 0, 0)
+	ev.AddQ(q.B, s*(qbe+qbc))
+	ev.AddQ(q.E, -s*qbe)
+	ev.AddQ(q.C, -s*qbc)
+	q.be.addC(ev, cbe)
+	q.bc.addC(ev, cbc)
+}
+
+// Params implements Device: saturation current and forward beta.
+func (q *BJT) Params() []ParamInfo {
+	return []ParamInfo{
+		{
+			Name: q.Name + ".is",
+			Get:  func() float64 { return q.Is },
+			Set:  func(v float64) { q.Is = v },
+		},
+		{
+			Name: q.Name + ".bf",
+			Get:  func() float64 { return q.BF },
+			Set:  func(v float64) { q.BF = v },
+		},
+	}
+}
+
+// AddParamSens implements Device.
+func (q *BJT) AddParamSens(pi int, ev *EvalState, acc *SensAccum) {
+	s := q.sign()
+	_, _, ef, _, er, _ := q.junctions(ev)
+	kap := 1.0
+	if q.VAF != 0 {
+		_, vbc, _, _, _, _ := q.junctions(ev)
+		kap = 1 - vbc/q.VAF
+	}
+	switch pi {
+	case 0: // Is
+		diC := (ef-er)*kap - (er-1)/q.BR
+		diB := (ef-1)/q.BF + (er-1)/q.BR
+		acc.AddDF(q.C, s*diC)
+		acc.AddDF(q.B, s*diB)
+		acc.AddDF(q.E, -s*(diC+diB))
+		// Diffusion charge: ∂(TF·Is(ef-1))/∂Is.
+		dq := q.TF * (ef - 1)
+		acc.AddDQ(q.B, s*dq)
+		acc.AddDQ(q.E, -s*dq)
+	case 1: // BF
+		diB := -q.Is * (ef - 1) / (q.BF * q.BF)
+		acc.AddDF(q.B, s*diB)
+		acc.AddDF(q.E, -s*diB)
+	}
+}

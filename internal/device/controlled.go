@@ -1,0 +1,124 @@
+package device
+
+// VCCS is a voltage-controlled current source (SPICE G element): a current
+// Gm·(v(CP) - v(CN)) flows from P through the source into N.
+type VCCS struct {
+	Name   string
+	P, N   int32 // output terminals
+	CP, CN int32 // controlling node pair
+	Gm     float64
+
+	sPCP, sPCN, sNCP, sNCN int32
+}
+
+// Label implements Device.
+func (g *VCCS) Label() string { return g.Name }
+
+// Collect implements Device.
+func (g *VCCS) Collect(pc *PatternCollector) {
+	pc.AddG(g.P, g.CP)
+	pc.AddG(g.P, g.CN)
+	pc.AddG(g.N, g.CP)
+	pc.AddG(g.N, g.CN)
+}
+
+// Bind implements Device.
+func (g *VCCS) Bind(sb *SlotBinder) {
+	g.sPCP = sb.G(g.P, g.CP)
+	g.sPCN = sb.G(g.P, g.CN)
+	g.sNCP = sb.G(g.N, g.CP)
+	g.sNCN = sb.G(g.N, g.CN)
+}
+
+// Eval implements Device.
+func (g *VCCS) Eval(ev *EvalState) {
+	vc := ev.V(g.CP) - ev.V(g.CN)
+	i := g.Gm * vc
+	ev.AddF(g.P, i)
+	ev.AddF(g.N, -i)
+	ev.AddG(g.sPCP, g.Gm)
+	ev.AddG(g.sPCN, -g.Gm)
+	ev.AddG(g.sNCP, -g.Gm)
+	ev.AddG(g.sNCN, g.Gm)
+}
+
+// Params implements Device: the transconductance.
+func (g *VCCS) Params() []ParamInfo {
+	return []ParamInfo{{
+		Name: g.Name + ".gm",
+		Get:  func() float64 { return g.Gm },
+		Set:  func(v float64) { g.Gm = v },
+	}}
+}
+
+// AddParamSens implements Device: ∂i/∂Gm = v(CP) - v(CN).
+func (g *VCCS) AddParamSens(pi int, ev *EvalState, acc *SensAccum) {
+	vc := ev.V(g.CP) - ev.V(g.CN)
+	acc.AddDF(g.P, vc)
+	acc.AddDF(g.N, -vc)
+}
+
+// VCVS is a voltage-controlled voltage source (SPICE E element) with a
+// branch-current unknown: row Br enforces v(P)-v(N) = Gain·(v(CP)-v(CN)).
+type VCVS struct {
+	Name   string
+	P, N   int32
+	CP, CN int32
+	Br     int32
+	Gain   float64
+
+	sPBr, sNBr, sBrP, sBrN, sBrCP, sBrCN, sBrBr int32
+}
+
+// Label implements Device.
+func (e *VCVS) Label() string { return e.Name }
+
+// Collect implements Device.
+func (e *VCVS) Collect(pc *PatternCollector) {
+	pc.AddG(e.P, e.Br)
+	pc.AddG(e.N, e.Br)
+	pc.AddG(e.Br, e.P)
+	pc.AddG(e.Br, e.N)
+	pc.AddG(e.Br, e.CP)
+	pc.AddG(e.Br, e.CN)
+	pc.AddG(e.Br, e.Br)
+}
+
+// Bind implements Device.
+func (e *VCVS) Bind(sb *SlotBinder) {
+	e.sPBr = sb.G(e.P, e.Br)
+	e.sNBr = sb.G(e.N, e.Br)
+	e.sBrP = sb.G(e.Br, e.P)
+	e.sBrN = sb.G(e.Br, e.N)
+	e.sBrCP = sb.G(e.Br, e.CP)
+	e.sBrCN = sb.G(e.Br, e.CN)
+	e.sBrBr = sb.G(e.Br, e.Br)
+}
+
+// Eval implements Device.
+func (e *VCVS) Eval(ev *EvalState) {
+	i := ev.X[e.Br]
+	ev.AddF(e.P, i)
+	ev.AddF(e.N, -i)
+	ev.AddF(e.Br, (ev.V(e.P)-ev.V(e.N))-e.Gain*(ev.V(e.CP)-ev.V(e.CN)))
+	ev.AddG(e.sPBr, 1)
+	ev.AddG(e.sNBr, -1)
+	ev.AddG(e.sBrP, 1)
+	ev.AddG(e.sBrN, -1)
+	ev.AddG(e.sBrCP, -e.Gain)
+	ev.AddG(e.sBrCN, e.Gain)
+}
+
+// Params implements Device: the voltage gain.
+func (e *VCVS) Params() []ParamInfo {
+	return []ParamInfo{{
+		Name: e.Name + ".gain",
+		Get:  func() float64 { return e.Gain },
+		Set:  func(v float64) { e.Gain = v },
+	}}
+}
+
+// AddParamSens implements Device: ∂f[Br]/∂Gain = -(v(CP) - v(CN)).
+func (e *VCVS) AddParamSens(pi int, ev *EvalState, acc *SensAccum) {
+	acc.AddDF(e.Br, -(ev.V(e.CP) - ev.V(e.CN)))
+}

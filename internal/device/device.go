@@ -1,0 +1,254 @@
+// Package device implements the circuit element models of the simulator:
+// linear R/C/L, independent sources with standard SPICE waveforms, and the
+// nonlinear diode, BJT (Ebers–Moll) and level-1 MOSFET models. Every device
+// contributes to the MNA system
+//
+//	d/dt q(x,p) + f(x,t,p) = 0
+//
+// through three hooks: Collect reports which (i,j) Jacobian entries the
+// device touches (the shared-indices pattern of the MASC paper is the union
+// of all stamps), Bind resolves those entries to value-array slots once, and
+// Eval adds the device's f, q, G=∂f/∂x and C=∂q/∂x contributions. Analytic
+// parameter derivatives (∂f/∂p, ∂q/∂p) are exposed for sensitivity analysis.
+//
+// Node index conventions: indices are global unknown indices; -1 is ground.
+// All stamping helpers silently drop ground rows and columns.
+package device
+
+import (
+	"math"
+
+	"masc/internal/sparse"
+)
+
+// Ground is the node index of the reference node; its row and column are
+// not part of the MNA system.
+const Ground int32 = -1
+
+// Vt is the thermal voltage kT/q at 300 K, in volts.
+const Vt = 0.025852
+
+// expLimit is the junction-voltage/Vt ratio beyond which exponentials are
+// continued linearly to keep Newton iterations finite.
+const expLimit = 40.0
+
+// limexp is exp(u) with a C¹ linear continuation above expLimit, the
+// standard SPICE trick for taming junction exponentials.
+func limexp(u float64) (e, de float64) {
+	if u <= expLimit {
+		e = math.Exp(u)
+		return e, e
+	}
+	em := math.Exp(expLimit)
+	return em * (1 + (u - expLimit)), em
+}
+
+// PatternCollector gathers structural Jacobian entries during setup.
+type PatternCollector struct {
+	G *sparse.Builder // entries of ∂f/∂x
+	C *sparse.Builder // entries of ∂q/∂x
+}
+
+// AddG records a ∂f/∂x entry, ignoring ground.
+func (pc *PatternCollector) AddG(i, j int32) {
+	if i >= 0 && j >= 0 {
+		pc.G.Add(i, j)
+	}
+}
+
+// AddC records a ∂q/∂x entry, ignoring ground.
+func (pc *PatternCollector) AddC(i, j int32) {
+	if i >= 0 && j >= 0 {
+		pc.C.Add(i, j)
+	}
+}
+
+// SlotBinder resolves structural entries to value slots after the patterns
+// are frozen.
+type SlotBinder struct {
+	GPat, CPat *sparse.Pattern
+}
+
+// G returns the slot of entry (i,j) in the G pattern, or -1 for ground.
+func (sb *SlotBinder) G(i, j int32) int32 {
+	if i < 0 || j < 0 {
+		return -1
+	}
+	return sb.GPat.Find(i, j)
+}
+
+// C returns the slot of entry (i,j) in the C pattern, or -1 for ground.
+func (sb *SlotBinder) C(i, j int32) int32 {
+	if i < 0 || j < 0 {
+		return -1
+	}
+	return sb.CPat.Find(i, j)
+}
+
+// EvalState carries the inputs and accumulation targets of a device
+// evaluation. F/Q/Gv/Cv are cleared by the caller before the device sweep.
+type EvalState struct {
+	X  []float64 // current state (node voltages, branch currents)
+	T  float64   // simulation time
+	F  []float64 // += f(x,t)
+	Q  []float64 // += q(x)
+	Gv []float64 // += ∂f/∂x values on the shared G pattern
+	Cv []float64 // += ∂q/∂x values on the shared C pattern
+}
+
+// V returns the state entry for node n (0 for ground).
+func (ev *EvalState) V(n int32) float64 {
+	if n < 0 {
+		return 0
+	}
+	return ev.X[n]
+}
+
+// AddF accumulates into f, ignoring ground rows.
+func (ev *EvalState) AddF(n int32, v float64) {
+	if n >= 0 {
+		ev.F[n] += v
+	}
+}
+
+// AddQ accumulates into q, ignoring ground rows.
+func (ev *EvalState) AddQ(n int32, v float64) {
+	if n >= 0 {
+		ev.Q[n] += v
+	}
+}
+
+// AddG accumulates a Jacobian value; slot -1 (ground) is dropped.
+func (ev *EvalState) AddG(slot int32, v float64) {
+	if slot >= 0 {
+		ev.Gv[slot] += v
+	}
+}
+
+// AddC accumulates a ∂q/∂x value; slot -1 (ground) is dropped.
+func (ev *EvalState) AddC(slot int32, v float64) {
+	if slot >= 0 {
+		ev.Cv[slot] += v
+	}
+}
+
+// SensAccum accumulates a parameter's ∂f/∂p and ∂q/∂p vectors sparsely:
+// devices touch only their own terminals, so tracking the touched indices
+// keeps the per-(step, parameter) sensitivity cost independent of circuit
+// size. Reset clears only what was touched.
+type SensAccum struct {
+	DFdp, DQdp []float64
+	Touched    []int32
+	mark       []bool
+}
+
+// NewSensAccum returns an accumulator for an n-unknown circuit.
+func NewSensAccum(n int) *SensAccum {
+	return &SensAccum{
+		DFdp: make([]float64, n),
+		DQdp: make([]float64, n),
+		mark: make([]bool, n),
+	}
+}
+
+func (a *SensAccum) touch(n int32) {
+	if !a.mark[n] {
+		a.mark[n] = true
+		a.Touched = append(a.Touched, n)
+	}
+}
+
+// AddDF accumulates into ∂f/∂p, ignoring ground.
+func (a *SensAccum) AddDF(n int32, v float64) {
+	if n >= 0 {
+		a.touch(n)
+		a.DFdp[n] += v
+	}
+}
+
+// AddDQ accumulates into ∂q/∂p, ignoring ground.
+func (a *SensAccum) AddDQ(n int32, v float64) {
+	if n >= 0 {
+		a.touch(n)
+		a.DQdp[n] += v
+	}
+}
+
+// Reset zeroes the touched entries, leaving the accumulator reusable.
+func (a *SensAccum) Reset() {
+	for _, n := range a.Touched {
+		a.DFdp[n] = 0
+		a.DQdp[n] = 0
+		a.mark[n] = false
+	}
+	a.Touched = a.Touched[:0]
+}
+
+// ParamInfo describes one adjustable device parameter.
+type ParamInfo struct {
+	Name string
+	Get  func() float64
+	Set  func(float64)
+}
+
+// Device is the contract every element implements.
+type Device interface {
+	// Label returns the netlist name, e.g. "R12".
+	Label() string
+	// Collect reports the device's structural Jacobian entries.
+	Collect(pc *PatternCollector)
+	// Bind resolves the collected entries to slots. Called once after
+	// pattern freeze and before the first Eval.
+	Bind(sb *SlotBinder)
+	// Eval adds the device contribution at ev.X, ev.T.
+	Eval(ev *EvalState)
+	// Params lists the device's adjustable parameters (may be empty).
+	Params() []ParamInfo
+	// AddParamSens adds ∂f/∂p and ∂q/∂p for local parameter pi into the
+	// accumulator at the state in ev.
+	AddParamSens(pi int, ev *EvalState, acc *SensAccum)
+}
+
+// pairStamp holds the four slots of a two-terminal conductance-like stamp
+// {(a,a),(a,b),(b,a),(b,b)}.
+type pairStamp struct {
+	aa, ab, ba, bb int32
+}
+
+func (s *pairStamp) collectG(pc *PatternCollector, a, b int32) {
+	pc.AddG(a, a)
+	pc.AddG(a, b)
+	pc.AddG(b, a)
+	pc.AddG(b, b)
+}
+
+func (s *pairStamp) collectC(pc *PatternCollector, a, b int32) {
+	pc.AddC(a, a)
+	pc.AddC(a, b)
+	pc.AddC(b, a)
+	pc.AddC(b, b)
+}
+
+func (s *pairStamp) bindG(sb *SlotBinder, a, b int32) {
+	s.aa, s.ab, s.ba, s.bb = sb.G(a, a), sb.G(a, b), sb.G(b, a), sb.G(b, b)
+}
+
+func (s *pairStamp) bindC(sb *SlotBinder, a, b int32) {
+	s.aa, s.ab, s.ba, s.bb = sb.C(a, a), sb.C(a, b), sb.C(b, a), sb.C(b, b)
+}
+
+// addG stamps +g on the diagonal slots and -g on the off-diagonal slots.
+func (s *pairStamp) addG(ev *EvalState, g float64) {
+	ev.AddG(s.aa, g)
+	ev.AddG(s.ab, -g)
+	ev.AddG(s.ba, -g)
+	ev.AddG(s.bb, g)
+}
+
+// addC is addG for the C matrix.
+func (s *pairStamp) addC(ev *EvalState, c float64) {
+	ev.AddC(s.aa, c)
+	ev.AddC(s.ab, -c)
+	ev.AddC(s.ba, -c)
+	ev.AddC(s.bb, c)
+}

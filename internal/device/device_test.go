@@ -1,0 +1,235 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLimexpContinuity(t *testing.T) {
+	// Value and first derivative are continuous at the switch point.
+	eps := 1e-9
+	lo, dlo := limexp(expLimit - eps)
+	hi, dhi := limexp(expLimit + eps)
+	if math.Abs(hi-lo)/lo > 1e-6 {
+		t.Fatalf("limexp value jump at boundary: %g vs %g", lo, hi)
+	}
+	if math.Abs(dhi-dlo)/dlo > 1e-6 {
+		t.Fatalf("limexp derivative jump at boundary: %g vs %g", dlo, dhi)
+	}
+	// Beyond the limit growth is linear, not exponential.
+	v1, _ := limexp(expLimit + 1)
+	v2, _ := limexp(expLimit + 2)
+	em := math.Exp(expLimit)
+	if math.Abs((v2-v1)-em) > 1e-6*em {
+		t.Fatalf("linear continuation slope wrong: %g, want %g", v2-v1, em)
+	}
+}
+
+func TestLimexpDerivative(t *testing.T) {
+	for _, u := range []float64{-30, -1, 0, 1, 10, 39.9, 40.1, 80} {
+		h := 1e-6
+		p, _ := limexp(u + h)
+		m, _ := limexp(u - h)
+		_, d := limexp(u)
+		fd := (p - m) / (2 * h)
+		if math.Abs(fd-d) > 1e-4*math.Max(1, math.Abs(d)) {
+			t.Fatalf("limexp'(%g) = %g, FD %g", u, d, fd)
+		}
+	}
+}
+
+func TestJunctionChargeConsistency(t *testing.T) {
+	// C(v) must be dq/dv everywhere, including across the FC·VJ cutover.
+	j := Junction{CJ0: 2e-12, VJ: 0.8, M: 0.4, FC: 0.5, TT: 0}
+	for _, v := range []float64{-5, -1, 0, 0.2, 0.39, 0.41, 0.7, 1.5, 3} {
+		h := 1e-7
+		qp, _ := j.Charge(v+h, 0, 0)
+		qm, _ := j.Charge(v-h, 0, 0)
+		_, c := j.Charge(v, 0, 0)
+		fd := (qp - qm) / (2 * h)
+		if math.Abs(fd-c) > 1e-4*math.Max(1e-15, math.Abs(c)) {
+			t.Fatalf("junction C(%g) = %g, dq/dv = %g", v, c, fd)
+		}
+	}
+}
+
+func TestJunctionChargeContinuity(t *testing.T) {
+	j := defaultDiodeJunction()
+	cut := j.FC * j.VJ
+	eps := 1e-10
+	qlo, clo := j.Charge(cut-eps, 0, 0)
+	qhi, chi := j.Charge(cut+eps, 0, 0)
+	if math.Abs(qhi-qlo) > 1e-6*math.Abs(qlo)+1e-30 {
+		t.Fatalf("charge jump at cutover: %g vs %g", qlo, qhi)
+	}
+	if math.Abs(chi-clo) > 1e-6*math.Abs(clo) {
+		t.Fatalf("capacitance jump at cutover: %g vs %g", clo, chi)
+	}
+}
+
+func TestJunctionZeroValue(t *testing.T) {
+	var j Junction
+	q, c := j.Charge(0.5, 1e-3, 1e-2)
+	if q != 0 || c != 0 {
+		t.Fatalf("zero junction produced q=%g c=%g", q, c)
+	}
+	j.TT = 1e-9
+	q, c = j.Charge(0.5, 2e-3, 3e-2)
+	if math.Abs(q-2e-12) > 1e-27 || math.Abs(c-3e-11) > 1e-26 {
+		t.Fatalf("diffusion-only junction wrong: q=%g c=%g", q, c)
+	}
+}
+
+func TestWaveformDC(t *testing.T) {
+	w := DC(3.3)
+	if w.Value(0) != 3.3 || w.Value(1e9) != 3.3 {
+		t.Fatal("DC waveform not constant")
+	}
+}
+
+func TestWaveformSin(t *testing.T) {
+	w := Sin{VO: 1, VA: 2, Freq: 1e3, TD: 1e-3}
+	if got := w.Value(0.5e-3); got != 1 {
+		t.Fatalf("before delay: %g, want VO", got)
+	}
+	if got := w.Value(1e-3 + 0.25e-3); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("quarter period: %g, want 3", got)
+	}
+	damped := Sin{VA: 1, Freq: 1e3, Theta: 1e3}
+	a := math.Abs(damped.Value(0.25e-3))
+	b := math.Abs(damped.Value(0.25e-3 + 5e-3))
+	if b >= a {
+		t.Fatal("theta damping not applied")
+	}
+}
+
+func TestWaveformPulse(t *testing.T) {
+	p := Pulse{V1: 0, V2: 5, TD: 1e-6, TR: 1e-7, TF: 2e-7, PW: 1e-6, PE: 5e-6}
+	cases := map[float64]float64{
+		0:       0,
+		1e-6:    0,
+		1.05e-6: 2.5, // mid rise
+		1.5e-6:  5,
+		2.2e-6:  2.5, // mid fall
+		3e-6:    0,
+		6.05e-6: 2.5, // second period mid rise
+	}
+	for tm, want := range cases {
+		if got := p.Value(tm); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("pulse(%g) = %g, want %g", tm, got, want)
+		}
+	}
+	sharp := Pulse{V1: 0, V2: 1, TR: 0, TF: 0, PW: 1e-6, PE: 2e-6}
+	if got := sharp.Value(0.5e-6); got != 1 {
+		t.Fatalf("zero-rise pulse mid-width = %g", got)
+	}
+}
+
+func TestWaveformPWL(t *testing.T) {
+	w := PWL{T: []float64{0, 1, 3}, V: []float64{0, 10, -10}}
+	cases := map[float64]float64{
+		-1:  0,
+		0:   0,
+		0.5: 5,
+		1:   10,
+		2:   0,
+		3:   -10,
+		9:   -10,
+	}
+	for tm, want := range cases {
+		if got := w.Value(tm); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("pwl(%g) = %g, want %g", tm, got, want)
+		}
+	}
+	if (PWL{}).Value(1) != 0 {
+		t.Fatal("empty PWL should be 0")
+	}
+}
+
+func TestQuickPWLMonotoneSegments(t *testing.T) {
+	// Within any segment the value stays between its endpoints.
+	f := func(seed int64) bool {
+		w := PWL{T: []float64{0, 1, 2, 5}, V: []float64{float64(seed % 7), 3, -2, 8}}
+		for i := 0; i+1 < len(w.T); i++ {
+			lo, hi := w.V[i], w.V[i+1]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			mid := w.Value((w.T[i] + w.T[i+1]) / 2)
+			if mid < lo-1e-12 || mid > hi+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMOSFETReversalSymmetry checks i(vgs, vds) = -i(vgd, -vds), the
+// physical drain-source exchange symmetry the reversal handling implements.
+func TestMOSFETReversalSymmetry(t *testing.T) {
+	m := NewMOSFET("m", 0, 1, 2)
+	for _, vg := range []float64{0.5, 1.0, 2.0} {
+		for _, vd := range []float64{0.1, 0.5, 1.5} {
+			fwd, _, _ := m.ids(vg, vd)
+			rev, _, _ := m.ids(vg-vd, -vd)
+			if math.Abs(fwd+rev) > 1e-15 {
+				t.Fatalf("reversal asymmetry at vgs=%g vds=%g: %g vs %g", vg, vd, fwd, -rev)
+			}
+		}
+	}
+}
+
+func TestMOSFETRegions(t *testing.T) {
+	m := NewMOSFET("m", 0, 1, 2)
+	m.Lambda = 0
+	// Cutoff.
+	if i, gm, gds := m.ids(0.2, 1); i != 0 || gm != 0 || gds != 0 {
+		t.Fatal("not cut off below threshold")
+	}
+	// Saturation current = KP/2·vov².
+	i, _, _ := m.ids(1.7, 5)
+	want := m.KP / 2 * 1.0
+	if math.Abs(i-want) > 1e-12 {
+		t.Fatalf("saturation current %g, want %g", i, want)
+	}
+	// Linear region slope at tiny vds ≈ KP·vov.
+	i2, _, _ := m.ids(1.7, 1e-6)
+	if g := i2 / 1e-6; math.Abs(g-m.KP*1.0) > 1e-3*m.KP {
+		t.Fatalf("triode conductance %g, want %g", g, m.KP)
+	}
+}
+
+// TestPNPMirrorsNPN: a PNP with all terminal voltages negated must produce
+// exactly negated terminal currents.
+func TestPNPMirrorsNPN(t *testing.T) {
+	npn := NewBJT("n", 0, 1, 2)
+	pnp := NewBJT("p", 0, 1, 2)
+	pnp.PNP = true
+	x := []float64{2.0, 0.7, 0.0}
+	xneg := []float64{-2.0, -0.7, 0.0}
+	fN := make([]float64, 3)
+	fP := make([]float64, 3)
+	gv := make([]float64, 16)
+	cv := make([]float64, 16)
+	evalInto := func(dev *BJT, state, f []float64) {
+		ev := &EvalState{X: state, F: f, Q: make([]float64, 3), Gv: gv, Cv: cv}
+		// Bypass Bind: slots are -1 (dropped), we only check F.
+		for i := range dev.gs {
+			dev.gs[i] = -1
+		}
+		dev.be = pairStamp{-1, -1, -1, -1}
+		dev.bc = pairStamp{-1, -1, -1, -1}
+		dev.Eval(ev)
+	}
+	evalInto(npn, x, fN)
+	evalInto(pnp, xneg, fP)
+	for i := range fN {
+		if math.Abs(fN[i]+fP[i]) > 1e-12*math.Max(1, math.Abs(fN[i])) {
+			t.Fatalf("terminal %d: NPN %g vs PNP %g", i, fN[i], fP[i])
+		}
+	}
+}

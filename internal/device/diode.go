@@ -1,0 +1,86 @@
+package device
+
+// Diode is a junction diode between anode A and cathode B:
+//
+//	i = Is·(exp(v/(N·Vt)) - 1) + Gmin·v
+//
+// with the exponential continued linearly above expLimit·N·Vt. A parallel
+// Gmin keeps the Jacobian nonsingular when the junction is off.
+type Diode struct {
+	Name string
+	A, B int32
+	Is   float64 // saturation current
+	N    float64 // emission coefficient
+	Gmin float64
+	Jn   Junction // depletion + diffusion charge model
+
+	g pairStamp
+	c pairStamp
+}
+
+// NewDiode returns a diode with standard defaults (Is=1e-14, N=1,
+// Gmin=1e-12, typical junction capacitance).
+func NewDiode(name string, a, b int32) *Diode {
+	return &Diode{Name: name, A: a, B: b, Is: 1e-14, N: 1, Gmin: 1e-12,
+		Jn: defaultDiodeJunction()}
+}
+
+// Label implements Device.
+func (d *Diode) Label() string { return d.Name }
+
+// Collect implements Device.
+func (d *Diode) Collect(pc *PatternCollector) {
+	d.g.collectG(pc, d.A, d.B)
+	d.c.collectC(pc, d.A, d.B)
+}
+
+// Bind implements Device.
+func (d *Diode) Bind(sb *SlotBinder) {
+	d.g.bindG(sb, d.A, d.B)
+	d.c.bindC(sb, d.A, d.B)
+}
+
+// current returns the junction current and conductance at voltage v.
+func (d *Diode) current(v float64) (i, g float64) {
+	nvt := d.N * Vt
+	e, de := limexp(v / nvt)
+	i = d.Is*(e-1) + d.Gmin*v
+	g = d.Is*de/nvt + d.Gmin
+	return i, g
+}
+
+// Eval implements Device.
+func (d *Diode) Eval(ev *EvalState) {
+	v := ev.V(d.A) - ev.V(d.B)
+	i, g := d.current(v)
+	ev.AddF(d.A, i)
+	ev.AddF(d.B, -i)
+	d.g.addG(ev, g)
+	// Junction charge: the diffusion term tracks the junction current
+	// without the gmin leak.
+	qj, cj := d.Jn.Charge(v, i-d.Gmin*v, g-d.Gmin)
+	ev.AddQ(d.A, qj)
+	ev.AddQ(d.B, -qj)
+	d.c.addC(ev, cj)
+}
+
+// Params implements Device: the saturation current.
+func (d *Diode) Params() []ParamInfo {
+	return []ParamInfo{{
+		Name: d.Name + ".is",
+		Get:  func() float64 { return d.Is },
+		Set:  func(v float64) { d.Is = v },
+	}}
+}
+
+// AddParamSens implements Device: ∂i/∂Is = exp(v/(N·Vt)) - 1, and the
+// diffusion charge contributes ∂q/∂Is = TT·(exp(v/(N·Vt)) - 1).
+func (d *Diode) AddParamSens(pi int, ev *EvalState, acc *SensAccum) {
+	v := ev.V(d.A) - ev.V(d.B)
+	e, _ := limexp(v / (d.N * Vt))
+	s := e - 1
+	acc.AddDF(d.A, s)
+	acc.AddDF(d.B, -s)
+	acc.AddDQ(d.A, d.Jn.TT*s)
+	acc.AddDQ(d.B, -d.Jn.TT*s)
+}

@@ -1,0 +1,65 @@
+package device
+
+import "math"
+
+// Junction models a pn-junction charge: SPICE depletion capacitance
+//
+//	Cj(v) = CJ0 / (1 - v/VJ)^M            v <  FC·VJ
+//	Cj(v) = CJ0/(1-FC)^M · (1 + M·(v - FC·VJ)/(VJ·(1-FC)))   v ≥ FC·VJ
+//
+// (the standard linear continuation past FC·VJ) plus a diffusion term
+// TT·i(v). The zero value is a no-op junction.
+type Junction struct {
+	CJ0 float64 // zero-bias depletion capacitance
+	VJ  float64 // built-in potential
+	M   float64 // grading coefficient
+	FC  float64 // forward-bias depletion formula cutover
+	TT  float64 // transit time (diffusion charge = TT·i)
+}
+
+// Charge returns the junction charge and capacitance at voltage v, given
+// the junction current i and conductance g (for the diffusion term).
+func (j *Junction) Charge(v, i, g float64) (q, c float64) {
+	if j.CJ0 != 0 {
+		fcv := j.FC * j.VJ
+		if v < fcv {
+			u := 1 - v/j.VJ
+			um := math.Pow(u, -j.M)
+			c = j.CJ0 * um
+			// q = CJ0·VJ/(1-M)·(1 - u^{1-M})
+			q = j.CJ0 * j.VJ / (1 - j.M) * (1 - u*um)
+		} else {
+			u0 := 1 - j.FC
+			um0 := math.Pow(u0, -j.M)
+			q0 := j.CJ0 * j.VJ / (1 - j.M) * (1 - u0*um0)
+			dv := v - fcv
+			slope := j.M / (j.VJ * u0)
+			c = j.CJ0 * um0 * (1 + j.M*dv/(j.VJ*u0))
+			q = q0 + j.CJ0*um0*(dv+slope*dv*dv/2)
+		}
+	}
+	q += j.TT * i
+	c += j.TT * g
+	return q, c
+}
+
+// defaultDiodeJunction returns typical small-signal diode junction values.
+func defaultDiodeJunction() Junction {
+	return Junction{CJ0: 1e-12, VJ: 1.0, M: 0.5, FC: 0.5, TT: 5e-9}
+}
+
+// defaultBEJunction and defaultBCJunction return typical BJT junction
+// values (forward transit time on the emitter side only).
+func defaultBEJunction() Junction {
+	return Junction{CJ0: 1e-12, VJ: 0.75, M: 0.33, FC: 0.5, TT: 4e-10}
+}
+
+func defaultBCJunction() Junction {
+	return Junction{CJ0: 0.5e-12, VJ: 0.75, M: 0.33, FC: 0.5}
+}
+
+// defaultDrainJunction returns the MOSFET drain-bulk junction (bulk tied
+// to source in this level-1 model).
+func defaultDrainJunction() Junction {
+	return Junction{CJ0: 1e-14, VJ: 0.8, M: 0.5, FC: 0.5}
+}

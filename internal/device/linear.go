@@ -1,0 +1,154 @@
+package device
+
+// Resistor is a linear two-terminal resistor between nodes A and B.
+type Resistor struct {
+	Name string
+	A, B int32
+	R    float64
+
+	g pairStamp
+}
+
+// Label implements Device.
+func (r *Resistor) Label() string { return r.Name }
+
+// Collect implements Device.
+func (r *Resistor) Collect(pc *PatternCollector) { r.g.collectG(pc, r.A, r.B) }
+
+// Bind implements Device.
+func (r *Resistor) Bind(sb *SlotBinder) { r.g.bindG(sb, r.A, r.B) }
+
+// Eval implements Device: f_A += (vA-vB)/R, f_B -= (vA-vB)/R.
+func (r *Resistor) Eval(ev *EvalState) {
+	g := 1 / r.R
+	v := ev.V(r.A) - ev.V(r.B)
+	i := g * v
+	ev.AddF(r.A, i)
+	ev.AddF(r.B, -i)
+	r.g.addG(ev, g)
+}
+
+// Params implements Device: the resistance value.
+func (r *Resistor) Params() []ParamInfo {
+	return []ParamInfo{{
+		Name: r.Name + ".r",
+		Get:  func() float64 { return r.R },
+		Set:  func(v float64) { r.R = v },
+	}}
+}
+
+// AddParamSens implements Device: ∂f/∂R = -(vA-vB)/R².
+func (r *Resistor) AddParamSens(pi int, ev *EvalState, acc *SensAccum) {
+	v := ev.V(r.A) - ev.V(r.B)
+	d := -v / (r.R * r.R)
+	acc.AddDF(r.A, d)
+	acc.AddDF(r.B, -d)
+}
+
+// Capacitor is a linear two-terminal capacitor between nodes A and B.
+type Capacitor struct {
+	Name string
+	A, B int32
+	C    float64
+
+	c pairStamp
+}
+
+// Label implements Device.
+func (c *Capacitor) Label() string { return c.Name }
+
+// Collect implements Device.
+func (c *Capacitor) Collect(pc *PatternCollector) { c.c.collectC(pc, c.A, c.B) }
+
+// Bind implements Device.
+func (c *Capacitor) Bind(sb *SlotBinder) { c.c.bindC(sb, c.A, c.B) }
+
+// Eval implements Device: q_A += C(vA-vB), q_B -= C(vA-vB).
+func (c *Capacitor) Eval(ev *EvalState) {
+	v := ev.V(c.A) - ev.V(c.B)
+	q := c.C * v
+	ev.AddQ(c.A, q)
+	ev.AddQ(c.B, -q)
+	c.c.addC(ev, c.C)
+}
+
+// Params implements Device: the capacitance value.
+func (c *Capacitor) Params() []ParamInfo {
+	return []ParamInfo{{
+		Name: c.Name + ".c",
+		Get:  func() float64 { return c.C },
+		Set:  func(v float64) { c.C = v },
+	}}
+}
+
+// AddParamSens implements Device: ∂q/∂C = vA - vB.
+func (c *Capacitor) AddParamSens(pi int, ev *EvalState, acc *SensAccum) {
+	v := ev.V(c.A) - ev.V(c.B)
+	acc.AddDQ(c.A, v)
+	acc.AddDQ(c.B, -v)
+}
+
+// Inductor is a linear inductor with an explicit branch-current unknown Br:
+// row Br enforces L·di/dt = vA - vB via q[Br] = L·i, f[Br] = -(vA-vB).
+type Inductor struct {
+	Name string
+	A, B int32
+	Br   int32 // branch-current unknown index
+	L    float64
+
+	sAB, sBA, sBrA, sBrB, sBrBr int32 // G slots
+	cBr                         int32 // C slot (Br,Br)
+}
+
+// Label implements Device.
+func (l *Inductor) Label() string { return l.Name }
+
+// Collect implements Device.
+func (l *Inductor) Collect(pc *PatternCollector) {
+	pc.AddG(l.A, l.Br)
+	pc.AddG(l.B, l.Br)
+	pc.AddG(l.Br, l.A)
+	pc.AddG(l.Br, l.B)
+	pc.AddC(l.Br, l.Br)
+	// Reserve the (Br,Br) G entry too so the J=G+C/h union always has a
+	// structural diagonal for the branch row.
+	pc.AddG(l.Br, l.Br)
+}
+
+// Bind implements Device.
+func (l *Inductor) Bind(sb *SlotBinder) {
+	l.sAB = sb.G(l.A, l.Br)
+	l.sBA = sb.G(l.B, l.Br)
+	l.sBrA = sb.G(l.Br, l.A)
+	l.sBrB = sb.G(l.Br, l.B)
+	l.sBrBr = sb.G(l.Br, l.Br)
+	l.cBr = sb.C(l.Br, l.Br)
+}
+
+// Eval implements Device.
+func (l *Inductor) Eval(ev *EvalState) {
+	i := ev.X[l.Br]
+	ev.AddF(l.A, i)
+	ev.AddF(l.B, -i)
+	ev.AddF(l.Br, -(ev.V(l.A) - ev.V(l.B)))
+	ev.AddQ(l.Br, l.L*i)
+	ev.AddG(l.sAB, 1)
+	ev.AddG(l.sBA, -1)
+	ev.AddG(l.sBrA, -1)
+	ev.AddG(l.sBrB, 1)
+	ev.AddC(l.cBr, l.L)
+}
+
+// Params implements Device: the inductance value.
+func (l *Inductor) Params() []ParamInfo {
+	return []ParamInfo{{
+		Name: l.Name + ".l",
+		Get:  func() float64 { return l.L },
+		Set:  func(v float64) { l.L = v },
+	}}
+}
+
+// AddParamSens implements Device: ∂q[Br]/∂L = i.
+func (l *Inductor) AddParamSens(pi int, ev *EvalState, acc *SensAccum) {
+	acc.AddDQ(l.Br, ev.X[l.Br])
+}

@@ -1,0 +1,224 @@
+package device
+
+import "math"
+
+// MOSFET is a level-1 (Shichman–Hodges) transistor with the bulk tied to
+// the source and constant gate capacitances. NMOS by default; PMOS mirrors
+// voltages and currents.
+//
+//	cutoff:   id = 0                            (vgs ≤ VTO)
+//	linear:   id = KP·((vgs-VTO)·vds - vds²/2)·(1+λ·vds)
+//	sat:      id = KP/2·(vgs-VTO)²·(1+λ·vds)
+//
+// with KP already including W/L. Drain-source reversal (vds < 0) swaps the
+// roles of D and S, as in SPICE.
+type MOSFET struct {
+	Name    string
+	D, G, S int32
+	PMOS    bool
+	KP      float64 // transconductance KP·W/L
+	VTO     float64
+	Lambda  float64
+	CGS     float64
+	CGD     float64
+	CBD     float64 // zero-bias drain-bulk depletion capacitance (bulk = source)
+	Gmin    float64
+
+	// UseMeyer adds a Meyer-style intrinsic gate-source charge on top of
+	// the constant overlap capacitances: q = (2/3)·Cox·max(vgs-VTO, 0)
+	// with the max smoothed over MeyerDelta volts, giving the classic
+	// 0 → (2/3)Cox capacitance transition from cutoff to saturation.
+	UseMeyer   bool
+	Cox        float64
+	MeyerDelta float64
+
+	// G slots: rows {D,S} × cols {D,G,S}.
+	gs [6]int32
+	// Gate and drain-junction capacitance stamps.
+	cgs, cgd, cdb pairStamp
+}
+
+// NewMOSFET returns an NMOS with generic defaults.
+func NewMOSFET(name string, d, g, s int32) *MOSFET {
+	return &MOSFET{
+		Name: name, D: d, G: g, S: s,
+		KP: 2e-4, VTO: 0.7, Lambda: 0.01,
+		CGS: 1e-14, CGD: 0.5e-14, CBD: 1e-14, Gmin: 1e-12,
+		Cox: 3e-14, MeyerDelta: 0.05,
+	}
+}
+
+// Label implements Device.
+func (m *MOSFET) Label() string { return m.Name }
+
+// Collect implements Device.
+func (m *MOSFET) Collect(pc *PatternCollector) {
+	rows := [2]int32{m.D, m.S}
+	cols := [3]int32{m.D, m.G, m.S}
+	for _, r := range rows {
+		for _, c := range cols {
+			pc.AddG(r, c)
+		}
+	}
+	m.cgs.collectC(pc, m.G, m.S)
+	m.cgd.collectC(pc, m.G, m.D)
+	m.cdb.collectC(pc, m.D, m.S)
+}
+
+// Bind implements Device.
+func (m *MOSFET) Bind(sb *SlotBinder) {
+	rows := [2]int32{m.D, m.S}
+	cols := [3]int32{m.D, m.G, m.S}
+	for ri, r := range rows {
+		for ci, c := range cols {
+			m.gs[ri*3+ci] = sb.G(r, c)
+		}
+	}
+	m.cgs.bindC(sb, m.G, m.S)
+	m.cgd.bindC(sb, m.G, m.D)
+	m.cdb.bindC(sb, m.D, m.S)
+}
+
+// sign returns +1 for NMOS, -1 for PMOS.
+func (m *MOSFET) sign() float64 {
+	if m.PMOS {
+		return -1
+	}
+	return 1
+}
+
+// ids evaluates the drain current and its partial derivatives in the
+// *electrical* frame where vds ≥ 0 (after polarity and reversal handling).
+// It returns values in the device frame: id is the current into terminal D,
+// gm = ∂id/∂vG, gds = ∂id/∂vD, gms = ∂id/∂vS implied by -(gm+gds).
+func (m *MOSFET) ids(vgsRaw, vdsRaw float64) (id, dIdVgs, dIdVds float64) {
+	reversed := vdsRaw < 0
+	vgs, vds := vgsRaw, vdsRaw
+	if reversed {
+		// Swap D and S: vgd becomes the controlling voltage.
+		vgs = vgsRaw - vdsRaw // = vgd
+		vds = -vdsRaw
+	}
+	vov := vgs - m.VTO
+	var i, gm, gds float64
+	switch {
+	case vov <= 0:
+		i, gm, gds = 0, 0, 0
+	case vds < vov: // linear region
+		lam := 1 + m.Lambda*vds
+		core := vov*vds - vds*vds/2
+		i = m.KP * core * lam
+		gm = m.KP * vds * lam
+		gds = m.KP * ((vov-vds)*lam + core*m.Lambda)
+	default: // saturation
+		lam := 1 + m.Lambda*vds
+		i = m.KP / 2 * vov * vov * lam
+		gm = m.KP * vov * lam
+		gds = m.KP / 2 * vov * vov * m.Lambda
+	}
+	if reversed {
+		// id flows out of (the original) D; translate derivatives back:
+		// i' = -i(vgd, -vds'), with vgd = vgs - vds in original variables.
+		// ∂i'/∂vgs = -gm·∂vgd/∂vgs ... vgd depends on vgs and vds:
+		// original frame: i_D = -i(vgs - vds, -vds).
+		id = -i
+		dIdVgs = -gm
+		dIdVds = gm + gds
+		return
+	}
+	return i, gm, gds
+}
+
+// Eval implements Device.
+func (m *MOSFET) Eval(ev *EvalState) {
+	s := m.sign()
+	vgs := s * (ev.V(m.G) - ev.V(m.S))
+	vds := s * (ev.V(m.D) - ev.V(m.S))
+	id, gm, gds := m.ids(vgs, vds)
+	id += m.Gmin * vds
+	gds += m.Gmin
+
+	ev.AddF(m.D, s*id)
+	ev.AddF(m.S, -s*id)
+
+	// Columns D, G, S; the s² factors cancel as in the BJT.
+	di := [3]float64{gds, gm, -(gm + gds)}
+	for ci := 0; ci < 3; ci++ {
+		ev.AddG(m.gs[0*3+ci], di[ci])
+		ev.AddG(m.gs[1*3+ci], -di[ci])
+	}
+
+	qgs := m.CGS * (ev.V(m.G) - ev.V(m.S))
+	qgd := m.CGD * (ev.V(m.G) - ev.V(m.D))
+	cgs := m.CGS
+	if m.UseMeyer {
+		// Smooth max(vgs - VTO, 0): vgt = ½(u + √(u² + δ²)).
+		u := vgs - m.VTO
+		r := math.Sqrt(u*u + m.MeyerDelta*m.MeyerDelta)
+		vgt := 0.5 * (u + r)
+		qm := (2.0 / 3.0) * m.Cox * vgt
+		cm := (2.0 / 3.0) * m.Cox * 0.5 * (1 + u/r)
+		// The intrinsic charge sits on the G-S branch; s maps the
+		// polarity-frame charge back to node charges (PMOS mirrors).
+		qgs += s * qm
+		cgs += cm
+	}
+	ev.AddQ(m.G, qgs+qgd)
+	ev.AddQ(m.S, -qgs)
+	ev.AddQ(m.D, -qgd)
+	m.cgs.addC(ev, cgs)
+	m.cgd.addC(ev, m.CGD)
+	// Drain-bulk depletion junction (bulk tied to source): the junction
+	// sees v = -vds in the polarity frame; its charge sits on the source
+	// (bulk/anode) plate, mirrored through s for PMOS.
+	jdb := Junction{CJ0: m.CBD, VJ: 0.8, M: 0.5, FC: 0.5}
+	qj, cj := jdb.Charge(-vds, 0, 0)
+	ev.AddQ(m.S, s*qj)
+	ev.AddQ(m.D, -s*qj)
+	m.cdb.addC(ev, cj)
+}
+
+// Params implements Device: transconductance and threshold.
+func (m *MOSFET) Params() []ParamInfo {
+	return []ParamInfo{
+		{
+			Name: m.Name + ".kp",
+			Get:  func() float64 { return m.KP },
+			Set:  func(v float64) { m.KP = v },
+		},
+		{
+			Name: m.Name + ".vto",
+			Get:  func() float64 { return m.VTO },
+			Set:  func(v float64) { m.VTO = v },
+		},
+	}
+}
+
+// AddParamSens implements Device.
+func (m *MOSFET) AddParamSens(pi int, ev *EvalState, acc *SensAccum) {
+	s := m.sign()
+	vgs := s * (ev.V(m.G) - ev.V(m.S))
+	vds := s * (ev.V(m.D) - ev.V(m.S))
+	switch pi {
+	case 0: // KP: id is proportional to KP.
+		id, _, _ := m.ids(vgs, vds)
+		if m.KP != 0 {
+			d := id / m.KP
+			acc.AddDF(m.D, s*d)
+			acc.AddDF(m.S, -s*d)
+		}
+	case 1: // VTO: ∂id/∂VTO = -∂id/∂vgs.
+		_, gm, _ := m.ids(vgs, vds)
+		acc.AddDF(m.D, -s*gm)
+		acc.AddDF(m.S, s*gm)
+		if m.UseMeyer {
+			// The Meyer gate charge also shifts with VTO:
+			// ∂q/∂VTO = -(2/3)·Cox·½(1 + u/r).
+			u := vgs - m.VTO
+			r := math.Sqrt(u*u + m.MeyerDelta*m.MeyerDelta)
+			cm := (2.0 / 3.0) * m.Cox * 0.5 * (1 + u/r)
+			acc.AddDQ(m.G, -s*cm)
+			acc.AddDQ(m.S, s*cm)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package device
+
+// VSource is an independent voltage source with a branch-current unknown.
+// Row Br enforces vP - vN = W(t); the branch current closes KCL at P and N.
+type VSource struct {
+	Name string
+	P, N int32
+	Br   int32
+	W    Waveform
+	// Scale multiplies the waveform; it is the adjustable parameter (a
+	// relative source-magnitude sensitivity, the usual netlist knob).
+	Scale float64
+
+	sPBr, sNBr, sBrP, sBrN, sBrBr int32
+}
+
+// NewVSource returns a source with unit Scale.
+func NewVSource(name string, p, n, br int32, w Waveform) *VSource {
+	return &VSource{Name: name, P: p, N: n, Br: br, W: w, Scale: 1}
+}
+
+// Label implements Device.
+func (v *VSource) Label() string { return v.Name }
+
+// Collect implements Device.
+func (v *VSource) Collect(pc *PatternCollector) {
+	pc.AddG(v.P, v.Br)
+	pc.AddG(v.N, v.Br)
+	pc.AddG(v.Br, v.P)
+	pc.AddG(v.Br, v.N)
+	pc.AddG(v.Br, v.Br) // structural diagonal for pivoting robustness
+}
+
+// Bind implements Device.
+func (v *VSource) Bind(sb *SlotBinder) {
+	v.sPBr = sb.G(v.P, v.Br)
+	v.sNBr = sb.G(v.N, v.Br)
+	v.sBrP = sb.G(v.Br, v.P)
+	v.sBrN = sb.G(v.Br, v.N)
+	v.sBrBr = sb.G(v.Br, v.Br)
+}
+
+// Eval implements Device.
+func (v *VSource) Eval(ev *EvalState) {
+	i := ev.X[v.Br]
+	ev.AddF(v.P, i)
+	ev.AddF(v.N, -i)
+	ev.AddF(v.Br, (ev.V(v.P)-ev.V(v.N))-v.Scale*v.W.Value(ev.T))
+	ev.AddG(v.sPBr, 1)
+	ev.AddG(v.sNBr, -1)
+	ev.AddG(v.sBrP, 1)
+	ev.AddG(v.sBrN, -1)
+}
+
+// Params implements Device: the waveform scale.
+func (v *VSource) Params() []ParamInfo {
+	return []ParamInfo{{
+		Name: v.Name + ".scale",
+		Get:  func() float64 { return v.Scale },
+		Set:  func(x float64) { v.Scale = x },
+	}}
+}
+
+// AddParamSens implements Device: ∂f[Br]/∂Scale = -W(t).
+func (v *VSource) AddParamSens(pi int, ev *EvalState, acc *SensAccum) {
+	acc.AddDF(v.Br, -v.W.Value(ev.T))
+}
+
+// ISource is an independent current source driving current Scale·W(t) from
+// node P through itself into node N.
+type ISource struct {
+	Name  string
+	P, N  int32
+	W     Waveform
+	Scale float64
+}
+
+// NewISource returns a source with unit Scale.
+func NewISource(name string, p, n int32, w Waveform) *ISource {
+	return &ISource{Name: name, P: p, N: n, W: w, Scale: 1}
+}
+
+// Label implements Device.
+func (s *ISource) Label() string { return s.Name }
+
+// Collect implements Device: a current source stamps no Jacobian entries.
+func (s *ISource) Collect(pc *PatternCollector) {}
+
+// Bind implements Device.
+func (s *ISource) Bind(sb *SlotBinder) {}
+
+// Eval implements Device.
+func (s *ISource) Eval(ev *EvalState) {
+	i := s.Scale * s.W.Value(ev.T)
+	ev.AddF(s.P, i)
+	ev.AddF(s.N, -i)
+}
+
+// Params implements Device: the waveform scale.
+func (s *ISource) Params() []ParamInfo {
+	return []ParamInfo{{
+		Name: s.Name + ".scale",
+		Get:  func() float64 { return s.Scale },
+		Set:  func(x float64) { s.Scale = x },
+	}}
+}
+
+// AddParamSens implements Device.
+func (s *ISource) AddParamSens(pi int, ev *EvalState, acc *SensAccum) {
+	w := s.W.Value(ev.T)
+	acc.AddDF(s.P, w)
+	acc.AddDF(s.N, -w)
+}

@@ -1,0 +1,98 @@
+package device
+
+import "math"
+
+// Waveform is a time-dependent source value.
+type Waveform interface {
+	Value(t float64) float64
+}
+
+// DC is a constant waveform.
+type DC float64
+
+// Value implements Waveform.
+func (d DC) Value(float64) float64 { return float64(d) }
+
+// Sin is the SPICE SIN(VO VA FREQ TD THETA) waveform.
+type Sin struct {
+	VO, VA, Freq float64
+	TD, Theta    float64
+}
+
+// Value implements Waveform.
+func (s Sin) Value(t float64) float64 {
+	if t < s.TD {
+		return s.VO
+	}
+	dt := t - s.TD
+	damp := 1.0
+	if s.Theta != 0 {
+		damp = math.Exp(-dt * s.Theta)
+	}
+	return s.VO + s.VA*damp*math.Sin(2*math.Pi*s.Freq*dt)
+}
+
+// Pulse is the SPICE PULSE(V1 V2 TD TR TF PW PER) waveform.
+type Pulse struct {
+	V1, V2             float64
+	TD, TR, TF, PW, PE float64
+}
+
+// Value implements Waveform.
+func (p Pulse) Value(t float64) float64 {
+	if t < p.TD {
+		return p.V1
+	}
+	tt := t - p.TD
+	if p.PE > 0 {
+		tt = math.Mod(tt, p.PE)
+	}
+	switch {
+	case tt < p.TR:
+		if p.TR == 0 {
+			return p.V2
+		}
+		return p.V1 + (p.V2-p.V1)*tt/p.TR
+	case tt < p.TR+p.PW:
+		return p.V2
+	case tt < p.TR+p.PW+p.TF:
+		if p.TF == 0 {
+			return p.V1
+		}
+		return p.V2 + (p.V1-p.V2)*(tt-p.TR-p.PW)/p.TF
+	default:
+		return p.V1
+	}
+}
+
+// PWL is a piecewise-linear waveform through (T[i], V[i]) points. Times must
+// be ascending; the waveform is constant outside the covered range.
+type PWL struct {
+	T, V []float64
+}
+
+// Value implements Waveform.
+func (w PWL) Value(t float64) float64 {
+	n := len(w.T)
+	if n == 0 {
+		return 0
+	}
+	if t <= w.T[0] {
+		return w.V[0]
+	}
+	if t >= w.T[n-1] {
+		return w.V[n-1]
+	}
+	// Binary search for the segment.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if w.T[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	frac := (t - w.T[lo]) / (w.T[hi] - w.T[lo])
+	return w.V[lo] + frac*(w.V[hi]-w.V[lo])
+}

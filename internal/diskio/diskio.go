@@ -1,0 +1,109 @@
+// Package diskio provides the append-only spill file used by the disk-based
+// Jacobian store, with an optional bandwidth throttle that models the
+// paper's measurement SSD (~0.5 GB/s) deterministically on any host, so the
+// Figure-7 disk-vs-compression crossover reproduces regardless of how fast
+// the local filesystem actually is.
+package diskio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Store is an append-only spill file with random-access reads.
+type Store struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	off     int64
+	bps     float64 // simulated bytes/second; 0 disables throttling
+	ioTime  time.Duration
+	ioBytes int64
+}
+
+// Create opens a spill file in dir (os.TempDir() if empty). bytesPerSec of
+// zero disables the bandwidth simulation.
+func Create(dir string, bytesPerSec float64) (*Store, error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, "masc-spill-*.bin")
+	if err != nil {
+		return nil, fmt.Errorf("diskio: %w", err)
+	}
+	return &Store{f: f, path: filepath.Join(dir, filepath.Base(f.Name())), bps: bytesPerSec}, nil
+}
+
+// throttle blocks until the operation of n bytes would have completed on
+// the simulated device, given it actually took `actual`.
+func (s *Store) throttle(n int, actual time.Duration) time.Duration {
+	if s.bps <= 0 {
+		return actual
+	}
+	want := time.Duration(float64(n) / s.bps * float64(time.Second))
+	if actual < want {
+		time.Sleep(want - actual)
+		return want
+	}
+	return actual
+}
+
+// Append writes p at the end of the file and returns its offset.
+func (s *Store) Append(p []byte) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	off := s.off
+	if _, err := s.f.WriteAt(p, off); err != nil {
+		return 0, fmt.Errorf("diskio: write: %w", err)
+	}
+	s.off += int64(len(p))
+	s.ioTime += s.throttle(len(p), time.Since(start))
+	s.ioBytes += int64(len(p))
+	return off, nil
+}
+
+// ReadAt fills p from the given offset.
+func (s *Store) ReadAt(p []byte, off int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	if _, err := s.f.ReadAt(p, off); err != nil {
+		return fmt.Errorf("diskio: read: %w", err)
+	}
+	s.ioTime += s.throttle(len(p), time.Since(start))
+	s.ioBytes += int64(len(p))
+	return nil
+}
+
+// Size returns the bytes written so far.
+func (s *Store) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.off
+}
+
+// IOTime returns the cumulative (simulated) I/O time.
+func (s *Store) IOTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ioTime
+}
+
+// Close closes and removes the spill file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	if rmErr := os.Remove(s.f.Name()); err == nil {
+		err = rmErr
+	}
+	s.f = nil
+	return err
+}

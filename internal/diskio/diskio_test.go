@@ -1,0 +1,103 @@
+package diskio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	s, err := Create(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(1))
+	type rec struct {
+		off  int64
+		data []byte
+	}
+	var recs []rec
+	for i := 0; i < 40; i++ {
+		data := make([]byte, 1+rng.Intn(4096))
+		rng.Read(data)
+		off, err := s.Append(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec{off, data})
+	}
+	// Random-access reads in shuffled order.
+	rng.Shuffle(len(recs), func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
+	for _, r := range recs {
+		buf := make([]byte, len(r.data))
+		if err := s.ReadAt(buf, r.off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, r.data) {
+			t.Fatal("readback mismatch")
+		}
+	}
+	var total int64
+	for _, r := range recs {
+		total += int64(len(r.data))
+	}
+	if s.Size() != total {
+		t.Fatalf("size %d, want %d", s.Size(), total)
+	}
+}
+
+func TestThrottleModelsBandwidth(t *testing.T) {
+	// 1 MB at 10 MB/s must register ≥ ~0.1 s of simulated I/O time.
+	s, err := Create(t.TempDir(), 10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	data := make([]byte, 1<<20)
+	start := time.Now()
+	if _, err := s.Append(data); err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	if s.IOTime() < 90*time.Millisecond {
+		t.Fatalf("simulated IO time %v, want ≥ ~100ms", s.IOTime())
+	}
+	if wall < 90*time.Millisecond {
+		t.Fatalf("throttle did not actually block (wall %v)", wall)
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	s, err := Create(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Append([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	if err := s.ReadAt(buf, 0); err == nil {
+		t.Fatal("expected error reading past end")
+	}
+}
+
+func TestCloseRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Double close is a no-op.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package jactensor
+
+import (
+	"fmt"
+	"time"
+
+	"masc/internal/compress"
+	"masc/internal/compress/varint"
+	"masc/internal/sparse"
+)
+
+// CompressedStore holds the tensor in memory as per-step compressed blobs,
+// following Algorithm 2 of the paper: during forward integration step t's
+// Put compresses step t-1 using step t as the prediction reference; during
+// the reverse sweep step i is decompressed using the already-materialized
+// step i+1, whose memory is freed by Release.
+type CompressedStore struct {
+	jc, cc compress.Compressor
+
+	jBlobs, cBlobs [][]byte
+	lastJ, lastC   []float64 // plaintext of the highest Put step
+	jLen, cLen     int       // per-step value counts
+	n              int       // highest step put; -1 before first Put
+	forwardDone    bool
+
+	// Reverse-sweep plaintext cache: at most two live steps.
+	plainJ, plainC map[int][]float64
+
+	stats    Stats
+	resident int64
+}
+
+// NewCompressedStore builds a store over the given codecs (one for the J
+// tensor, one for C). jPat/cPat, when non-nil, contribute the one-off
+// shared-index footprint to the stats, matching the paper's accounting.
+func NewCompressedStore(jc, cc compress.Compressor, jPat, cPat *sparse.Pattern) *CompressedStore {
+	s := &CompressedStore{
+		jc: jc, cc: cc,
+		n:      -1,
+		plainJ: map[int][]float64{},
+		plainC: map[int][]float64{},
+	}
+	if jPat != nil {
+		s.stats.StoredBytes += int64(len(varint.EncodeCSRIndices(jPat.RowPtr, jPat.ColIdx)))
+	}
+	if cPat != nil {
+		s.stats.StoredBytes += int64(len(varint.EncodeCSRIndices(cPat.RowPtr, cPat.ColIdx)))
+	}
+	return s
+}
+
+func (s *CompressedStore) bumpResident(delta int64) {
+	s.resident += delta
+	if s.resident > s.stats.PeakResident {
+		s.stats.PeakResident = s.resident
+	}
+}
+
+// Put implements Store.
+func (s *CompressedStore) Put(step int, jVals, cVals []float64) error {
+	if s.forwardDone {
+		return fmt.Errorf("jactensor: Put after EndForward")
+	}
+	if step != s.n+1 {
+		return fmt.Errorf("jactensor: put step %d out of order (expected %d)", step, s.n+1)
+	}
+	if step == 0 {
+		s.jLen, s.cLen = len(jVals), len(cVals)
+	} else if len(jVals) != s.jLen || len(cVals) != s.cLen {
+		return fmt.Errorf("jactensor: step %d value counts changed (%d/%d vs %d/%d)",
+			step, len(jVals), len(cVals), s.jLen, s.cLen)
+	}
+	start := time.Now()
+	if step > 0 {
+		// Compress M_{t-1} with M_t as the prediction reference.
+		jb := s.jc.Compress(nil, s.lastJ, jVals)
+		cb := s.cc.Compress(nil, s.lastC, cVals)
+		s.jBlobs = append(s.jBlobs, jb)
+		s.cBlobs = append(s.cBlobs, cb)
+		s.stats.StoredBytes += int64(len(jb) + len(cb))
+		s.bumpResident(int64(len(jb) + len(cb)))
+	} else {
+		s.lastJ = make([]float64, len(jVals))
+		s.lastC = make([]float64, len(cVals))
+		s.bumpResident(int64(8 * (len(jVals) + len(cVals))))
+	}
+	copy2 := func(dst *[]float64, src []float64) {
+		if len(*dst) != len(src) {
+			*dst = make([]float64, len(src))
+		}
+		copy(*dst, src)
+	}
+	copy2(&s.lastJ, jVals)
+	copy2(&s.lastC, cVals)
+	s.n = step
+	s.stats.Steps++
+	s.stats.RawBytes += int64(8 * (len(jVals) + len(cVals)))
+	s.stats.CompressTime += time.Since(start)
+	return nil
+}
+
+// EndForward implements Store: the final step is compressed with no
+// reference so the reverse chain has a self-contained head.
+func (s *CompressedStore) EndForward() error {
+	if s.forwardDone {
+		return nil
+	}
+	if s.n < 0 {
+		return fmt.Errorf("jactensor: EndForward with no steps")
+	}
+	start := time.Now()
+	jb := s.jc.Compress(nil, s.lastJ, nil)
+	cb := s.cc.Compress(nil, s.lastC, nil)
+	s.jBlobs = append(s.jBlobs, jb)
+	s.cBlobs = append(s.cBlobs, cb)
+	s.stats.StoredBytes += int64(len(jb) + len(cb))
+	s.stats.CompressTime += time.Since(start)
+	// The plaintext of the last step stays resident as the chain head.
+	s.plainJ[s.n] = s.lastJ
+	s.plainC[s.n] = s.lastC
+	s.lastJ, s.lastC = nil, nil
+	s.bumpResident(int64(len(jb) + len(cb)))
+	s.forwardDone = true
+	return nil
+}
+
+// Fetch implements Store. Steps must be fetched in reverse order; each
+// decompression uses the plaintext of step i+1 as its reference.
+func (s *CompressedStore) Fetch(step int) ([]float64, []float64, error) {
+	if !s.forwardDone {
+		return nil, nil, fmt.Errorf("jactensor: Fetch before EndForward")
+	}
+	if step < 0 || step > s.n {
+		return nil, nil, fmt.Errorf("jactensor: fetch step %d of %d", step, s.n)
+	}
+	if j, ok := s.plainJ[step]; ok {
+		return j, s.plainC[step], nil
+	}
+	var refJ, refC []float64
+	if step < s.n {
+		var ok bool
+		refJ, ok = s.plainJ[step+1]
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: step %d needs step %d resident", ErrOutOfOrder, step, step+1)
+		}
+		refC = s.plainC[step+1]
+	}
+	start := time.Now()
+	jv := make([]float64, s.jLen)
+	cv := make([]float64, s.cLen)
+	if err := s.jc.Decompress(jv, s.jBlobs[step], refJ); err != nil {
+		return nil, nil, fmt.Errorf("jactensor: step %d J: %w", step, err)
+	}
+	if err := s.cc.Decompress(cv, s.cBlobs[step], refC); err != nil {
+		return nil, nil, fmt.Errorf("jactensor: step %d C: %w", step, err)
+	}
+	s.stats.DecompressTime += time.Since(start)
+	s.plainJ[step] = jv
+	s.plainC[step] = cv
+	s.bumpResident(int64(8 * (len(jv) + len(cv))))
+	return jv, cv, nil
+}
+
+// Release implements Store.
+func (s *CompressedStore) Release(step int) {
+	if v, ok := s.plainJ[step]; ok {
+		s.bumpResident(-int64(8 * len(v)))
+		delete(s.plainJ, step)
+	}
+	if v, ok := s.plainC[step]; ok {
+		s.bumpResident(-int64(8 * len(v)))
+		delete(s.plainC, step)
+	}
+}
+
+// Stats implements Store.
+func (s *CompressedStore) Stats() Stats { return s.stats }
+
+// Close implements Store.
+func (s *CompressedStore) Close() error {
+	s.jBlobs, s.cBlobs = nil, nil
+	s.plainJ, s.plainC = nil, nil
+	return nil
+}

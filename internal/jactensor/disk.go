@@ -1,0 +1,126 @@
+package jactensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"masc/internal/diskio"
+)
+
+// DiskStore spills every step to a (bandwidth-throttled) spill file — the
+// "save Jacobians to disk" strategy the paper's Figure 7 shows losing to
+// in-memory compression by ~6×.
+type DiskStore struct {
+	spill        *diskio.Store
+	jOffs, cOffs []int64
+	jLen, cLen   int
+	forwardDone  bool
+	stats        Stats
+	scratch      []byte
+	jBuf, cBuf   []float64
+}
+
+// NewDiskStore creates a spill-backed store. dir may be empty (temp dir);
+// bytesPerSec of 0 disables the bandwidth model.
+func NewDiskStore(dir string, bytesPerSec float64) (*DiskStore, error) {
+	sp, err := diskio.Create(dir, bytesPerSec)
+	if err != nil {
+		return nil, err
+	}
+	return &DiskStore{spill: sp}, nil
+}
+
+func (s *DiskStore) encode(vals []float64) []byte {
+	need := 8 * len(vals)
+	if cap(s.scratch) < need {
+		s.scratch = make([]byte, need)
+	}
+	buf := s.scratch[:need]
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// Put implements Store.
+func (s *DiskStore) Put(step int, jVals, cVals []float64) error {
+	if s.forwardDone {
+		return fmt.Errorf("jactensor: Put after EndForward")
+	}
+	if step != len(s.jOffs) {
+		return fmt.Errorf("jactensor: put step %d out of order (expected %d)", step, len(s.jOffs))
+	}
+	if step == 0 {
+		s.jLen, s.cLen = len(jVals), len(cVals)
+	}
+	off, err := s.spill.Append(s.encode(jVals))
+	if err != nil {
+		return err
+	}
+	s.jOffs = append(s.jOffs, off)
+	off, err = s.spill.Append(s.encode(cVals))
+	if err != nil {
+		return err
+	}
+	s.cOffs = append(s.cOffs, off)
+	s.stats.Steps++
+	s.stats.RawBytes += int64(8 * (len(jVals) + len(cVals)))
+	return nil
+}
+
+// EndForward implements Store.
+func (s *DiskStore) EndForward() error {
+	s.forwardDone = true
+	s.stats.StoredBytes = s.spill.Size()
+	s.stats.PeakResident = int64(8 * (s.jLen + s.cLen)) // streaming buffers only
+	return nil
+}
+
+// Fetch implements Store.
+func (s *DiskStore) Fetch(step int) ([]float64, []float64, error) {
+	if step < 0 || step >= len(s.jOffs) {
+		return nil, nil, fmt.Errorf("jactensor: fetch step %d of %d", step, len(s.jOffs))
+	}
+	start := time.Now()
+	if len(s.jBuf) != s.jLen {
+		s.jBuf = make([]float64, s.jLen)
+		s.cBuf = make([]float64, s.cLen)
+	}
+	read := func(dst []float64, off int64) error {
+		need := 8 * len(dst)
+		if cap(s.scratch) < need {
+			s.scratch = make([]byte, need)
+		}
+		raw := s.scratch[:need]
+		if err := s.spill.ReadAt(raw, off); err != nil {
+			return err
+		}
+		for i := range dst {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+		return nil
+	}
+	if err := read(s.jBuf, s.jOffs[step]); err != nil {
+		return nil, nil, err
+	}
+	if err := read(s.cBuf, s.cOffs[step]); err != nil {
+		return nil, nil, err
+	}
+	s.stats.IOTime += time.Since(start)
+	return s.jBuf, s.cBuf, nil
+}
+
+// Release implements Store; the disk store reuses one fetch buffer.
+func (s *DiskStore) Release(int) {}
+
+// Stats implements Store.
+func (s *DiskStore) Stats() Stats {
+	st := s.stats
+	st.IOTime = s.spill.IOTime()
+	return st
+}
+
+// Close implements Store, removing the spill file.
+func (s *DiskStore) Close() error { return s.spill.Close() }

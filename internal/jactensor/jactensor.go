@@ -1,0 +1,103 @@
+// Package jactensor manages the Jacobian tensor — the sequence of J and C
+// matrices produced by forward integration and consumed in reverse by the
+// adjoint sweep. It provides the four storage strategies the MASC paper
+// compares: raw in-memory, disk spill, compressed in-memory (MASC or any
+// baseline codec), and — via the adjoint package — full recomputation.
+package jactensor
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrOutOfOrder reports a Fetch that violates the reverse-sequential
+// contract of a chained (compressed) store.
+var ErrOutOfOrder = errors.New("jactensor: compressed store must be fetched in reverse step order")
+
+// Stats describes a store's footprint and time costs.
+type Stats struct {
+	Steps          int
+	RawBytes       int64 // total uncompressed payload (the paper's S_NZ)
+	StoredBytes    int64 // bytes held by the store after EndForward
+	PeakResident   int64 // peak resident memory bytes during the run
+	CompressTime   time.Duration
+	DecompressTime time.Duration
+	IOTime         time.Duration
+}
+
+// Store retains per-step (J values, C values) pairs written forward and
+// read back in reverse. All implementations also satisfy the adjoint
+// package's JacobianSource interface.
+type Store interface {
+	// Put records step i's tensors. Steps arrive in increasing order
+	// starting at 0. The slices are owned by the caller and copied.
+	Put(step int, jVals, cVals []float64) error
+	// EndForward marks the end of forward integration; it must be called
+	// before the first Fetch.
+	EndForward() error
+	// Fetch returns step i's tensors. Compressed stores require strictly
+	// decreasing fetch order from the last step down to 0.
+	Fetch(step int) (jVals, cVals []float64, err error)
+	// Release declares step i dead; stores may free its memory.
+	Release(step int)
+	Stats() Stats
+	Close() error
+}
+
+// MemStore keeps every step uncompressed in memory — the fastest and most
+// memory-hungry strategy (the paper's Figure 1 overhead).
+type MemStore struct {
+	j, c  [][]float64
+	stats Stats
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Put implements Store.
+func (s *MemStore) Put(step int, jVals, cVals []float64) error {
+	if step != len(s.j) {
+		return fmt.Errorf("jactensor: put step %d out of order (have %d)", step, len(s.j))
+	}
+	s.j = append(s.j, append([]float64(nil), jVals...))
+	s.c = append(s.c, append([]float64(nil), cVals...))
+	s.stats.Steps++
+	s.stats.RawBytes += int64(8 * (len(jVals) + len(cVals)))
+	return nil
+}
+
+// EndForward implements Store.
+func (s *MemStore) EndForward() error {
+	s.stats.StoredBytes = s.stats.RawBytes
+	s.stats.PeakResident = s.stats.RawBytes
+	return nil
+}
+
+// Fetch implements Store.
+func (s *MemStore) Fetch(step int) ([]float64, []float64, error) {
+	if step < 0 || step >= len(s.j) {
+		return nil, nil, fmt.Errorf("jactensor: fetch step %d of %d", step, len(s.j))
+	}
+	if s.j[step] == nil {
+		return nil, nil, fmt.Errorf("jactensor: step %d already released", step)
+	}
+	return s.j[step], s.c[step], nil
+}
+
+// Release implements Store.
+func (s *MemStore) Release(step int) {
+	if step >= 0 && step < len(s.j) {
+		s.j[step] = nil
+		s.c[step] = nil
+	}
+}
+
+// Stats implements Store.
+func (s *MemStore) Stats() Stats { return s.stats }
+
+// Close implements Store.
+func (s *MemStore) Close() error {
+	s.j, s.c = nil, nil
+	return nil
+}

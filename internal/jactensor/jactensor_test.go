@@ -1,0 +1,311 @@
+package jactensor
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"masc/internal/compress"
+	"masc/internal/compress/chimpz"
+	"masc/internal/compress/gzipz"
+	"masc/internal/compress/masczip"
+	"masc/internal/sparse"
+)
+
+// tensorFixture builds a steps-long sequence of (J,C) value arrays over an
+// MNA-like pattern.
+func tensorFixture(seed int64, n, steps int) (jp, cp *sparse.Pattern, js, cs [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	build := func(extra int) *sparse.Pattern {
+		b := sparse.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			b.Add(int32(i), int32(i))
+			j := int32((i + 1) % n)
+			b.Add(int32(i), j)
+			b.Add(j, int32(i))
+		}
+		for e := 0; e < extra; e++ {
+			b.Add(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		return b.Build()
+	}
+	jp = build(3 * n)
+	cp = build(n)
+	jv := make([]float64, jp.NNZ())
+	cv := make([]float64, cp.NNZ())
+	for i := range jv {
+		jv[i] = rng.NormFloat64() * 100
+	}
+	for i := range cv {
+		cv[i] = rng.NormFloat64() * 1e-9
+	}
+	for s := 0; s < steps; s++ {
+		js = append(js, append([]float64(nil), jv...))
+		cs = append(cs, append([]float64(nil), cv...))
+		// Like a real circuit, only the nonlinear-device slots move
+		// between timesteps; linear stamps are bit-identical.
+		for i := 0; i < len(jv)/8; i++ {
+			jv[rng.Intn(len(jv))] *= 1 + 1e-7*rng.NormFloat64()
+		}
+		for i := 0; i < len(cv)/7; i++ {
+			cv[rng.Intn(len(cv))] *= 1 + 1e-9*rng.NormFloat64()
+		}
+	}
+	return
+}
+
+// fillAndVerify pushes the fixture through the store and reads it back in
+// reverse, comparing bit-exactly (unless lossy).
+func fillAndVerify(t *testing.T, st Store, js, cs [][]float64) {
+	t.Helper()
+	for i := range js {
+		if err := st.Put(i, js[i], cs[i]); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if err := st.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	for i := len(js) - 1; i >= 0; i-- {
+		jv, cv, err := st.Fetch(i)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+		for k := range jv {
+			if math.Float64bits(jv[k]) != math.Float64bits(js[i][k]) {
+				t.Fatalf("step %d: J[%d] mismatch", i, k)
+			}
+		}
+		for k := range cv {
+			if math.Float64bits(cv[k]) != math.Float64bits(cs[i][k]) {
+				t.Fatalf("step %d: C[%d] mismatch", i, k)
+			}
+		}
+		if i < len(js)-1 {
+			st.Release(i + 1)
+		}
+	}
+	stats := st.Stats()
+	if stats.Steps != len(js) {
+		t.Fatalf("stats.Steps = %d, want %d", stats.Steps, len(js))
+	}
+	if stats.RawBytes != int64(8*(len(js[0])+len(cs[0]))*len(js)) {
+		t.Fatalf("stats.RawBytes = %d", stats.RawBytes)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemStoreRoundTrip(t *testing.T) {
+	_, _, js, cs := tensorFixture(1, 40, 12)
+	fillAndVerify(t, NewMemStore(), js, cs)
+}
+
+func TestCompressedStoreMASC(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(2, 40, 12)
+	st := NewCompressedStore(masczip.New(jp, masczip.Options{}), masczip.New(cp, masczip.Options{}), jp, cp)
+	fillAndVerify(t, st, js, cs)
+}
+
+func TestCompressedStoreMarkovParallel(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(3, 60, 20)
+	opt := masczip.Options{Markov: true, CalibEvery: 5, Workers: 4}
+	st := NewCompressedStore(masczip.New(jp, opt), masczip.New(cp, opt), jp, cp)
+	fillAndVerify(t, st, js, cs)
+}
+
+func TestCompressedStoreGenericCodecs(t *testing.T) {
+	_, _, js, cs := tensorFixture(4, 30, 8)
+	for _, mk := range []func() compress.Compressor{
+		func() compress.Compressor { return gzipz.New() },
+		func() compress.Compressor { return chimpz.New() },
+		func() compress.Compressor { return chimpz.NewTemporal() },
+	} {
+		st := NewCompressedStore(mk(), mk(), nil, nil)
+		fillAndVerify(t, st, js, cs)
+	}
+}
+
+func TestCompressedStoreShrinks(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(5, 80, 30)
+	st := NewCompressedStore(masczip.New(jp, masczip.Options{}), masczip.New(cp, masczip.Options{}), jp, cp)
+	for i := range js {
+		if err := st.Put(i, js[i], cs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.StoredBytes*4 > stats.RawBytes {
+		t.Fatalf("compression too weak: stored %d of %d raw", stats.StoredBytes, stats.RawBytes)
+	}
+	if stats.PeakResident >= stats.RawBytes {
+		t.Fatalf("peak resident %d not below raw %d", stats.PeakResident, stats.RawBytes)
+	}
+}
+
+func TestCompressedStoreOutOfOrderFetch(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(6, 20, 6)
+	st := NewCompressedStore(masczip.New(jp, masczip.Options{}), masczip.New(cp, masczip.Options{}), jp, cp)
+	for i := range js {
+		if err := st.Put(i, js[i], cs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	// Jumping straight to step 2 must fail: step 3's plaintext is absent.
+	if _, _, err := st.Fetch(2); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("expected ErrOutOfOrder, got %v", err)
+	}
+	// Fetching in order works, including re-fetching a resident step.
+	if _, _, err := st.Fetch(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Fetch(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Fetch(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressedStorePutValidation(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(7, 20, 3)
+	st := NewCompressedStore(masczip.New(jp, masczip.Options{}), masczip.New(cp, masczip.Options{}), jp, cp)
+	if err := st.Put(1, js[1], cs[1]); err == nil {
+		t.Fatal("expected out-of-order put error")
+	}
+	if err := st.Put(0, js[0], cs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(1, js[1][:3], cs[1]); err == nil {
+		t.Fatal("expected length-change error")
+	}
+	if err := st.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(1, js[1], cs[1]); err == nil {
+		t.Fatal("expected put-after-EndForward error")
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	_, _, js, cs := tensorFixture(8, 40, 10)
+	st, err := NewDiskStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillAndVerify(t, st, js, cs)
+}
+
+func TestDiskStoreThrottleAccounting(t *testing.T) {
+	_, _, js, cs := tensorFixture(9, 40, 6)
+	// 10 MB/s: small data, but the simulated time must register.
+	st, err := NewDiskStore(t.TempDir(), 10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range js {
+		if err := st.Put(i, js[i], cs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.StoredBytes != stats.RawBytes {
+		t.Fatalf("disk store stored %d, want raw %d", stats.StoredBytes, stats.RawBytes)
+	}
+	wantMin := float64(stats.RawBytes) / 10e6
+	if stats.IOTime.Seconds() < wantMin*0.9 {
+		t.Fatalf("throttled IO time %v below the bandwidth model's %vs", stats.IOTime, wantMin)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemStoreReleaseFrees(t *testing.T) {
+	_, _, js, cs := tensorFixture(10, 20, 4)
+	st := NewMemStore()
+	for i := range js {
+		if err := st.Put(i, js[i], cs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	st.Release(2)
+	if _, _, err := st.Fetch(2); err == nil {
+		t.Fatal("expected error fetching a released step")
+	}
+	if _, _, err := st.Fetch(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTensorFileRoundTrip(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(42, 30, 7)
+	var buf bytes.Buffer
+	if err := WriteTensorFile(&buf, jp, cp, js, cs); err != nil {
+		t.Fatal(err)
+	}
+	jp2, cp2, js2, cs2, err := ReadTensorFile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jp2.N != jp.N || jp2.NNZ() != jp.NNZ() || cp2.N != cp.N || cp2.NNZ() != cp.NNZ() {
+		t.Fatal("pattern shape mismatch")
+	}
+	for i := range jp.ColIdx {
+		if jp2.ColIdx[i] != jp.ColIdx[i] {
+			t.Fatal("J pattern mismatch")
+		}
+	}
+	if len(js2) != len(js) {
+		t.Fatalf("step count %d, want %d", len(js2), len(js))
+	}
+	for s := range js {
+		for k := range js[s] {
+			if math.Float64bits(js2[s][k]) != math.Float64bits(js[s][k]) {
+				t.Fatalf("J value mismatch at step %d", s)
+			}
+		}
+		for k := range cs[s] {
+			if math.Float64bits(cs2[s][k]) != math.Float64bits(cs[s][k]) {
+				t.Fatalf("C value mismatch at step %d", s)
+			}
+		}
+	}
+}
+
+func TestTensorFileErrors(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(43, 10, 3)
+	var buf bytes.Buffer
+	if err := WriteTensorFile(&buf, jp, cp, js, cs); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, _, _, _, err := ReadTensorFile(bytes.NewReader(full[:10])); err == nil {
+		t.Fatal("expected error on truncated header")
+	}
+	if _, _, _, _, err := ReadTensorFile(bytes.NewReader(full[:len(full)-5])); err == nil {
+		t.Fatal("expected error on truncated payload")
+	}
+	bad := append([]byte("NOTMAGIC"), full[8:]...)
+	if _, _, _, _, err := ReadTensorFile(bytes.NewReader(bad)); err == nil {
+		t.Fatal("expected error on bad magic")
+	}
+	if err := WriteTensorFile(&buf, jp, cp, js, cs[:2]); err == nil {
+		t.Fatal("expected error on mismatched step counts")
+	}
+}

@@ -1,0 +1,93 @@
+package lu
+
+import (
+	"sort"
+
+	"masc/internal/sparse"
+)
+
+// RCM computes a reverse Cuthill–McKee ordering of the symmetrized pattern
+// A + Aᵀ. The returned permutation lists original indices in factorization
+// order and is suitable as Options.ColPerm: it reduces bandwidth (and hence
+// LU fill) dramatically on mesh-like circuits.
+func RCM(p *sparse.Pattern) []int32 {
+	n := p.N
+	// Build symmetric adjacency (excluding self loops).
+	adjPtr := make([]int32, n+1)
+	deg := make([]int32, n)
+	count := func(i, j int32) {
+		if i != j {
+			deg[i]++
+		}
+	}
+	tr := p.TransposeSlots()
+	for i := int32(0); i < int32(n); i++ {
+		for k := p.RowPtr[i]; k < p.RowPtr[i+1]; k++ {
+			j := p.ColIdx[k]
+			count(i, j)
+			if tr[k] < 0 { // (j,i) absent: add the mirrored edge
+				count(j, i)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		adjPtr[i+1] = adjPtr[i] + deg[i]
+	}
+	adj := make([]int32, adjPtr[n])
+	next := make([]int32, n)
+	copy(next, adjPtr[:n])
+	put := func(i, j int32) {
+		if i != j {
+			adj[next[i]] = j
+			next[i]++
+		}
+	}
+	for i := int32(0); i < int32(n); i++ {
+		for k := p.RowPtr[i]; k < p.RowPtr[i+1]; k++ {
+			j := p.ColIdx[k]
+			put(i, j)
+			if tr[k] < 0 {
+				put(j, i)
+			}
+		}
+	}
+
+	order := make([]int32, 0, n)
+	visited := make([]bool, n)
+	queue := make([]int32, 0, n)
+	// Process every connected component, starting each from a minimum-degree
+	// node (a cheap pseudo-peripheral choice).
+	nodesByDeg := make([]int32, n)
+	for i := range nodesByDeg {
+		nodesByDeg[i] = int32(i)
+	}
+	sort.Slice(nodesByDeg, func(a, b int) bool { return deg[nodesByDeg[a]] < deg[nodesByDeg[b]] })
+	for _, start := range nodesByDeg {
+		if visited[start] {
+			continue
+		}
+		visited[start] = true
+		queue = append(queue[:0], start)
+		order = append(order, start)
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			// Gather unvisited neighbours, then append in degree order.
+			lo := len(queue)
+			for a := adjPtr[u]; a < adjPtr[u+1]; a++ {
+				v := adj[a]
+				if !visited[v] {
+					visited[v] = true
+					queue = append(queue, v)
+				}
+			}
+			nb := queue[lo:]
+			sort.Slice(nb, func(a, b int) bool { return deg[nb[a]] < deg[nb[b]] })
+			order = append(order, nb...)
+		}
+	}
+	// Reverse (the "R" in RCM).
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}

@@ -1,0 +1,23 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary text at the netlist parser: it must return a
+// deck or an error, never panic.
+func FuzzParse(f *testing.F) {
+	f.Add(rcDeck)
+	f.Add("t\n.subckt s a\nR1 a 0 1k\n.ends\nX1 n s\nR2 n 0 1\n.tran 1u 2u\n")
+	f.Add("t\nV1 a 0 PULSE(0 1 0 1n 1n 1u 2u)\nR1 a 0 1k\n")
+	f.Add("t\nM1 d g s mn\n.model mn NMOS KP=1e-4\nR1 d 0 1k\n")
+	f.Add(".tran\n+ 1u")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Parse(strings.NewReader(input))
+		if err == nil && d.Ckt == nil {
+			t.Fatal("nil circuit without error")
+		}
+	})
+}

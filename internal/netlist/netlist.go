@@ -1,0 +1,759 @@
+// Package netlist parses a SPICE-subset netlist into a simulatable
+// circuit. Supported cards:
+//
+//	R/C/L<name> n1 n2 <value>
+//	V/I<name> n+ n- [DC <v>] [SIN(vo va freq [td theta])]
+//	                [PULSE(v1 v2 td tr tf pw per)] [PWL(t1 v1 t2 v2 ...)]
+//	G<name> n+ n- nc+ nc- <gm>     (VCCS)
+//	E<name> n+ n- nc+ nc- <gain>   (VCVS)
+//	D<name> na nc [model] [IS=…] [N=…]
+//	Q<name> nc nb ne [model]
+//	M<name> nd ng ns [model] [KP=…] [VTO=…] [LAMBDA=…]
+//	.subckt <name> <ports…> / .ends — subcircuit definitions
+//	X<name> <nodes…> <subcktname>  — subcircuit instances (nestable)
+//	.model <name> <D|NPN|PNP|NMOS|PMOS> [PARAM=…]...
+//	.tran <tstep> <tstop>
+//	.obj v(<node>) ...      — sensitivity objectives (final-state voltages)
+//	.end
+//
+// Engineering suffixes (f p n u m k meg g t) are honoured on all numbers.
+// Lines starting with '*' are comments; '+' continues the previous line;
+// the first line is treated as the title, as in SPICE.
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"masc/internal/adjoint"
+	"masc/internal/circuit"
+	"masc/internal/device"
+	"masc/internal/transient"
+)
+
+// Deck is the parsed netlist: an assembled circuit plus analysis cards.
+type Deck struct {
+	Title      string
+	Ckt        *circuit.Circuit
+	Bld        *circuit.Builder
+	Tran       transient.Options
+	HasTran    bool
+	Objectives []adjoint.Objective
+	// Prints lists the .print waveform outputs.
+	Prints []PrintVar
+}
+
+// PrintVar is one .print output column.
+type PrintVar struct {
+	Name string
+	Node int32
+}
+
+type model struct {
+	kind   string
+	params map[string]float64
+}
+
+// subckt is a captured .subckt definition.
+type subckt struct {
+	ports []string
+	lines []string
+}
+
+// scope maps a subcircuit instance's local node names to global ones.
+type scope struct {
+	prefix string
+	ports  map[string]string
+	parent *scope
+}
+
+type parser struct {
+	b      *circuit.Builder
+	models map[string]*model
+	deck   *Deck
+	// objective node names, resolved after all devices are added
+	objNodes []string
+
+	subckts map[string]*subckt
+	capture *subckt // non-nil while inside .subckt … .ends
+	scope   *scope  // non-nil while expanding an X instance
+	depth   int
+
+	printNodes []string
+}
+
+// mapNode resolves a (possibly subcircuit-local) node name to its global
+// name. Ground is global everywhere.
+func (p *parser) mapNode(name string) string {
+	if name == "0" || name == "gnd" || name == "GND" {
+		return name
+	}
+	if p.scope == nil {
+		return name
+	}
+	if g, ok := p.scope.ports[name]; ok {
+		return g
+	}
+	return p.scope.prefix + name
+}
+
+// mapName prefixes a device name with the instance path.
+func (p *parser) mapName(name string) string {
+	if p.scope == nil {
+		return name
+	}
+	return p.scope.prefix + name
+}
+
+// Parse reads a netlist from r.
+func Parse(r io.Reader) (*Deck, error) {
+	p := &parser{
+		b:       circuit.NewBuilder(),
+		models:  map[string]*model{},
+		deck:    &Deck{},
+		subckts: map[string]*subckt{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lines []string
+	for sc.Scan() {
+		raw := strings.TrimRight(sc.Text(), " \t\r")
+		if raw == "" {
+			continue
+		}
+		if strings.HasPrefix(raw, "+") && len(lines) > 0 {
+			lines[len(lines)-1] += " " + strings.TrimPrefix(raw, "+")
+			continue
+		}
+		lines = append(lines, raw)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("netlist: empty input")
+	}
+	p.deck.Title = lines[0]
+	for ln, raw := range lines[1:] {
+		if err := p.line(raw); err != nil {
+			return nil, fmt.Errorf("netlist: line %d (%q): %w", ln+2, raw, err)
+		}
+	}
+	if p.capture != nil {
+		return nil, fmt.Errorf("netlist: unterminated .subckt (missing .ends)")
+	}
+	ckt, err := p.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	p.deck.Ckt = ckt
+	p.deck.Bld = p.b
+	for _, name := range p.objNodes {
+		idx, err := p.b.NodeIndex(name)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: .obj: %w", err)
+		}
+		p.deck.Objectives = append(p.deck.Objectives, adjoint.Objective{
+			Name: "v(" + name + ")", Node: idx, Weight: 1,
+		})
+	}
+	for _, name := range p.printNodes {
+		idx, err := p.b.NodeIndex(name)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: .print: %w", err)
+		}
+		p.deck.Prints = append(p.deck.Prints, PrintVar{Name: "v(" + name + ")", Node: idx})
+	}
+	return p.deck, nil
+}
+
+// fields tokenizes a card, keeping function-call groups like SIN( … )
+// together as one token.
+func fields(s string) []string {
+	var out []string
+	depth := 0
+	cur := strings.Builder{}
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == '(':
+			depth++
+			cur.WriteRune(r)
+		case r == ')':
+			depth--
+			cur.WriteRune(r)
+		case (r == ' ' || r == '\t' || r == ',') && depth == 0:
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+// number parses a SPICE number with engineering suffix.
+func number(tok string) (float64, error) {
+	t := strings.ToLower(strings.TrimSpace(tok))
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(t, "meg"):
+		mult, t = 1e6, t[:len(t)-3]
+	case strings.HasSuffix(t, "mil"):
+		mult, t = 25.4e-6, t[:len(t)-3]
+	default:
+		if len(t) > 0 {
+			switch t[len(t)-1] {
+			case 'f':
+				mult, t = 1e-15, t[:len(t)-1]
+			case 'p':
+				mult, t = 1e-12, t[:len(t)-1]
+			case 'n':
+				mult, t = 1e-9, t[:len(t)-1]
+			case 'u':
+				mult, t = 1e-6, t[:len(t)-1]
+			case 'm':
+				mult, t = 1e-3, t[:len(t)-1]
+			case 'k':
+				mult, t = 1e3, t[:len(t)-1]
+			case 'g':
+				mult, t = 1e9, t[:len(t)-1]
+			case 't':
+				mult, t = 1e12, t[:len(t)-1]
+			}
+		}
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", tok)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite number %q", tok)
+	}
+	return v * mult, nil
+}
+
+// kvParams parses NAME=VALUE tokens.
+func kvParams(toks []string) (map[string]float64, []string, error) {
+	params := map[string]float64{}
+	var rest []string
+	for _, t := range toks {
+		if i := strings.IndexByte(t, '='); i > 0 {
+			v, err := number(t[i+1:])
+			if err != nil {
+				return nil, nil, err
+			}
+			params[strings.ToUpper(t[:i])] = v
+			continue
+		}
+		rest = append(rest, t)
+	}
+	return params, rest, nil
+}
+
+func (p *parser) line(raw string) error {
+	if strings.HasPrefix(raw, "*") {
+		return nil
+	}
+	toks := fields(raw)
+	if len(toks) == 0 {
+		return nil
+	}
+	head := strings.ToUpper(toks[0])
+	// Inside a .subckt definition, capture lines verbatim until .ends.
+	if p.capture != nil {
+		if head == ".ENDS" {
+			p.capture = nil
+			return nil
+		}
+		if head == ".SUBCKT" {
+			return fmt.Errorf("nested .subckt definitions are not supported")
+		}
+		p.capture.lines = append(p.capture.lines, raw)
+		return nil
+	}
+	switch {
+	case head == ".END":
+		return nil
+	case head == ".SUBCKT":
+		return p.subcktCard(toks[1:])
+	case head == ".ENDS":
+		return fmt.Errorf(".ends without .subckt")
+	case head == ".MODEL":
+		return p.modelCard(toks[1:])
+	case head == ".TRAN":
+		return p.tranCard(toks[1:])
+	case head == ".OBJ" || head == ".SENSOBJ":
+		return p.objCard(toks[1:])
+	case head == ".PRINT":
+		return p.printCard(toks[1:])
+	case head == ".OPTIONS":
+		return p.optionsCard(toks[1:])
+	case head[0] == '.':
+		return fmt.Errorf("unsupported card %s", head)
+	case head[0] == 'R':
+		return p.twoTerm(toks, "R")
+	case head[0] == 'C':
+		return p.twoTerm(toks, "C")
+	case head[0] == 'L':
+		return p.twoTerm(toks, "L")
+	case head[0] == 'V':
+		return p.source(toks, true)
+	case head[0] == 'I':
+		return p.source(toks, false)
+	case head[0] == 'X':
+		return p.instance(toks)
+	case head[0] == 'G':
+		return p.controlled(toks, false)
+	case head[0] == 'E':
+		return p.controlled(toks, true)
+	case head[0] == 'D':
+		return p.diode(toks)
+	case head[0] == 'Q':
+		return p.bjt(toks)
+	case head[0] == 'M':
+		return p.mosfet(toks)
+	default:
+		return fmt.Errorf("unsupported element %q", toks[0])
+	}
+}
+
+// subcktCard begins capturing a definition: .subckt NAME port1 port2 …
+func (p *parser) subcktCard(toks []string) error {
+	if len(toks) < 2 {
+		return fmt.Errorf(".subckt needs a name and at least one port")
+	}
+	name := strings.ToUpper(toks[0])
+	if _, dup := p.subckts[name]; dup {
+		return fmt.Errorf("duplicate .subckt %s", toks[0])
+	}
+	def := &subckt{ports: append([]string(nil), toks[1:]...)}
+	p.subckts[name] = def
+	p.capture = def
+	return nil
+}
+
+// instance expands an X card: X<name> n1 n2 … SUBNAME.
+func (p *parser) instance(toks []string) error {
+	if len(toks) < 3 {
+		return fmt.Errorf("subcircuit instance needs nodes and a name")
+	}
+	def, ok := p.subckts[strings.ToUpper(toks[len(toks)-1])]
+	if !ok {
+		return fmt.Errorf("unknown subcircuit %q", toks[len(toks)-1])
+	}
+	conns := toks[1 : len(toks)-1]
+	if len(conns) != len(def.ports) {
+		return fmt.Errorf("instance %s connects %d nodes, subcircuit has %d ports",
+			toks[0], len(conns), len(def.ports))
+	}
+	if p.depth >= 20 {
+		return fmt.Errorf("subcircuit nesting deeper than 20 (recursive instance?)")
+	}
+	ports := make(map[string]string, len(conns))
+	for i, port := range def.ports {
+		ports[port] = p.mapNode(conns[i])
+	}
+	p.scope = &scope{
+		prefix: p.mapName(toks[0]) + ".",
+		ports:  ports,
+		parent: p.scope,
+	}
+	p.depth++
+	defer func() {
+		p.scope = p.scope.parent
+		p.depth--
+	}()
+	for _, l := range def.lines {
+		if err := p.line(l); err != nil {
+			return fmt.Errorf("in %s: %w", toks[0], err)
+		}
+	}
+	return nil
+}
+
+func (p *parser) modelCard(toks []string) error {
+	if len(toks) < 2 {
+		return fmt.Errorf(".model needs a name and a type")
+	}
+	params, rest, err := kvParams(toks[2:])
+	if err != nil {
+		return err
+	}
+	if len(rest) > 0 {
+		return fmt.Errorf("unexpected tokens %v in .model", rest)
+	}
+	p.models[strings.ToUpper(toks[0])] = &model{
+		kind:   strings.ToUpper(toks[1]),
+		params: params,
+	}
+	return nil
+}
+
+func (p *parser) tranCard(toks []string) error {
+	if len(toks) < 2 {
+		return fmt.Errorf(".tran needs <tstep> <tstop>")
+	}
+	step, err := number(toks[0])
+	if err != nil {
+		return err
+	}
+	stop, err := number(toks[1])
+	if err != nil {
+		return err
+	}
+	// Preserve any .options settings already parsed.
+	p.deck.Tran.TStep = step
+	p.deck.Tran.TStop = stop
+	p.deck.HasTran = true
+	return nil
+}
+
+func (p *parser) objCard(toks []string) error {
+	for _, t := range toks {
+		tl := strings.ToLower(t)
+		if !strings.HasPrefix(tl, "v(") || !strings.HasSuffix(tl, ")") {
+			return fmt.Errorf("objective %q must have the form v(node)", t)
+		}
+		p.objNodes = append(p.objNodes, t[2:len(t)-1])
+	}
+	return nil
+}
+
+// optionsCard handles the supported .options settings:
+// method=trap|be, reltol=, abstol=, gmin=.
+func (p *parser) optionsCard(toks []string) error {
+	for _, t := range toks {
+		i := strings.IndexByte(t, '=')
+		if i <= 0 {
+			return fmt.Errorf("option %q must have the form name=value", t)
+		}
+		key := strings.ToLower(t[:i])
+		val := strings.ToLower(t[i+1:])
+		switch key {
+		case "method":
+			switch val {
+			case "trap", "trapezoidal":
+				p.deck.Tran.Method = transient.MethodTrap
+			case "be", "euler", "gear1":
+				p.deck.Tran.Method = transient.MethodBE
+			default:
+				return fmt.Errorf("unknown integration method %q", val)
+			}
+		case "reltol":
+			v, err := number(val)
+			if err != nil {
+				return err
+			}
+			p.deck.Tran.RelTol = v
+		case "abstol":
+			v, err := number(val)
+			if err != nil {
+				return err
+			}
+			p.deck.Tran.AbsTol = v
+		case "gmin":
+			v, err := number(val)
+			if err != nil {
+				return err
+			}
+			p.deck.Tran.Gmin = v
+		default:
+			return fmt.Errorf("unsupported option %q", key)
+		}
+	}
+	return nil
+}
+
+// printCard records .print v(node) outputs; the SPICE "tran" type token is
+// accepted and ignored.
+func (p *parser) printCard(toks []string) error {
+	for _, t := range toks {
+		tl := strings.ToLower(t)
+		if tl == "tran" {
+			continue
+		}
+		if !strings.HasPrefix(tl, "v(") || !strings.HasSuffix(tl, ")") {
+			return fmt.Errorf("print variable %q must have the form v(node)", t)
+		}
+		p.printNodes = append(p.printNodes, t[2:len(t)-1])
+	}
+	return nil
+}
+
+func (p *parser) twoTerm(toks []string, kind string) error {
+	if len(toks) < 4 {
+		return fmt.Errorf("%s card needs 2 nodes and a value", kind)
+	}
+	v, err := number(toks[3])
+	if err != nil {
+		return err
+	}
+	name, n1, n2 := p.mapName(toks[0]), p.mapNode(toks[1]), p.mapNode(toks[2])
+	switch kind {
+	case "R":
+		p.b.AddResistor(name, n1, n2, v)
+	case "C":
+		p.b.AddCapacitor(name, n1, n2, v)
+	case "L":
+		p.b.AddInductor(name, n1, n2, v)
+	}
+	return nil
+}
+
+// waveform parses the source specification tokens after the node pair.
+func waveform(toks []string) (device.Waveform, error) {
+	if len(toks) == 0 {
+		return device.DC(0), nil
+	}
+	up := strings.ToUpper(toks[0])
+	switch {
+	case up == "DC":
+		if len(toks) < 2 {
+			return nil, fmt.Errorf("DC needs a value")
+		}
+		v, err := number(toks[1])
+		if err != nil {
+			return nil, err
+		}
+		return device.DC(v), nil
+	case strings.HasPrefix(up, "SIN("):
+		args, err := fnArgs(toks[0])
+		if err != nil || len(args) < 3 {
+			return nil, fmt.Errorf("SIN needs (vo va freq [td theta])")
+		}
+		w := device.Sin{VO: args[0], VA: args[1], Freq: args[2]}
+		if len(args) > 3 {
+			w.TD = args[3]
+		}
+		if len(args) > 4 {
+			w.Theta = args[4]
+		}
+		return w, nil
+	case strings.HasPrefix(up, "PULSE("):
+		args, err := fnArgs(toks[0])
+		if err != nil || len(args) < 7 {
+			return nil, fmt.Errorf("PULSE needs (v1 v2 td tr tf pw per)")
+		}
+		return device.Pulse{
+			V1: args[0], V2: args[1], TD: args[2],
+			TR: args[3], TF: args[4], PW: args[5], PE: args[6],
+		}, nil
+	case strings.HasPrefix(up, "PWL("):
+		args, err := fnArgs(toks[0])
+		if err != nil || len(args) < 2 || len(args)%2 != 0 {
+			return nil, fmt.Errorf("PWL needs (t1 v1 t2 v2 ...)")
+		}
+		w := device.PWL{}
+		for i := 0; i < len(args); i += 2 {
+			w.T = append(w.T, args[i])
+			w.V = append(w.V, args[i+1])
+		}
+		for i := 1; i < len(w.T); i++ {
+			if w.T[i] < w.T[i-1] {
+				return nil, fmt.Errorf("PWL times must ascend")
+			}
+		}
+		return w, nil
+	default:
+		// Bare value: DC level.
+		v, err := number(toks[0])
+		if err != nil {
+			return nil, err
+		}
+		return device.DC(v), nil
+	}
+}
+
+// fnArgs parses "NAME(a b c)" into numbers.
+func fnArgs(tok string) ([]float64, error) {
+	open := strings.IndexByte(tok, '(')
+	if open < 0 || !strings.HasSuffix(tok, ")") {
+		return nil, fmt.Errorf("malformed %q", tok)
+	}
+	inner := tok[open+1 : len(tok)-1]
+	var out []float64
+	for _, f := range strings.Fields(strings.ReplaceAll(inner, ",", " ")) {
+		v, err := number(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func (p *parser) source(toks []string, voltage bool) error {
+	if len(toks) < 3 {
+		return fmt.Errorf("source needs 2 nodes")
+	}
+	w, err := waveform(toks[3:])
+	if err != nil {
+		return err
+	}
+	name, np, nn := p.mapName(toks[0]), p.mapNode(toks[1]), p.mapNode(toks[2])
+	if voltage {
+		p.b.AddVSource(name, np, nn, w)
+	} else {
+		p.b.AddISource(name, np, nn, w)
+	}
+	return nil
+}
+
+// controlled parses the SPICE G (VCCS) and E (VCVS) cards:
+// X<name> n+ n- nc+ nc- value.
+func (p *parser) controlled(toks []string, vcvs bool) error {
+	if len(toks) < 6 {
+		return fmt.Errorf("controlled source needs 4 nodes and a value")
+	}
+	v, err := number(toks[5])
+	if err != nil {
+		return err
+	}
+	name := p.mapName(toks[0])
+	np, nn := p.mapNode(toks[1]), p.mapNode(toks[2])
+	cp, cn := p.mapNode(toks[3]), p.mapNode(toks[4])
+	if vcvs {
+		p.b.AddVCVS(name, np, nn, cp, cn, v)
+	} else {
+		p.b.AddVCCS(name, np, nn, cp, cn, v)
+	}
+	return nil
+}
+
+func (p *parser) findModel(rest []string, wantKinds ...string) (*model, error) {
+	for _, t := range rest {
+		if m, ok := p.models[strings.ToUpper(t)]; ok {
+			for _, k := range wantKinds {
+				if m.kind == k {
+					return m, nil
+				}
+			}
+			return nil, fmt.Errorf("model %s has type %s, want %v", t, m.kind, wantKinds)
+		}
+	}
+	return nil, nil
+}
+
+func (p *parser) diode(toks []string) error {
+	if len(toks) < 3 {
+		return fmt.Errorf("diode needs 2 nodes")
+	}
+	params, rest, err := kvParams(toks[3:])
+	if err != nil {
+		return err
+	}
+	d := p.b.AddDiode(p.mapName(toks[0]), p.mapNode(toks[1]), p.mapNode(toks[2]))
+	m, err := p.findModel(rest, "D")
+	if err != nil {
+		return err
+	}
+	apply := func(ps map[string]float64) {
+		if v, ok := ps["IS"]; ok {
+			d.Is = v
+		}
+		if v, ok := ps["N"]; ok {
+			d.N = v
+		}
+	}
+	if m != nil {
+		apply(m.params)
+	}
+	apply(params)
+	return nil
+}
+
+func (p *parser) bjt(toks []string) error {
+	if len(toks) < 4 {
+		return fmt.Errorf("BJT needs 3 nodes (C B E)")
+	}
+	params, rest, err := kvParams(toks[4:])
+	if err != nil {
+		return err
+	}
+	q := p.b.AddBJT(p.mapName(toks[0]), p.mapNode(toks[1]), p.mapNode(toks[2]), p.mapNode(toks[3]))
+	m, err := p.findModel(rest, "NPN", "PNP")
+	if err != nil {
+		return err
+	}
+	apply := func(ps map[string]float64) {
+		if v, ok := ps["IS"]; ok {
+			q.Is = v
+		}
+		if v, ok := ps["BF"]; ok {
+			q.BF = v
+		}
+		if v, ok := ps["BR"]; ok {
+			q.BR = v
+		}
+		if v, ok := ps["CJE"]; ok {
+			q.CJE = v
+		}
+		if v, ok := ps["CJC"]; ok {
+			q.CJC = v
+		}
+		if v, ok := ps["TF"]; ok {
+			q.TF = v
+		}
+		if v, ok := ps["VAF"]; ok {
+			q.VAF = v
+		}
+	}
+	if m != nil {
+		if m.kind == "PNP" {
+			q.PNP = true
+		}
+		apply(m.params)
+	}
+	apply(params)
+	return nil
+}
+
+func (p *parser) mosfet(toks []string) error {
+	if len(toks) < 4 {
+		return fmt.Errorf("MOSFET needs 3 nodes (D G S)")
+	}
+	params, rest, err := kvParams(toks[4:])
+	if err != nil {
+		return err
+	}
+	mos := p.b.AddMOSFET(p.mapName(toks[0]), p.mapNode(toks[1]), p.mapNode(toks[2]), p.mapNode(toks[3]))
+	m, err := p.findModel(rest, "NMOS", "PMOS")
+	if err != nil {
+		return err
+	}
+	apply := func(ps map[string]float64) {
+		if v, ok := ps["KP"]; ok {
+			mos.KP = v
+		}
+		if v, ok := ps["VTO"]; ok {
+			mos.VTO = v
+		}
+		if v, ok := ps["LAMBDA"]; ok {
+			mos.Lambda = v
+		}
+		if v, ok := ps["CGS"]; ok {
+			mos.CGS = v
+		}
+		if v, ok := ps["CGD"]; ok {
+			mos.CGD = v
+		}
+	}
+	if m != nil {
+		if m.kind == "PMOS" {
+			mos.PMOS = true
+		}
+		apply(m.params)
+	}
+	apply(params)
+	return nil
+}

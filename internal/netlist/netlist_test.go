@@ -1,0 +1,448 @@
+package netlist
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"masc/internal/adjoint"
+	"masc/internal/jactensor"
+	"masc/internal/transient"
+)
+
+const rcDeck = `rc lowpass test
+* a comment
+Vin in 0 SIN(0 1 1k)
+R1 in out 1k
+C1 out 0 1u
+.tran 2u 1m
+.obj v(out)
+.end
+`
+
+func TestParseRC(t *testing.T) {
+	d, err := Parse(strings.NewReader(rcDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Title != "rc lowpass test" {
+		t.Fatalf("title = %q", d.Title)
+	}
+	if !d.HasTran || d.Tran.TStep != 2e-6 || d.Tran.TStop != 1e-3 {
+		t.Fatalf("tran card parsed as %+v", d.Tran)
+	}
+	if len(d.Objectives) != 1 || d.Objectives[0].Name != "v(out)" {
+		t.Fatalf("objectives: %+v", d.Objectives)
+	}
+	if d.Ckt.N != 3 { // in, out, branch
+		t.Fatalf("unknowns = %d, want 3", d.Ckt.N)
+	}
+}
+
+func TestParseAndSimulateEndToEnd(t *testing.T) {
+	d, err := Parse(strings.NewReader(rcDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := jactensor.NewMemStore()
+	opt := d.Tran
+	opt.Capture = nil
+	res, err := transient.Run(d.Ckt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = store
+	// ~1 kHz through a 1k/1µ lowpass (fc ≈ 159 Hz): output attenuated.
+	out := d.Objectives[0].Node
+	peak := 0.0
+	for i, tm := range res.Times {
+		if tm > 5e-4 && math.Abs(res.States[i][out]) > peak {
+			peak = math.Abs(res.States[i][out])
+		}
+	}
+	if peak < 0.05 || peak > 0.4 {
+		t.Fatalf("lowpass peak %g, want ≈0.157", peak)
+	}
+	// Sensitivity runs from the parsed deck.
+	sens, err := adjoint.Sensitivities(d.Ckt, res, adjoint.NewRecomputeSource(d.Ckt, res), d.Objectives, adjoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sens.DOdp) != 1 || len(sens.DOdp[0]) != len(d.Ckt.Params()) {
+		t.Fatal("bad sensitivity shape")
+	}
+}
+
+func TestContinuationLines(t *testing.T) {
+	deck := "title\nV1 a 0\n+ PULSE(0 5 0 1n 1n\n+ 10u 20u)\nR1 a 0 1k\n.tran 1u 10u\n"
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Ckt.N != 2 {
+		t.Fatalf("unknowns = %d", d.Ckt.N)
+	}
+}
+
+func TestModelsAndDevices(t *testing.T) {
+	deck := `full zoo
+.model dfast D IS=2e-14 N=1.5
+.model qn NPN BF=80 IS=1e-15
+.model qp PNP BF=40
+.model mn NMOS KP=2e-4 VTO=0.6
+.model mp PMOS KP=1e-4 VTO=0.55
+V1 vdd 0 DC 3
+D1 a b dfast
+D2 a b IS=5e-15
+Q1 c a e qn
+Q2 c a e qp
+M1 d g s mn LAMBDA=0.02
+M2 d g s mp
+R1 vdd a 1k
+R2 b 0 2.2k
+R3 c 0 1meg
+R4 e 0 470
+R5 d 0 10k
+R6 g 0 5k
+R7 s 0 3k
+L1 a d 1m
+I1 a 0 DC 1m
+.tran 1n 10n
+`
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Ckt.Devices); got != 16 {
+		t.Fatalf("device count = %d, want 16", got)
+	}
+}
+
+func TestNumberSuffixes(t *testing.T) {
+	cases := map[string]float64{
+		"1k": 1e3, "2.2u": 2.2e-6, "3n": 3e-9, "4p": 4e-12, "5f": 5e-15,
+		"1meg": 1e6, "2m": 2e-3, "7g": 7e9, "1.5t": 1.5e12, "42": 42,
+		"-3k": -3000, "1e-9": 1e-9,
+	}
+	for in, want := range cases {
+		got, err := number(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if math.Abs(got-want) > 1e-12*math.Abs(want) {
+			t.Fatalf("%q = %g, want %g", in, got, want)
+		}
+	}
+	if _, err := number("abc"); err == nil {
+		t.Fatal("expected error for garbage number")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"t\nR1 a b\n",                      // missing value
+		"t\nR1 a b 1k\n.frob\n",            // unknown card
+		"t\nX1 a b 1k\n",                   // unknown element
+		"t\nR1 a b 1k\n.obj foo\n",         // malformed objective
+		"t\nR1 a b 1k\n.obj v(zzz)\n",      // unknown node
+		"t\nR1 a b 1k\n.tran 1u\n",         // incomplete tran
+		"t\nV1 a 0 SIN(1)\nR1 a 0 1\n",     // short SIN
+		"t\nQ1 a b\nR1 a 0 1\n",            // BJT with 2 nodes
+		"t\n.model m1 D IS=xx\nR1 a 0 1\n", // bad model param
+	}
+	for i, deck := range bad {
+		if _, err := Parse(strings.NewReader(deck)); err == nil {
+			t.Fatalf("case %d: expected parse error", i)
+		}
+	}
+	if _, err := Parse(strings.NewReader("")); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestPWLSource(t *testing.T) {
+	deck := "t\nV1 a 0 PWL(0 0 1u 5 2u 5 3u 0)\nR1 a 0 1k\n.tran 0.1u 3u\n"
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transient.Run(d.Ckt, d.Tran)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := d.Bld.NodeIndex("a")
+	// At 1.5µs the PWL holds 5V.
+	for i, tm := range res.Times {
+		if tm > 1.4e-6 && tm < 1.6e-6 {
+			if math.Abs(res.States[i][a]-5) > 1e-6 {
+				t.Fatalf("v(a)=%g at t=%g, want 5", res.States[i][a], tm)
+			}
+		}
+	}
+}
+
+func TestControlledSources(t *testing.T) {
+	deck := `controlled
+V1 in 0 DC 2
+R1 in a 1k
+G1 b 0 a 0 1m
+R2 b 0 2k
+E1 c 0 b 0 3
+R3 c 0 1k
+.tran 1u 5u
+.obj v(c)
+`
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transient.Run(d.Ckt, d.Tran)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v(a)=2 (no load current), i = 1m·2 = 2mA into b: v(b) = -2m·2k = -4,
+	// v(c) = 3·v(b) = -12.
+	c, _ := d.Bld.NodeIndex("c")
+	got := res.States[len(res.States)-1][c]
+	if math.Abs(got+12) > 1e-6 {
+		t.Fatalf("v(c) = %g, want -12", got)
+	}
+	if _, err := Parse(strings.NewReader("t\nG1 a 0 b\nR1 a 0 1\n")); err == nil {
+		t.Fatal("expected error for short G card")
+	}
+}
+
+func TestSubcircuits(t *testing.T) {
+	deck := `hierarchical divider
+.subckt half top bot
+R1 top mid 1k
+R2 mid bot 1k
+.ends
+V1 in 0 DC 8
+X1 in q half
+X2 q 0 half
+.tran 1u 5u
+.obj v(q)
+`
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two instances × 2 resistors + source = 5 devices.
+	if len(d.Ckt.Devices) != 5 {
+		t.Fatalf("device count %d, want 5", len(d.Ckt.Devices))
+	}
+	res, err := transient.Run(d.Ckt, d.Tran)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := d.Bld.NodeIndex("q")
+	if got := res.States[len(res.States)-1][q]; math.Abs(got-4) > 1e-9 {
+		t.Fatalf("v(q) = %g, want 4 (midpoint of two equal halves)", got)
+	}
+	// Internal node of X1 got a prefixed global name.
+	if _, err := d.Bld.NodeIndex("X1.mid"); err != nil {
+		t.Fatal("internal node X1.mid not created")
+	}
+}
+
+func TestNestedSubcircuits(t *testing.T) {
+	deck := `nested
+.subckt unit a b
+R1 a b 1k
+.ends
+.subckt pair p q
+Xu1 p m unit
+Xu2 m q unit
+.ends
+V1 in 0 DC 6
+X1 in out pair
+R9 out 0 1k
+.tran 1u 3u
+`
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transient.Run(d.Ckt, d.Tran)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := d.Bld.NodeIndex("out")
+	// 6V through 2k into 1k load: v(out) = 2.
+	if got := res.States[len(res.States)-1][out]; math.Abs(got-2) > 1e-9 {
+		t.Fatalf("v(out) = %g, want 2", got)
+	}
+	// Doubly-nested internal node name.
+	if _, err := d.Bld.NodeIndex("X1.m"); err != nil {
+		t.Fatal("internal node X1.m missing")
+	}
+}
+
+func TestSubcircuitErrors(t *testing.T) {
+	bad := []string{
+		"t\n.subckt s a\nR1 a 0 1\n",                                                // missing .ends
+		"t\n.ends\nR1 a 0 1\n",                                                      // stray .ends
+		"t\n.subckt s a\nR1 a 0 1\n.ends\nX1 b c s\nR2 b 0 1\n",                     // port count
+		"t\nX1 a b nosuch\nR1 a 0 1\n",                                              // unknown subckt
+		"t\n.subckt s a\n.subckt t b\n.ends\n.ends\n",                               // nested definition
+		"t\n.subckt s a\nR1 a 0 1\n.ends\n.subckt s a\nR1 a 0 1\n.ends\nR9 x 0 1\n", // duplicate
+	}
+	for i, deckTxt := range bad {
+		if _, err := Parse(strings.NewReader(deckTxt)); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	// Recursive instantiation must be rejected by the depth cap.
+	rec := "t\n.subckt s a\nXr a s\nR1 a 0 1\n.ends\nX1 n s\nR2 n 0 1\n"
+	if _, err := Parse(strings.NewReader(rec)); err == nil {
+		t.Fatal("expected recursion error")
+	}
+}
+
+func TestPrintCard(t *testing.T) {
+	deck := "t\nV1 a 0 DC 1\nR1 a b 1k\nR2 b 0 1k\n.tran 1u 5u\n.print tran v(a) v(b)\n"
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Prints) != 2 || d.Prints[0].Name != "v(a)" || d.Prints[1].Name != "v(b)" {
+		t.Fatalf("prints: %+v", d.Prints)
+	}
+	if _, err := Parse(strings.NewReader("t\nR1 a 0 1\n.print foo\n")); err == nil {
+		t.Fatal("expected error for malformed print var")
+	}
+	if _, err := Parse(strings.NewReader("t\nR1 a 0 1\n.print v(zzz)\n")); err == nil {
+		t.Fatal("expected error for unknown print node")
+	}
+}
+
+func TestOptionsCard(t *testing.T) {
+	deck := "t\n.options method=trap reltol=1e-4 gmin=1e-11\nV1 a 0 DC 1\nR1 a b 1k\nC1 b 0 1u\n.tran 1u 10u\n"
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tran.Method != transient.MethodTrap {
+		t.Fatalf("method = %q, want trap", d.Tran.Method)
+	}
+	if d.Tran.RelTol != 1e-4 || d.Tran.Gmin != 1e-11 {
+		t.Fatalf("options not applied: %+v", d.Tran)
+	}
+	// .tran after .options must not reset them.
+	if d.Tran.TStep != 1e-6 || math.Abs(d.Tran.TStop-1e-5) > 1e-18 {
+		t.Fatalf("tran axis lost: %+v", d.Tran)
+	}
+	res, err := transient.Run(d.Ckt, d.Tran)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != transient.MethodTrap {
+		t.Fatal("trajectory did not record trap method")
+	}
+	for _, bad := range []string{
+		"t\n.options frobnicate=1\nR1 a 0 1\n",
+		"t\n.options method=rk9\nR1 a 0 1\n",
+		"t\n.options method\nR1 a 0 1\n",
+		"t\n.options reltol=zz\nR1 a 0 1\n",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Fatalf("expected error for %q", bad)
+		}
+	}
+}
+
+// TestGoldenDecks parses and fully simulates the testdata decks, then runs
+// a sensitivity analysis on each — the complete user workflow over real
+// netlist text.
+func TestGoldenDecks(t *testing.T) {
+	expect := map[string]func(t *testing.T, d *Deck, res *transient.Result){
+		"sallen_key.sp": func(t *testing.T, d *Deck, res *transient.Result) {
+			out := d.Objectives[0].Node
+			peak := 0.0
+			for i, tm := range res.Times {
+				if tm > 5e-4 && math.Abs(res.States[i][out]) > peak {
+					peak = math.Abs(res.States[i][out])
+				}
+			}
+			// 2 kHz is above the ≈720 Hz corner: clearly attenuated but alive.
+			if peak < 0.01 || peak > 0.9 {
+				t.Fatalf("filter peak %g", peak)
+			}
+			if len(d.Prints) != 2 {
+				t.Fatalf("prints: %d", len(d.Prints))
+			}
+		},
+		"bjt_amp.sp": func(t *testing.T, d *Deck, res *transient.Result) {
+			if res.Method != transient.MethodTrap {
+				t.Fatal("options method=trap not honoured")
+			}
+			out := d.Objectives[0].Node
+			if v := res.States[len(res.States)-1][out]; v < 1 || v > 11.5 {
+				t.Fatalf("output bias %g outside the rails", v)
+			}
+		},
+		"mos_nand.sp": func(t *testing.T, d *Deck, res *transient.Result) {
+			out := d.Objectives[0].Node
+			// NAND: low only while both inputs are high (t ≈ 2.2–3 µs).
+			lowSeen, highSeen := false, false
+			for i, tm := range res.Times {
+				v := res.States[i][out]
+				if tm > 2.3e-6 && tm < 2.9e-6 && v < 0.7 {
+					lowSeen = true
+				}
+				if tm > 0.2e-6 && tm < 0.9e-6 && v > 2.7 {
+					highSeen = true
+				}
+			}
+			if !lowSeen || !highSeen {
+				t.Fatalf("NAND truth table violated (low=%v high=%v)", lowSeen, highSeen)
+			}
+		},
+		"rectifier.sp": func(t *testing.T, d *Deck, res *transient.Result) {
+			peakN := d.Objectives[0].Node
+			snsN := d.Objectives[1].Node
+			last := res.States[len(res.States)-1]
+			if last[peakN] < 3 {
+				t.Fatalf("rectified voltage %g too low", last[peakN])
+			}
+			// The VCCS sense output is -0.1m·v(peak)·1k = -0.1·v(peak).
+			if math.Abs(last[snsN]+0.1*last[peakN]) > 1e-6*math.Abs(last[peakN])+1e-9 {
+				t.Fatalf("sense output %g inconsistent with %g", last[snsN], last[peakN])
+			}
+		},
+	}
+	for name, check := range expect {
+		name, check := name, check
+		t.Run(name, func(t *testing.T) {
+			f, err := os.Open(filepath.Join("testdata", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			d, err := Parse(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := transient.Run(d.Ckt, d.Tran)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, d, res)
+			sens, err := adjoint.Sensitivities(d.Ckt, res,
+				adjoint.NewRecomputeSource(d.Ckt, res), d.Objectives, adjoint.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for o := range sens.DOdp {
+				for _, v := range sens.DOdp[o] {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatal("non-finite sensitivity")
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,20 @@
+* two-stage bjt amplifier with trapezoidal integration
+.options method=trap reltol=1e-5
+.model qfast NPN IS=2e-16 BF=150 CJE=2e-12 CJC=1e-12
+VCC vcc 0 DC 12
+VIN sig 0 SIN(0 5m 20k)
+.subckt cestage in out vccp
+RS in base 2.2k
+RB1 vccp base 82k
+RB2 base 0 15k
+RC vccp out 4.7k
+RE em 0 1k
+CE em 0 4.7u
+Q1 out base em qfast
+.ends
+X1 sig mid vcc cestage
+CC1 mid in2 100n
+X2 in2 outp vcc cestage
+.tran 0.5u 100u
+.obj v(outp)
+.end

@@ -1,0 +1,12 @@
+* resistor-load nmos nand gate with pwl inputs
+.model mn NMOS KP=5e-4 VTO=0.7 LAMBDA=0.02
+VDD vdd 0 DC 3
+VA a 0 PWL(0 0 1u 0 1.1u 3 3u 3 3.1u 0 6u 0)
+VB b 0 PWL(0 0 2u 0 2.1u 3 4u 3 4.1u 0 6u 0)
+RL vdd out 15k
+M1 out a mid mn
+M2 mid b 0 mn
+CL out 0 50f
+.tran 20n 6u
+.obj v(out)
+.end

@@ -1,0 +1,11 @@
+* half-wave peak detector with controlled-source sensing
+.model dsw D IS=5e-15 N=1.2
+VIN in 0 SIN(0 6 500)
+D1 in peak dsw
+RP peak 0 22k
+CP peak 0 2.2u
+GSNS sns 0 peak 0 0.1m
+RS sns 0 1k
+.tran 20u 6m
+.obj v(peak) v(sns)
+.end

@@ -1,0 +1,14 @@
+* sallen-key lowpass built from a subcircuit opamp (VCVS follower)
+.subckt opamp inp inn out
+Eamp out 0 inp inn 100k
+.ends
+Vin in 0 SIN(0 1 2k)
+R1 in n1 4.7k
+R2 n1 n2 4.7k
+C1 n1 out 10n
+C2 n2 0 10n
+Xop n2 out out opamp
+.tran 5u 1m
+.obj v(out)
+.print v(in) v(out)
+.end

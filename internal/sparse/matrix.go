@@ -1,0 +1,100 @@
+package sparse
+
+import "fmt"
+
+// Matrix binds a value array to a shared Pattern. Many Matrix values may
+// reference the same Pattern.
+type Matrix struct {
+	P   *Pattern
+	Val []float64
+}
+
+// NewMatrix allocates a zero matrix over pattern p.
+func NewMatrix(p *Pattern) *Matrix {
+	return &Matrix{P: p, Val: make([]float64, p.NNZ())}
+}
+
+// Clear zeroes all values, keeping the pattern.
+func (m *Matrix) Clear() {
+	for i := range m.Val {
+		m.Val[i] = 0
+	}
+}
+
+// Clone returns a deep copy sharing the (immutable) pattern.
+func (m *Matrix) Clone() *Matrix {
+	v := make([]float64, len(m.Val))
+	copy(v, m.Val)
+	return &Matrix{P: m.P, Val: v}
+}
+
+// At returns the value at (i,j), zero if the entry is not in the pattern.
+func (m *Matrix) At(i, j int32) float64 {
+	k := m.P.Find(i, j)
+	if k < 0 {
+		return 0
+	}
+	return m.Val[k]
+}
+
+// AddAt adds v at (i,j). The entry must exist in the pattern.
+func (m *Matrix) AddAt(i, j int32, v float64) {
+	k := m.P.Find(i, j)
+	if k < 0 {
+		panic(fmt.Sprintf("sparse: AddAt(%d,%d) outside pattern", i, j))
+	}
+	m.Val[k] += v
+}
+
+// MulVec computes y = A·x. x and y must have length N and must not alias.
+func (m *Matrix) MulVec(x, y []float64) {
+	p := m.P
+	for i := 0; i < p.N; i++ {
+		var s float64
+		for k := p.RowPtr[i]; k < p.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[p.ColIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecT computes y = Aᵀ·x. x and y must have length N and must not alias.
+func (m *Matrix) MulVecT(x, y []float64) {
+	p := m.P
+	for i := range y {
+		y[i] = 0
+	}
+	for i := 0; i < p.N; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := p.RowPtr[i]; k < p.RowPtr[i+1]; k++ {
+			y[p.ColIdx[k]] += m.Val[k] * xi
+		}
+	}
+}
+
+// Dense expands the matrix to a row-major dense [][]float64. For tests and
+// debugging only.
+func (m *Matrix) Dense() [][]float64 {
+	p := m.P
+	d := make([][]float64, p.N)
+	for i := range d {
+		d[i] = make([]float64, p.N)
+	}
+	for i := 0; i < p.N; i++ {
+		for k := p.RowPtr[i]; k < p.RowPtr[i+1]; k++ {
+			d[i][p.ColIdx[k]] = m.Val[k]
+		}
+	}
+	return d
+}
+
+// AXPYInto scatters alpha·src into dst using slotMap (from Union): for each
+// source slot k, dst.Val[slotMap[k]] += alpha·src.Val[k].
+func AXPYInto(dst *Matrix, alpha float64, src *Matrix, slotMap []int32) {
+	for k, v := range src.Val {
+		dst.Val[slotMap[k]] += alpha * v
+	}
+}

@@ -1,0 +1,111 @@
+package sparse
+
+import "math"
+
+// Transpose materializes Aᵀ as a new matrix with its own pattern.
+func (m *Matrix) Transpose() *Matrix {
+	p := m.P
+	csc := p.CSC()
+	tp := &Pattern{
+		N:      p.N,
+		RowPtr: append([]int32(nil), csc.ColPtr...),
+		ColIdx: append([]int32(nil), csc.RowIdx...),
+	}
+	t := NewMatrix(tp)
+	for k := range csc.Slot {
+		t.Val[k] = m.Val[csc.Slot[k]]
+	}
+	return t
+}
+
+// Add returns A + B on the union pattern.
+func Add(a, b *Matrix) *Matrix {
+	u, mapA, mapB := Union(a.P, b.P)
+	out := NewMatrix(u)
+	AXPYInto(out, 1, a, mapA)
+	AXPYInto(out, 1, b, mapB)
+	return out
+}
+
+// Scale multiplies every stored value by alpha, in place.
+func (m *Matrix) Scale(alpha float64) {
+	for k := range m.Val {
+		m.Val[k] *= alpha
+	}
+}
+
+// MaxNorm returns max |a_ij| over stored entries.
+func (m *Matrix) MaxNorm() float64 {
+	worst := 0.0
+	for _, v := range m.Val {
+		if a := math.Abs(v); a > worst {
+			worst = a
+		}
+	}
+	return worst
+}
+
+// FrobeniusNorm returns √Σ a_ij².
+func (m *Matrix) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range m.Val {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// InfNorm returns the maximum absolute row sum.
+func (m *Matrix) InfNorm() float64 {
+	worst := 0.0
+	for i := int32(0); i < int32(m.P.N); i++ {
+		s := 0.0
+		for k := m.P.RowPtr[i]; k < m.P.RowPtr[i+1]; k++ {
+			s += math.Abs(m.Val[k])
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// FromDense builds a Matrix from a dense row-major array, keeping entries
+// with |v| > tol as structural nonzeros. Intended for tests and examples.
+func FromDense(d [][]float64, tol float64) *Matrix {
+	n := len(d)
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if math.Abs(d[i][j]) > tol {
+				b.Add(int32(i), int32(j))
+			}
+		}
+	}
+	m := NewMatrix(b.Build())
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if math.Abs(d[i][j]) > tol {
+				m.Val[m.P.Find(int32(i), int32(j))] = d[i][j]
+			}
+		}
+	}
+	return m
+}
+
+// PatternsEqual reports whether two patterns are structurally identical.
+func PatternsEqual(a, b *Pattern) bool {
+	if a.N != b.N || len(a.ColIdx) != len(b.ColIdx) {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range a.ColIdx {
+		if a.ColIdx[i] != b.ColIdx[i] {
+			return false
+		}
+	}
+	return true
+}

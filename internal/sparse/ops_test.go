@@ -1,0 +1,137 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMatrix(rng *rand.Rand, n, entries int) *Matrix {
+	m := NewMatrix(buildRandomPattern(rng, n, entries))
+	for k := range m.Val {
+		m.Val[k] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 20; iter++ {
+		n := 1 + rng.Intn(25)
+		m := randomMatrix(rng, n, 3*n)
+		tr := m.Transpose()
+		if err := tr.P.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		d, dt := m.Dense(), tr.Dense()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d[i][j] != dt[j][i] {
+					t.Fatalf("transpose wrong at (%d,%d)", i, j)
+				}
+			}
+		}
+		// Double transpose is the identity (up to pattern equality).
+		trtr := tr.Transpose()
+		if !PatternsEqual(m.P, trtr.P) {
+			t.Fatal("double transpose changed the pattern")
+		}
+		for k := range m.Val {
+			if m.Val[k] != trtr.Val[k] {
+				t.Fatal("double transpose changed values")
+			}
+		}
+	}
+}
+
+func TestAddAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for iter := 0; iter < 20; iter++ {
+		n := 1 + rng.Intn(20)
+		a := randomMatrix(rng, n, 2*n)
+		b := randomMatrix(rng, n, 2*n)
+		sum := Add(a, b)
+		da, db, ds := a.Dense(), b.Dense(), sum.Dense()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := da[i][j] + db[i][j]
+				if math.Abs(ds[i][j]-want) > 1e-14 {
+					t.Fatalf("(%d,%d): %g, want %g", i, j, ds[i][j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestScaleAndNorms(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := randomMatrix(rng, 15, 60)
+	f0 := m.FrobeniusNorm()
+	x0 := m.MaxNorm()
+	i0 := m.InfNorm()
+	m.Scale(-2.5)
+	if math.Abs(m.FrobeniusNorm()-2.5*f0) > 1e-12*f0 {
+		t.Fatal("Frobenius norm did not scale")
+	}
+	if math.Abs(m.MaxNorm()-2.5*x0) > 1e-12*x0 {
+		t.Fatal("max norm did not scale")
+	}
+	if math.Abs(m.InfNorm()-2.5*i0) > 1e-12*i0 {
+		t.Fatal("inf norm did not scale")
+	}
+	// Norm inequalities: max ≤ inf, max ≤ frobenius.
+	if m.MaxNorm() > m.InfNorm()+1e-15 || m.MaxNorm() > m.FrobeniusNorm()+1e-15 {
+		t.Fatal("norm ordering violated")
+	}
+}
+
+func TestFromDenseRoundTrip(t *testing.T) {
+	d := [][]float64{
+		{1, 0, 2},
+		{0, 0, -3},
+		{4e-13, 5, 0},
+	}
+	m := FromDense(d, 1e-12)
+	if m.P.NNZ() != 4 { // the 4e-13 entry is below tol
+		t.Fatalf("nnz = %d, want 4", m.P.NNZ())
+	}
+	got := m.Dense()
+	for i := range d {
+		for j := range d[i] {
+			want := d[i][j]
+			if math.Abs(want) <= 1e-12 {
+				want = 0
+			}
+			if got[i][j] != want {
+				t.Fatalf("(%d,%d): %g, want %g", i, j, got[i][j], want)
+			}
+		}
+	}
+}
+
+func TestQuickTransposeMulVec(t *testing.T) {
+	// Aᵀx computed via MulVecT must equal Transpose().MulVec.
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz%20) + 1
+		m := randomMatrix(rng, n, 3*n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, n)
+		y2 := make([]float64, n)
+		m.MulVecT(x, y1)
+		m.Transpose().MulVec(x, y2)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

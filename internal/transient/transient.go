@@ -1,0 +1,424 @@
+// Package transient implements the forward time-domain analysis: a DC
+// operating point via gmin stepping followed by fixed-step backward-Euler
+// integration with a damped Newton–Raphson solve at every timestep. The
+// Capture hook hands the converged per-step Jacobians (J = G + C/h and
+// C = ∂q/∂x) to the caller — this is where MASC's compression pipeline
+// attaches during forward integration.
+package transient
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"masc/internal/circuit"
+	"masc/internal/lu"
+	"masc/internal/sparse"
+)
+
+// Options configures a transient run.
+type Options struct {
+	TStop  float64 // end time (required, > TStart)
+	TStep  float64 // base step size (required, > 0)
+	TStart float64 // start time, default 0
+
+	MaxNewton int     // Newton iteration cap per solve, default 60
+	AbsTol    float64 // absolute state-delta tolerance, default 1e-9
+	RelTol    float64 // relative state-delta tolerance, default 1e-6
+	Gmin      float64 // diagonal conductance floor in DC, default 1e-12
+	MaxCuts   int     // max step halvings on Newton failure, default 8
+	DampLimit float64 // max Newton update ∞-norm per iteration, default 2.0
+
+	// Method selects the integration scheme: MethodBE (default, the
+	// paper's setting) or MethodTrap (trapezoidal, second order — the
+	// Xyce default). The adjoint package understands both.
+	Method Method
+
+	// Adaptive enables local-truncation-error step control: TStep becomes
+	// the initial step, bounded by [MinStep, MaxStep] (defaults TStep/128
+	// and 8·TStep). The LTE is estimated from a forward-Euler predictor;
+	// steps with scaled error above 1 are rejected and halved, smooth
+	// stretches grow the step. Off by default: the paper's experiments use
+	// the fixed-step grid.
+	Adaptive bool
+	MinStep  float64
+	MaxStep  float64
+	// LTETol scales the acceptable predictor-corrector gap relative to the
+	// Newton tolerances; default 1000 (the usual trtol-like relaxation).
+	LTETol float64
+
+	// Capture, if non-nil, is called after every accepted solution:
+	// step 0 is the DC operating point (J is the DC Jacobian, h=0), and
+	// step i ≥ 1 carries J = G + C/h at the converged state. The matrices
+	// are reused between calls — the callee must copy what it keeps.
+	Capture func(step int, t float64, x []float64, J, C *sparse.Matrix)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxNewton == 0 {
+		out.MaxNewton = 60
+	}
+	if out.AbsTol == 0 {
+		out.AbsTol = 1e-9
+	}
+	if out.RelTol == 0 {
+		out.RelTol = 1e-6
+	}
+	if out.Gmin == 0 {
+		out.Gmin = 1e-12
+	}
+	if out.MaxCuts == 0 {
+		out.MaxCuts = 8
+	}
+	if out.DampLimit == 0 {
+		out.DampLimit = 2.0
+	}
+	if out.Method == "" {
+		out.Method = MethodBE
+	}
+	if out.Adaptive {
+		if out.MinStep == 0 {
+			out.MinStep = out.TStep / 128
+		}
+		if out.MaxStep == 0 {
+			out.MaxStep = 8 * out.TStep
+		}
+		if out.LTETol == 0 {
+			out.LTETol = 1000
+		}
+	}
+	return out
+}
+
+// Method is a numerical integration scheme.
+type Method string
+
+const (
+	// MethodBE is backward Euler: first order, L-stable, the scheme the
+	// MASC paper's adjoint formulation (Eq. 4) assumes.
+	MethodBE Method = "be"
+	// MethodTrap is the trapezoidal rule: second order, A-stable.
+	MethodTrap Method = "trap"
+)
+
+// Stats aggregates solver work counters.
+type Stats struct {
+	NewtonIters      int
+	Factorizations   int
+	Refactorizations int
+	StepsAccepted    int
+	StepsCut         int
+}
+
+// Result is the forward trajectory.
+type Result struct {
+	Times  []float64   // t_0 .. t_n (t_0 is the DC point)
+	Hs     []float64   // Hs[i] = Times[i]-Times[i-1]; Hs[0] = 0
+	States [][]float64 // converged states, States[i] aligned with Times[i]
+	Method Method      // integration scheme that produced the trajectory
+	Stats  Stats
+}
+
+// Steps returns n, the number of integration steps (len(Times)-1).
+func (r *Result) Steps() int { return len(r.Times) - 1 }
+
+// solver carries the reusable machinery of Newton solves.
+type solver struct {
+	ckt  *circuit.Circuit
+	ev   *circuit.Eval
+	opt  Options
+	J    *sparse.Matrix
+	fact *lu.LU
+	perm []int32
+	res  []float64 // Newton residual / solution buffer
+	dx   []float64 // line-search direction
+	xTry []float64 // line-search trial point
+	st   *Stats
+}
+
+func newSolver(ckt *circuit.Circuit, opt Options, st *Stats) *solver {
+	return &solver{
+		ckt:  ckt,
+		ev:   circuit.NewEval(ckt),
+		opt:  opt,
+		J:    sparse.NewMatrix(ckt.JPat),
+		perm: lu.RCM(ckt.JPat),
+		res:  make([]float64, ckt.N),
+		st:   st,
+	}
+}
+
+// factorize (re)factors s.J, falling back to a fresh pivot search when the
+// recorded pivots degrade.
+func (s *solver) factorize() error {
+	if s.fact != nil {
+		err := s.fact.Refactor(s.J)
+		if err == nil {
+			s.st.Refactorizations++
+			return nil
+		}
+		if !errors.Is(err, lu.ErrPivotDegraded) {
+			return err
+		}
+	}
+	f, err := lu.Factor(s.J, lu.Options{ColPerm: s.perm})
+	if err != nil {
+		return err
+	}
+	s.st.Factorizations++
+	s.fact = f
+	return nil
+}
+
+// newton solves the nonlinear system whose residual and Jacobian are
+// produced by eval(x) into s.ev/s.res/s.J, updating x in place. A
+// backtracking line search on the residual ∞-norm tames the on/off
+// oscillation of exponential junctions that plain damped Newton falls into.
+func (s *solver) newton(x []float64, eval func(x []float64)) error {
+	opt := &s.opt
+	resNorm := func() float64 {
+		worst := 0.0
+		for _, r := range s.res {
+			if a := math.Abs(r); a > worst {
+				worst = a
+			}
+		}
+		return worst
+	}
+	if s.dx == nil {
+		s.dx = make([]float64, len(x))
+		s.xTry = make([]float64, len(x))
+	}
+	eval(x)
+	rnorm := resNorm()
+	for iter := 0; iter < opt.MaxNewton; iter++ {
+		s.st.NewtonIters++
+		if err := s.factorize(); err != nil {
+			return fmt.Errorf("transient: newton iteration %d: %w", iter, err)
+		}
+		s.fact.Solve(s.res) // res now holds dx = J⁻¹ r
+		copy(s.dx, s.res)
+		// Convergence test on the undamped update. Damping considers node
+		// voltages only: branch currents may legitimately jump by amperes
+		// in one iteration (e.g. a source feeding an exponential junction)
+		// and clamping them stalls the solve.
+		worst := 0.0
+		maxdv := 0.0
+		for i, dx := range s.dx {
+			lim := opt.AbsTol + opt.RelTol*math.Abs(x[i])
+			if r := math.Abs(dx) / lim; r > worst {
+				worst = r
+			}
+			if s.ckt.VoltageUnknown[i] {
+				if a := math.Abs(dx); a > maxdv {
+					maxdv = a
+				}
+			}
+		}
+		if worst < 1 {
+			// The Newton update is below tolerance everywhere: converged.
+			// Take the full update so the final state is as exact as the
+			// linearization allows.
+			for i := range x {
+				x[i] -= s.dx[i]
+			}
+			eval(x)
+			return nil
+		}
+		// Initial step scale: cap the voltage-update ∞-norm.
+		t0 := 1.0
+		if maxdv > opt.DampLimit {
+			t0 = opt.DampLimit / maxdv
+		}
+		// Backtracking line search on the residual ∞-norm, with a
+		// nonmonotone fallback: exponential-junction residuals can rise
+		// transiently along a perfectly good Newton direction, so after a
+		// failed search we take the full damped step rather than creep.
+		t := t0
+		accepted := false
+		var rTry float64
+		for ls := 0; ls < 8; ls++ {
+			for i := range x {
+				s.xTry[i] = x[i] - t*s.dx[i]
+			}
+			eval(s.xTry)
+			rTry = resNorm()
+			if rTry <= rnorm*(1-1e-4*t)+1e-300 {
+				accepted = true
+				break
+			}
+			t /= 2
+		}
+		if !accepted {
+			t = t0
+			for i := range x {
+				s.xTry[i] = x[i] - t*s.dx[i]
+			}
+			eval(s.xTry)
+			rTry = resNorm()
+		}
+		copy(x, s.xTry)
+		rnorm = rTry
+	}
+	return fmt.Errorf("transient: newton did not converge in %d iterations", opt.MaxNewton)
+}
+
+// DCOperatingPoint solves f(x, t) + gmin·x = 0 with gmin stepping, starting
+// from the zero state.
+func DCOperatingPoint(ckt *circuit.Circuit, t float64, opt Options) ([]float64, Stats, error) {
+	opt = opt.withDefaults()
+	var st Stats
+	s := newSolver(ckt, opt, &st)
+	x := make([]float64, ckt.N)
+	// Descend the gmin ladder; each rung starts from the previous solution.
+	ladder := []float64{1e-2, 1e-4, 1e-6, 1e-8, 1e-10, opt.Gmin}
+	for _, g := range ladder {
+		eval := func(xx []float64) {
+			s.ev.Run(xx, t)
+			for i := range s.res {
+				s.res[i] = s.ev.F[i] + g*xx[i]
+			}
+			s.ev.BuildJ(s.J, 0)
+			ckt.AddGmin(s.J, g)
+		}
+		if err := s.newton(x, eval); err != nil {
+			return nil, st, fmt.Errorf("transient: DC at gmin=%g: %w", g, err)
+		}
+	}
+	return x, st, nil
+}
+
+// Run performs the full analysis: DC point, then backward-Euler steps until
+// TStop, invoking opt.Capture after every accepted solution.
+func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if opt.TStep <= 0 || opt.TStop <= opt.TStart {
+		return nil, fmt.Errorf("transient: bad time axis [%g, %g] step %g", opt.TStart, opt.TStop, opt.TStep)
+	}
+	if opt.Method != MethodBE && opt.Method != MethodTrap {
+		return nil, fmt.Errorf("transient: unknown integration method %q", opt.Method)
+	}
+	trap := opt.Method == MethodTrap
+	res := &Result{Method: opt.Method}
+	x, dcStats, err := DCOperatingPoint(ckt, opt.TStart, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = dcStats
+	s := newSolver(ckt, opt, &res.Stats)
+
+	record := func(t, h float64, xx []float64) {
+		res.Times = append(res.Times, t)
+		res.Hs = append(res.Hs, h)
+		res.States = append(res.States, append([]float64(nil), xx...))
+	}
+
+	// Accept the DC point as step 0 and hand it to Capture.
+	s.ev.Run(x, opt.TStart)
+	s.ev.BuildJ(s.J, 0)
+	ckt.AddGmin(s.J, opt.Gmin)
+	record(opt.TStart, 0, x)
+	if opt.Capture != nil {
+		opt.Capture(0, opt.TStart, x, s.J, s.ev.C)
+	}
+	qPrev := append([]float64(nil), s.ev.Q...)
+	// The trapezoidal residual needs the previous step's static currents.
+	fPrev := append([]float64(nil), s.ev.F...)
+
+	t := opt.TStart
+	h := opt.TStep
+	cuts := 0
+	xTrial := make([]float64, ckt.N)
+	// Previous accepted state and step for the adaptive LTE predictor.
+	xPrev := append([]float64(nil), x...)
+	hPrev := 0.0
+	for step := 1; t < opt.TStop-1e-12*opt.TStop; {
+		if t+h > opt.TStop {
+			h = opt.TStop - t
+		}
+		tNext := t + h
+		invH := 1 / h
+		copy(xTrial, x)
+		var eval func(xx []float64)
+		if trap {
+			// (q_i - q_{i-1})/h + (f_i + f_{i-1})/2 = 0.
+			eval = func(xx []float64) {
+				s.ev.Run(xx, tNext)
+				for i := range s.res {
+					s.res[i] = 0.5*(s.ev.F[i]+fPrev[i]) + invH*(s.ev.Q[i]-qPrev[i])
+				}
+				s.ev.BuildJWeighted(s.J, 0.5, invH)
+			}
+		} else {
+			eval = func(xx []float64) {
+				s.ev.Run(xx, tNext)
+				for i := range s.res {
+					s.res[i] = s.ev.F[i] + invH*(s.ev.Q[i]-qPrev[i])
+				}
+				s.ev.BuildJ(s.J, invH)
+			}
+		}
+		if err := s.newton(xTrial, eval); err != nil {
+			cuts++
+			res.Stats.StepsCut++
+			if cuts > opt.MaxCuts {
+				return nil, fmt.Errorf("transient: step at t=%g failed after %d cuts: %w", t, cuts, err)
+			}
+			h /= 2
+			continue
+		}
+		grow := false
+		if opt.Adaptive && hPrev > 0 {
+			// Forward-Euler predictor from the last accepted slope; the
+			// gap to the backward-Euler corrector estimates the LTE.
+			worst := 0.0
+			for i := range xTrial {
+				pred := x[i] + h*(x[i]-xPrev[i])/hPrev
+				lim := opt.LTETol * (opt.AbsTol + opt.RelTol*math.Abs(xTrial[i]))
+				if e := math.Abs(xTrial[i]-pred) / lim; e > worst {
+					worst = e
+				}
+			}
+			if worst > 1 && h > opt.MinStep {
+				res.Stats.StepsCut++
+				h = math.Max(h/2, opt.MinStep)
+				continue
+			}
+			grow = worst < 0.1
+		}
+		copy(xPrev, x)
+		hPrev = h
+		copy(x, xTrial)
+		// Re-evaluate at the converged state so the captured J and C are
+		// clean (the last Newton evaluation was at the pre-update iterate).
+		s.ev.Run(x, tNext)
+		if trap {
+			s.ev.BuildJWeighted(s.J, 0.5, invH)
+		} else {
+			s.ev.BuildJ(s.J, invH)
+		}
+		record(tNext, h, x)
+		res.Stats.StepsAccepted++
+		if opt.Capture != nil {
+			opt.Capture(step, tNext, x, s.J, s.ev.C)
+		}
+		copy(qPrev, s.ev.Q)
+		copy(fPrev, s.ev.F)
+		t = tNext
+		step++
+		if opt.Adaptive {
+			cuts = 0
+			if grow {
+				h = math.Min(h*1.5, opt.MaxStep)
+			}
+		} else if cuts > 0 && h < opt.TStep {
+			// Recover the base step after successful cuts.
+			h = math.Min(h*2, opt.TStep)
+		} else {
+			h = opt.TStep
+			cuts = 0
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+
+	"masc/internal/circuit"
+	"masc/internal/device"
+	"masc/internal/transient"
+)
+
+// ExtraNames lists additional workload families beyond the paper's tables:
+// a MOS ring oscillator (autonomous, continuously active — the worst case
+// for temporal prediction) and a ripple-carry adder array (the namesake of
+// the original add20 benchmark).
+func ExtraNames() []string {
+	return []string{"ringosc", "adder"}
+}
+
+// RingOscillator builds an odd-length chain of resistor-load NMOS
+// inverters closed into a loop. It self-oscillates: every Jacobian entry
+// moves at every timestep.
+func RingOscillator(name string, stages, steps, nObj, nPar int) (*Dataset, error) {
+	if stages%2 == 0 {
+		stages++
+	}
+	b := circuit.NewBuilder()
+	b.AddVSource("vdd", "vdd", "0", device.DC(3))
+	// A kick-start pulse breaks the symmetric (metastable) DC point.
+	b.AddISource("ikick", node("g", 0), "0", device.Pulse{
+		V1: 0, V2: 2e-4, TD: 1e-10, TR: 1e-11, TF: 1e-11, PW: 3e-10, PE: 1,
+	})
+	for s := 0; s < stages; s++ {
+		in := node("g", (s+stages-1)%stages)
+		out := node("g", s)
+		b.AddResistor(fmt.Sprintf("rl%d", s), "vdd", out, 12e3)
+		m := b.AddMOSFET(fmt.Sprintf("m%d", s), out, in, "0")
+		m.KP = 8e-4
+		b.AddCapacitor(fmt.Sprintf("cl%d", s), out, "0", 5e-14)
+	}
+	tran := transient.Options{TStop: float64(steps) * 2e-10, TStep: 2e-10}
+	return finish(name, "MOS", b, tran, nObj, nPar)
+}
+
+// AdderArray builds a diode-logic ripple "adder": each bit cell combines
+// two pulse inputs and a carry through diode AND/OR networks with an RC
+// restoring stage — an irregular nonlinear network in the add20 spirit.
+func AdderArray(name string, bits, steps, nObj, nPar int) (*Dataset, error) {
+	b := circuit.NewBuilder()
+	b.AddVSource("vdd", "vdd", "0", device.DC(5))
+	for i := 0; i < bits; i++ {
+		b.AddVSource(fmt.Sprintf("va%d", i), node("a", i), "0", device.Pulse{
+			V1: 0, V2: 5, TD: float64(i) * 3e-9, TR: 3e-10, TF: 3e-10,
+			PW: float64(2+i%3) * 4e-9, PE: float64(bits) * 6e-9,
+		})
+		b.AddVSource(fmt.Sprintf("vb%d", i), node("b", i), "0", device.Pulse{
+			V1: 0, V2: 5, TD: float64(i) * 5e-9, TR: 3e-10, TF: 3e-10,
+			PW: float64(3+i%2) * 4e-9, PE: float64(bits) * 7e-9,
+		})
+	}
+	carry := "0"
+	for i := 0; i < bits; i++ {
+		sum := node("s", i)
+		cNext := node("c", i)
+		// Diode-OR of the inputs into the sum node with an RC restorer.
+		b.AddDiode(fmt.Sprintf("dsa%d", i), node("a", i), sum)
+		b.AddDiode(fmt.Sprintf("dsb%d", i), node("b", i), sum)
+		if carry != "0" {
+			b.AddDiode(fmt.Sprintf("dsc%d", i), carry, sum)
+		}
+		b.AddResistor(fmt.Sprintf("rs%d", i), sum, "0", 4.7e3)
+		b.AddCapacitor(fmt.Sprintf("cs%d", i), sum, "0", 2e-13)
+		// Carry generation: diode-AND through a pull-up.
+		b.AddResistor(fmt.Sprintf("rc%d", i), "vdd", cNext, 10e3)
+		b.AddDiode(fmt.Sprintf("dca%d", i), cNext, node("a", i))
+		b.AddDiode(fmt.Sprintf("dcb%d", i), cNext, node("b", i))
+		b.AddCapacitor(fmt.Sprintf("cc%d", i), cNext, "0", 1.5e-13)
+		carry = cNext
+	}
+	tran := transient.Options{TStop: float64(steps) * 2e-10, TStep: 2e-10}
+	return finish(name, "DIODE", b, tran, nObj, nPar)
+}

@@ -1,0 +1,104 @@
+package masc
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func buildTestCircuit(t testing.TB) (*Circuit, *Builder, Objective) {
+	b := NewBuilder()
+	b.AddVSource("vin", "in", "0", Sin{VA: 1, Freq: 5e3})
+	b.AddResistor("r1", "in", "mid", 1e3)
+	b.AddCapacitor("c1", "mid", "0", 1e-8)
+	b.AddDiode("d1", "mid", "out")
+	b.AddResistor("r2", "out", "0", 5e3)
+	b.AddCapacitor("c2", "out", "0", 2e-8)
+	ckt, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := b.NodeIndex("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ckt, b, Objective{Name: "v(out)", Node: out, Weight: 1}
+}
+
+func TestSimulateAllStorages(t *testing.T) {
+	ckt, _, obj := buildTestCircuit(t)
+	opt := SimOptions{TStep: 2e-6, TStop: 4e-4}
+	var ref *Run
+	for _, st := range []Storage{StorageRecompute, StorageMemory, StorageDisk, StorageMASC, StorageMASCMarkov} {
+		opt.Storage = st
+		run, err := Simulate(ckt, opt, []Objective{obj}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", st, err)
+		}
+		if run.Sens == nil || len(run.Sens.DOdp) != 1 {
+			t.Fatalf("%s: missing sensitivities", st)
+		}
+		if ref == nil {
+			ref = run
+			continue
+		}
+		for k := range run.Sens.DOdp[0] {
+			a, b := run.Sens.DOdp[0][k], ref.Sens.DOdp[0][k]
+			if d := math.Abs(a - b); d > 1e-9*math.Max(1, math.Abs(b)) {
+				t.Fatalf("%s: sensitivity %d diverges: %g vs %g", st, k, a, b)
+			}
+		}
+		if st == StorageMASC || st == StorageMASCMarkov {
+			if run.TensorStats.StoredBytes >= run.TensorStats.RawBytes {
+				t.Fatalf("%s: no compression: %+v", st, run.TensorStats)
+			}
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	ckt, _, obj := buildTestCircuit(t)
+	if _, err := Simulate(ckt, SimOptions{TStep: 1e-6, TStop: 1e-5}, nil, nil); err == nil {
+		t.Fatal("expected error without objectives")
+	}
+	if _, err := Simulate(ckt, SimOptions{TStep: 1e-6, TStop: 1e-5, Storage: "bogus"}, []Objective{obj}, nil); err == nil {
+		t.Fatal("expected error for unknown storage")
+	}
+	if _, err := Simulate(ckt, SimOptions{}, []Objective{obj}, nil); err == nil {
+		t.Fatal("expected error for missing time axis")
+	}
+}
+
+func TestParseNetlistFacade(t *testing.T) {
+	deck, err := ParseNetlist(strings.NewReader("t\nV1 a 0 DC 1\nR1 a b 1k\nC1 b 0 1u\n.tran 1u 100u\n.obj v(b)\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Simulate(deck.Ckt, SimOptions{
+		TStep: deck.Tran.TStep, TStop: deck.Tran.TStop, Storage: StorageMASC,
+	}, deck.Objectives, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Tran.Steps() < 50 {
+		t.Fatalf("only %d steps", run.Tran.Steps())
+	}
+}
+
+func TestDirectMatchesAdjointFacade(t *testing.T) {
+	ckt, _, obj := buildTestCircuit(t)
+	run, err := Simulate(ckt, SimOptions{TStep: 2e-6, TStop: 2e-4, Storage: StorageMemory}, []Objective{obj}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := DirectSensitivities(ckt, run.Tran, []Objective{obj}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range dir.DOdp[0] {
+		a, b := run.Sens.DOdp[0][k], dir.DOdp[0][k]
+		if d := math.Abs(a - b); d > 1e-6*math.Max(1, math.Max(math.Abs(a), math.Abs(b))) {
+			t.Fatalf("param %d: adjoint %g vs direct %g", k, a, b)
+		}
+	}
+}
