@@ -5,8 +5,8 @@
 //	masc-bench -experiment all -scale 0.25
 //
 // Experiments: table1, fig1, table2, table3, fig5b, fig6, fig7, parallel,
-// ablation, all. Scale 1 is the benchmark size (minutes); use smaller
-// scales for a quick look.
+// pipeline, memory, ablation, all. Scale 1 is the benchmark size (minutes);
+// use smaller scales for a quick look.
 package main
 
 import (
@@ -21,19 +21,20 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "table1|fig1|table2|table3|fig5b|fig6|fig7|parallel|memory|ablation|all")
+		exp     = flag.String("experiment", "all", "table1|fig1|table2|table3|fig5b|fig6|fig7|parallel|pipeline|memory|ablation|all")
 		scale   = flag.Float64("scale", 1.0, "workload scale (1 = benchmark size)")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel compressor workers")
+		depth   = flag.Int("pipeline-depth", 2, "async pipeline depth for the pipeline experiment")
 		diskBps = flag.Float64("disk-bps", bench.DefaultDiskBps, "simulated disk bandwidth (bytes/s)")
 	)
 	flag.Parse()
-	if err := run(strings.ToLower(*exp), *scale, *workers, *diskBps); err != nil {
+	if err := run(strings.ToLower(*exp), *scale, *workers, *depth, *diskBps); err != nil {
 		fmt.Fprintln(os.Stderr, "masc-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale float64, workers int, diskBps float64) error {
+func run(exp string, scale float64, workers, depth int, diskBps float64) error {
 	all := exp == "all"
 	did := false
 	section := func(title string) {
@@ -97,6 +98,14 @@ func run(exp string, scale float64, workers int, diskBps float64) error {
 			return err
 		}
 		fmt.Print(bench.FormatParallel(rows))
+	}
+	if all || exp == "pipeline" {
+		section("Pipelined store — async compression overlap")
+		rows, err := bench.RunPipeline(nil, scale, workers, depth)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatPipeline(rows))
 	}
 	if all || exp == "memory" {
 		section("Memory footprint by storage strategy (measured)")

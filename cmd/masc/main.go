@@ -23,6 +23,8 @@ func main() {
 		path    = flag.String("netlist", "", "netlist file (required)")
 		storage = flag.String("storage", "masc", "jacobian storage: recompute|memory|disk|masc|masc+markov")
 		workers = flag.Int("workers", 1, "parallel compressor workers")
+		async   = flag.Bool("async", false, "pipeline MASC compression on a background worker (overlaps with the solve)")
+		depth   = flag.Int("pipeline-depth", 2, "async mode: max timesteps the solver may run ahead of the compressor")
 		diskBps = flag.Float64("disk-bps", 0, "simulated disk bandwidth in bytes/s (0 = unthrottled)")
 		top     = flag.Int("top", 12, "print the top-N sensitivities per objective")
 		csvPath = flag.String("csv", "", "write .print waveforms to this CSV file")
@@ -33,13 +35,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*path, *storage, *workers, *diskBps, *top, *csvPath); err != nil {
+	if err := run(*path, *storage, *workers, *async, *depth, *diskBps, *top, *csvPath); err != nil {
 		fmt.Fprintln(os.Stderr, "masc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, storage string, workers int, diskBps float64, top int, csvPath string) error {
+func run(path, storage string, workers int, async bool, depth int, diskBps float64, top int, csvPath string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -62,6 +64,8 @@ func run(path, storage string, workers int, diskBps float64, top int, csvPath st
 		TStop:           deck.Tran.TStop,
 		Storage:         masc.Storage(storage),
 		Workers:         workers,
+		Async:           async,
+		PipelineDepth:   depth,
 		DiskBytesPerSec: diskBps,
 	}, deck.Objectives, nil)
 	if err != nil {
@@ -79,6 +83,10 @@ func run(path, storage string, workers int, diskBps float64, top int, csvPath st
 		fmt.Printf("tensor: raw %d B, stored %d B (CR %.2f), peak resident %d B\n",
 			st.RawBytes, st.StoredBytes,
 			float64(st.RawBytes)/float64(st.StoredBytes), st.PeakResident)
+		if async && (run.Storage == masc.StorageMASC || run.Storage == masc.StorageMASCMarkov) {
+			fmt.Printf("pipeline: compress %v moved off the solver thread, %v leaked back as Put stalls\n",
+				st.CompressTime, st.StallTime)
+		}
 	}
 
 	if csvPath != "" {

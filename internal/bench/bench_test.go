@@ -161,6 +161,22 @@ func TestFig7(t *testing.T) {
 	}
 }
 
+func TestPipelineExperiment(t *testing.T) {
+	// RunPipeline itself enforces the strong claims (byte-identical stored
+	// bytes, matching sensitivities between sync and async).
+	rows, err := RunPipeline([]string{"add20"}, testScale, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.SyncFwdSec <= 0 || r.AsyncFwdSec <= 0 || r.SyncRevSec <= 0 || r.AsyncRevSec <= 0 {
+		t.Fatalf("non-positive times: %+v", r)
+	}
+	if !strings.Contains(FormatPipeline(rows), "FwdSpeed") {
+		t.Fatal("bad rendering")
+	}
+}
+
 func TestParallelScaling(t *testing.T) {
 	rows, err := RunParallel("add20", testScale, []int{1, 2})
 	if err != nil {

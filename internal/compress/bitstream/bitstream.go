@@ -83,6 +83,20 @@ func (w *Writer) Bytes() []byte {
 	return append(w.buf, last)
 }
 
+// AppendTo appends the encoded stream (including the zero-padded final
+// partial byte) to dst and returns the extended slice. Unlike Bytes it
+// never touches the Writer's own buffer, so the result cannot alias
+// subsequently written data — the copy into dst is the only one made,
+// which is what lets callers reuse one Writer per chunk across calls
+// without a defensive payload copy.
+func (w *Writer) AppendTo(dst []byte) []byte {
+	dst = append(dst, w.buf...)
+	if w.n != 0 {
+		dst = append(dst, byte(w.acc<<(8-w.n)))
+	}
+	return dst
+}
+
 // Len reports the length in bytes of the stream Bytes would return.
 func (w *Writer) Len() int { return (w.total + 7) / 8 }
 

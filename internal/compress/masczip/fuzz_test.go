@@ -1,6 +1,7 @@
 package masczip
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
@@ -19,6 +20,23 @@ func FuzzDecompress(f *testing.F) {
 	f.Add(cm.Compress(nil, cur, ref))
 	f.Add([]byte{})
 	f.Add([]byte{0, 1, 2, 3})
+	// Adversarial headers for the hardened parser: a chunk-boundary delta
+	// past 2^31 (would wrap negative through the int32 conversion) and
+	// near-maximal chunk lengths (whose sum would overflow the payload
+	// offset if accumulated unchecked).
+	wrapDelta := []byte{flagCalib}
+	wrapDelta = binary.AppendUvarint(wrapDelta, uint64(p.NNZ()))
+	wrapDelta = binary.AppendUvarint(wrapDelta, 3)
+	wrapDelta = binary.AppendUvarint(wrapDelta, 1<<33)
+	wrapDelta = binary.AppendUvarint(wrapDelta, 1)
+	f.Add(wrapDelta)
+	hugeLens := []byte{flagCalib}
+	hugeLens = binary.AppendUvarint(hugeLens, uint64(p.NNZ()))
+	hugeLens = binary.AppendUvarint(hugeLens, 2)
+	hugeLens = binary.AppendUvarint(hugeLens, 1) // valid boundary delta
+	hugeLens = binary.AppendUvarint(hugeLens, math.MaxUint64)
+	hugeLens = binary.AppendUvarint(hugeLens, math.MaxUint64)
+	f.Add(hugeLens)
 	f.Fuzz(func(t *testing.T, blob []byte) {
 		out := make([]float64, p.NNZ())
 		_ = c.Decompress(out, blob, ref)

@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sync"
 
 	"masc/internal/compress/bitstream"
+	"masc/internal/compress/workpool"
 	"masc/internal/sparse"
 )
 
@@ -75,6 +75,32 @@ type Compressor struct {
 	cnt   markovCounts
 	stats Stats
 	zeros []float64
+
+	// Per-chunk scratch reused across calls. A MASC run compresses the
+	// Jacobian tensor thousands of times through one Compressor, so the
+	// hot path must not allocate: writers/readers keep their buffers,
+	// coders/counts/chStats are cleared in place, and the chunk fan-out
+	// goes through the persistent workpool instead of fresh goroutines.
+	encBounds []int32 // cached chunkRows(opt.Workers)
+	curBounds []int32 // bounds of the call in flight (encode or decode)
+	writers   []*bitstream.Writer
+	readers   []*bitstream.Reader
+	coders    []chunkCoder
+	counts    []markovCounts
+	chStats   []Stats
+	decBounds []int32
+	lens      []int
+	starts    []int
+	errs      []error
+
+	// Call state shared with encFn/decFn, which are allocated once here
+	// rather than as per-call closures.
+	cur, ref []float64
+	blob     []byte
+	calib    bool
+	tbl      markovTables
+	encFn    func(int)
+	decFn    func(int)
 }
 
 // New returns a MASC compressor bound to pattern p.
@@ -85,7 +111,36 @@ func New(p *sparse.Pattern, opt Options) *Compressor {
 	if opt.Workers < 1 {
 		opt.Workers = 1
 	}
-	return &Compressor{plan: newPlan(p), opt: opt}
+	c := &Compressor{plan: newPlan(p), opt: opt}
+	c.encFn = c.encodeChunk
+	c.decFn = c.decodeChunk
+	return c
+}
+
+// ensureChunks grows the per-chunk scratch to hold nchunks entries.
+func (c *Compressor) ensureChunks(nchunks int) {
+	for len(c.writers) < nchunks {
+		c.writers = append(c.writers, bitstream.NewWriter(1024))
+	}
+	for len(c.readers) < nchunks {
+		c.readers = append(c.readers, bitstream.NewReader(nil))
+	}
+	if cap(c.coders) < nchunks {
+		c.coders = make([]chunkCoder, nchunks)
+	}
+	c.coders = c.coders[:cap(c.coders)]
+	if cap(c.counts) < nchunks {
+		c.counts = make([]markovCounts, nchunks)
+	}
+	c.counts = c.counts[:cap(c.counts)]
+	if cap(c.chStats) < nchunks {
+		c.chStats = make([]Stats, nchunks)
+	}
+	c.chStats = c.chStats[:cap(c.chStats)]
+	if cap(c.errs) < nchunks {
+		c.errs = make([]error, nchunks)
+	}
+	c.errs = c.errs[:cap(c.errs)]
 }
 
 // Name implements compress.Compressor.
@@ -120,6 +175,25 @@ func (c *Compressor) refOrZeros(ref []float64) []float64 {
 	return c.zeros
 }
 
+// encodeChunk encodes chunk ci of the call in flight into its persistent
+// writer. It is c.encFn, dispatched through the workpool.
+func (c *Compressor) encodeChunk(ci int) {
+	w := c.writers[ci]
+	w.Reset()
+	ec := &c.coders[ci]
+	*ec = chunkCoder{
+		plan: c.plan, opt: &c.opt,
+		cur: c.cur, ref: c.ref,
+		rowLo: c.curBounds[ci], rowHi: c.curBounds[ci+1],
+		calib: c.calib, tables: &c.tbl,
+		counts: &c.counts[ci],
+	}
+	if c.opt.CollectStats {
+		ec.stats = &c.chStats[ci]
+	}
+	ec.encode(w)
+}
+
 // Compress implements compress.Compressor.
 func (c *Compressor) Compress(dst []byte, cur, ref []float64) []byte {
 	if len(cur) != c.plan.nnz {
@@ -129,7 +203,10 @@ func (c *Compressor) Compress(dst []byte, cur, ref []float64) []byte {
 	calib := !c.opt.Markov || c.seq%c.opt.CalibEvery == 0
 	c.seq++
 
-	bounds := c.plan.chunkRows(c.opt.Workers)
+	if c.encBounds == nil {
+		c.encBounds = c.plan.chunkRows(c.opt.Workers)
+	}
+	bounds := c.encBounds
 	nchunks := len(bounds) - 1
 
 	var flags byte
@@ -145,60 +222,62 @@ func (c *Compressor) Compress(dst []byte, cur, ref []float64) []byte {
 	for i := 1; i < nchunks; i++ {
 		dst = binary.AppendUvarint(dst, uint64(bounds[i]-bounds[i-1]))
 	}
-	tables := c.cnt.tables()
+	c.tbl = c.cnt.tables()
 	if !calib {
-		tb := tables.pack()
+		tb := c.tbl.pack()
 		dst = append(dst, tb[:]...)
 	}
 
-	payloads := make([][]byte, nchunks)
-	counts := make([]markovCounts, nchunks)
-	stats := make([]Stats, nchunks)
-	run := func(ci int) {
-		w := bitstream.NewWriter(1024)
-		ec := &chunkCoder{
-			plan: c.plan, opt: &c.opt,
-			cur: cur, ref: ref,
-			rowLo: bounds[ci], rowHi: bounds[ci+1],
-			calib: calib, tables: &tables,
-			counts: &counts[ci],
-		}
-		if c.opt.CollectStats {
-			ec.stats = &stats[ci]
-		}
-		ec.encode(w)
-		payloads[ci] = append([]byte(nil), w.Bytes()...)
-	}
-	if nchunks == 1 {
-		run(0)
-	} else {
-		var wg sync.WaitGroup
-		for ci := 0; ci < nchunks; ci++ {
-			wg.Add(1)
-			go func(ci int) {
-				defer wg.Done()
-				run(ci)
-			}(ci)
-		}
-		wg.Wait()
-	}
+	c.ensureChunks(nchunks)
+	c.cur, c.ref, c.calib, c.curBounds = cur, ref, calib, bounds
 	if calib {
-		for i := range counts {
-			c.cnt.merge(&counts[i])
+		for i := 0; i < nchunks; i++ {
+			c.counts[i] = markovCounts{}
 		}
 	}
 	if c.opt.CollectStats {
-		for i := range stats {
-			c.stats.merge(&stats[i])
+		for i := 0; i < nchunks; i++ {
+			c.chStats[i] = Stats{}
 		}
 	}
-	for _, p := range payloads {
-		dst = binary.AppendUvarint(dst, uint64(len(p)))
+	workpool.Do(nchunks, c.encFn)
+	c.cur, c.ref = nil, nil
+	if calib {
+		for i := 0; i < nchunks; i++ {
+			c.cnt.merge(&c.counts[i])
+		}
 	}
-	for _, p := range payloads {
-		dst = append(dst, p...)
+	if c.opt.CollectStats {
+		for i := 0; i < nchunks; i++ {
+			c.stats.merge(&c.chStats[i])
+		}
+	}
+	for ci := 0; ci < nchunks; ci++ {
+		dst = binary.AppendUvarint(dst, uint64(c.writers[ci].Len()))
+	}
+	for ci := 0; ci < nchunks; ci++ {
+		dst = c.writers[ci].AppendTo(dst)
 	}
 	return dst
+}
+
+// decodeChunk decodes chunk ci of the call in flight, recording any error
+// in c.errs[ci]. It is c.decFn, dispatched through the workpool.
+func (c *Compressor) decodeChunk(ci int) {
+	r := c.readers[ci]
+	r.Reset(c.blob[c.starts[ci] : c.starts[ci]+c.lens[ci]])
+	dc := &c.coders[ci]
+	*dc = chunkCoder{
+		plan: c.plan, opt: &c.opt,
+		cur: c.cur, ref: c.ref,
+		rowLo: c.decBounds[ci], rowHi: c.decBounds[ci+1],
+		calib: c.calib, tables: &c.tbl,
+	}
+	if err := dc.decode(r); err != nil {
+		c.errs[ci] = fmt.Errorf("masczip: chunk %d: %w", ci, err)
+	} else {
+		c.errs[ci] = nil
+	}
 }
 
 // Decompress implements compress.Compressor.
@@ -217,7 +296,7 @@ func (c *Compressor) Decompress(cur []float64, blob []byte, ref []float64) error
 		return fmt.Errorf("masczip: bad element count")
 	}
 	off += k
-	if int(n) != len(cur) {
+	if n != uint64(len(cur)) {
 		return fmt.Errorf("masczip: blob holds %d elements, want %d", n, len(cur))
 	}
 	nchunks64, k := binary.Uvarint(blob[off:])
@@ -225,17 +304,27 @@ func (c *Compressor) Decompress(cur []float64, blob []byte, ref []float64) error
 		return fmt.Errorf("masczip: bad chunk count")
 	}
 	off += k
-	nchunks := int(nchunks64)
-	if nchunks < 1 || nchunks > c.plan.pat.N {
-		return fmt.Errorf("masczip: implausible chunk count %d", nchunks)
+	if nchunks64 < 1 || nchunks64 > uint64(c.plan.pat.N) {
+		return fmt.Errorf("masczip: implausible chunk count %d", nchunks64)
 	}
-	bounds := make([]int32, nchunks+1)
+	nchunks := int(nchunks64)
+	if cap(c.decBounds) < nchunks+1 {
+		c.decBounds = make([]int32, nchunks+1)
+	}
+	bounds := c.decBounds[:nchunks+1]
+	bounds[0] = 0
 	for i := 1; i < nchunks; i++ {
 		d, k := binary.Uvarint(blob[off:])
 		if k <= 0 {
 			return fmt.Errorf("masczip: truncated chunk boundary %d", i)
 		}
 		off += k
+		// Bound the delta before the int32 conversion: an adversarial
+		// uvarint can exceed 2^31 and wrap negative, sneaking past the
+		// monotonicity check below.
+		if d == 0 || d > uint64(c.plan.pat.N) {
+			return fmt.Errorf("masczip: implausible chunk boundary delta %d", d)
+		}
 		bounds[i] = bounds[i-1] + int32(d)
 		if bounds[i] <= bounds[i-1] || bounds[i] >= int32(c.plan.pat.N) {
 			return fmt.Errorf("masczip: invalid chunk boundary %d", bounds[i])
@@ -251,7 +340,12 @@ func (c *Compressor) Decompress(cur []float64, blob []byte, ref []float64) error
 		tables = unpackTables([3]byte{blob[off], blob[off+1], blob[off+2]})
 		off += 3
 	}
-	lens := make([]int, nchunks)
+	if cap(c.lens) < nchunks {
+		c.lens = make([]int, nchunks)
+		c.starts = make([]int, nchunks)
+	}
+	lens := c.lens[:nchunks]
+	starts := c.starts[:nchunks]
 	for i := range lens {
 		l, k := binary.Uvarint(blob[off:])
 		if k <= 0 {
@@ -263,46 +357,25 @@ func (c *Compressor) Decompress(cur []float64, blob []byte, ref []float64) error
 		}
 		lens[i] = int(l)
 	}
-	starts := make([]int, nchunks)
 	for i := range lens {
 		starts[i] = off
 		off += lens[i]
-	}
-	if off > len(blob) {
-		return fmt.Errorf("masczip: truncated payload")
-	}
-	var firstErr error
-	var mu sync.Mutex
-	run := func(ci int) {
-		r := bitstream.NewReader(blob[starts[ci] : starts[ci]+lens[ci]])
-		dc := &chunkCoder{
-			plan: c.plan, opt: &c.opt,
-			cur: cur, ref: ref,
-			rowLo: bounds[ci], rowHi: bounds[ci+1],
-			calib: calib, tables: &tables,
-		}
-		if err := dc.decode(r); err != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("masczip: chunk %d: %w", ci, err)
-			}
-			mu.Unlock()
+		// Check inside the loop: the summed lengths of many maximal
+		// chunks could overflow off if left unchecked until the end.
+		if off > len(blob) {
+			return fmt.Errorf("masczip: truncated payload")
 		}
 	}
-	if nchunks == 1 {
-		run(0)
-	} else {
-		var wg sync.WaitGroup
-		for ci := 0; ci < nchunks; ci++ {
-			wg.Add(1)
-			go func(ci int) {
-				defer wg.Done()
-				run(ci)
-			}(ci)
+	c.ensureChunks(nchunks)
+	c.cur, c.ref, c.calib, c.tbl, c.blob = cur, ref, calib, tables, blob
+	workpool.Do(nchunks, c.decFn)
+	c.cur, c.ref, c.blob = nil, nil, nil
+	for ci := 0; ci < nchunks; ci++ {
+		if c.errs[ci] != nil {
+			return c.errs[ci]
 		}
-		wg.Wait()
 	}
-	return firstErr
+	return nil
 }
 
 // chunkCoder encodes or decodes the rows [rowLo, rowHi) of one matrix.

@@ -1,8 +1,11 @@
 package masczip
 
 import (
+	"encoding/binary"
+	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -316,6 +319,53 @@ func TestDecompressErrors(t *testing.T) {
 	}
 }
 
+// TestHeaderHardening feeds the decoder headers whose uvarints are
+// individually plausible but adversarial in combination: chunk-boundary
+// deltas past 2^31 (which would wrap negative through the int32 cast) and
+// chunk lengths whose sum would overflow the payload offset.
+func TestHeaderHardening(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := mnaPattern(rng, 30, 40)
+	c := New(p, Options{})
+	got := make([]float64, p.NNZ())
+
+	hdr := func(nchunks uint64, extra ...uint64) []byte {
+		b := []byte{flagCalib}
+		b = binary.AppendUvarint(b, uint64(p.NNZ()))
+		b = binary.AppendUvarint(b, nchunks)
+		for _, v := range extra {
+			b = binary.AppendUvarint(b, v)
+		}
+		return b
+	}
+	cases := []struct {
+		name string
+		blob []byte
+	}{
+		{"delta wraps int32", hdr(3, 1<<33, 1)},
+		{"delta zero", hdr(3, 0, 1)},
+		{"delta past n", hdr(2, uint64(p.N)+7)},
+		{"chunk count past n", hdr(uint64(p.N) + 1)},
+		{"element count overflows int", append([]byte{flagCalib},
+			binary.AppendUvarint(nil, math.MaxUint64)...)},
+		{"max chunk lengths", hdr(2, 1, math.MaxUint64, math.MaxUint64)},
+		{"summed lengths overflow", hdr(4, 1, 1, 1,
+			1<<62, 1<<62, 1<<62, 1<<62)},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("%s: panic: %v", tc.name, r)
+				}
+			}()
+			if err := c.Decompress(got, tc.blob, nil); err == nil {
+				t.Fatalf("%s: decoder accepted adversarial header", tc.name)
+			}
+		}()
+	}
+}
+
 func TestQuickRoundTrip(t *testing.T) {
 	f := func(seed int64, sz uint8, markov bool, workers uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -374,6 +424,57 @@ func BenchmarkDecompress(b *testing.B) {
 		if err := c.Decompress(got, blob, ref); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchWorkerCounts is the Workers sweep for the scaling benchmarks:
+// serial, a fixed mid point, and the full machine.
+func benchWorkerCounts() []int {
+	ws := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		ws = append(ws, n)
+	}
+	return ws
+}
+
+func BenchmarkCompressWorkers(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := mnaPattern(rng, 2000, 6000)
+	ref := mnaValues(rng, p, 0.01)
+	cur := evolve(rng, ref, 1e-6)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			c := New(p, Options{Workers: w})
+			var blob []byte
+			b.SetBytes(int64(8 * len(cur)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				blob = c.Compress(blob[:0], cur, ref)
+			}
+		})
+	}
+}
+
+func BenchmarkDecompressWorkers(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := mnaPattern(rng, 2000, 6000)
+	ref := mnaValues(rng, p, 0.01)
+	cur := evolve(rng, ref, 1e-6)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			c := New(p, Options{Workers: w})
+			blob := c.Compress(nil, cur, ref)
+			got := make([]float64, len(cur))
+			b.SetBytes(int64(8 * len(cur)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Decompress(got, blob, ref); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -9,9 +9,9 @@ package parallelz
 import (
 	"encoding/binary"
 	"fmt"
-	"sync"
 
 	"masc/internal/compress"
+	"masc/internal/compress/workpool"
 )
 
 // Compressor implements compress.Compressor by fanning out to an inner
@@ -61,23 +61,25 @@ func bounds(n, w int) []int {
 
 // Compress implements compress.Compressor.
 func (c *Compressor) Compress(dst []byte, cur, ref []float64) []byte {
+	if len(cur) == 0 {
+		// An empty value array gets a bare header (zero chunks) rather
+		// than one degenerate zero-length chunk, so the round trip is
+		// well-defined for every inner codec.
+		dst = binary.AppendUvarint(dst, 0)
+		dst = binary.AppendUvarint(dst, 0)
+		return dst
+	}
 	bounds := bounds(len(cur), c.workers)
 	nchunks := len(bounds) - 1
 	payloads := make([][]byte, nchunks)
-	var wg sync.WaitGroup
-	for i := 0; i < nchunks; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			lo, hi := bounds[i], bounds[i+1]
-			var r []float64
-			if ref != nil {
-				r = ref[lo:hi]
-			}
-			payloads[i] = c.newInner().Compress(nil, cur[lo:hi], r)
-		}(i)
-	}
-	wg.Wait()
+	workpool.Do(nchunks, func(i int) {
+		lo, hi := bounds[i], bounds[i+1]
+		var r []float64
+		if ref != nil {
+			r = ref[lo:hi]
+		}
+		payloads[i] = c.newInner().Compress(nil, cur[lo:hi], r)
+	})
 	dst = binary.AppendUvarint(dst, uint64(len(cur)))
 	dst = binary.AppendUvarint(dst, uint64(nchunks))
 	for _, p := range payloads {
@@ -105,6 +107,12 @@ func (c *Compressor) Decompress(cur []float64, blob []byte, ref []float64) error
 	}
 	off += k
 	nchunks := int(nc64)
+	if len(cur) == 0 {
+		if nchunks != 0 {
+			return fmt.Errorf("parallelz: %d chunks for empty value array", nchunks)
+		}
+		return nil
+	}
 	if nchunks < 1 || nchunks > len(cur)+1 {
 		return fmt.Errorf("parallelz: implausible chunk count %d", nchunks)
 	}
@@ -124,9 +132,9 @@ func (c *Compressor) Decompress(cur []float64, blob []byte, ref []float64) error
 	for i := range lens {
 		starts[i] = off
 		off += lens[i]
-	}
-	if off > len(blob) {
-		return fmt.Errorf("parallelz: truncated payload")
+		if off > len(blob) {
+			return fmt.Errorf("parallelz: truncated payload")
+		}
 	}
 	// The encoder's chunk count is authoritative from the blob.
 	bounds := bounds(len(cur), nchunks)
@@ -134,20 +142,14 @@ func (c *Compressor) Decompress(cur []float64, blob []byte, ref []float64) error
 		return fmt.Errorf("parallelz: chunk layout mismatch")
 	}
 	errs := make([]error, nchunks)
-	var wg sync.WaitGroup
-	for i := 0; i < nchunks; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			lo, hi := bounds[i], bounds[i+1]
-			var r []float64
-			if ref != nil {
-				r = ref[lo:hi]
-			}
-			errs[i] = c.newInner().Decompress(cur[lo:hi], blob[starts[i]:starts[i]+lens[i]], r)
-		}(i)
-	}
-	wg.Wait()
+	workpool.Do(nchunks, func(i int) {
+		lo, hi := bounds[i], bounds[i+1]
+		var r []float64
+		if ref != nil {
+			r = ref[lo:hi]
+		}
+		errs[i] = c.newInner().Decompress(cur[lo:hi], blob[starts[i]:starts[i]+lens[i]], r)
+	})
 	for i, err := range errs {
 		if err != nil {
 			return fmt.Errorf("parallelz: chunk %d: %w", i, err)

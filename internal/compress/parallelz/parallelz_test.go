@@ -57,6 +57,29 @@ func TestCrossWorkerDecode(t *testing.T) {
 	}
 }
 
+func TestEmptyValueRoundTrip(t *testing.T) {
+	// A zero-length value array must round-trip cleanly through every
+	// inner codec: the blob carries zero chunks instead of a degenerate
+	// empty chunk.
+	for name, mk := range factories() {
+		for _, vals := range [][]float64{nil, {}} {
+			c := New(mk, 3)
+			blob := c.Compress(nil, vals, nil)
+			if len(blob) == 0 {
+				t.Fatalf("%s: empty input produced empty blob (no header)", name)
+			}
+			if err := c.Decompress(nil, blob, nil); err != nil {
+				t.Fatalf("%s: decompress empty: %v", name, err)
+			}
+			// An empty blob header must reject a non-empty destination.
+			got := make([]float64, 4)
+			if err := c.Decompress(got, blob, nil); err == nil {
+				t.Fatalf("%s: empty blob accepted for 4-value destination", name)
+			}
+		}
+	}
+}
+
 func TestCorruptBlobs(t *testing.T) {
 	c := New(func() compress.Compressor { return gzipz.New() }, 3)
 	vals := []float64{1, 2, 3, 4, 5, 6}

@@ -1,0 +1,72 @@
+package workpool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		hits := make([]int32, n)
+		Do(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d executed %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestDoNested(t *testing.T) {
+	// Nested Do from inside pool workers must not deadlock: excess work
+	// runs inline on the caller.
+	var total int64
+	Do(8, func(i int) {
+		Do(8, func(j int) {
+			atomic.AddInt64(&total, 1)
+		})
+	})
+	if total != 64 {
+		t.Fatalf("nested Do ran %d of 64 tasks", total)
+	}
+}
+
+func TestDoConcurrentCallers(t *testing.T) {
+	// Many goroutines sharing the pool at once: every caller still sees
+	// exactly its own n invocations.
+	const callers = 16
+	done := make(chan int64, callers)
+	for c := 0; c < callers; c++ {
+		go func() {
+			var sum int64
+			Do(100, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+			done <- sum
+		}()
+	}
+	for c := 0; c < callers; c++ {
+		if got := <-done; got != 4950 {
+			t.Fatalf("caller saw partial work: sum %d, want 4950", got)
+		}
+	}
+}
+
+func TestDoParallelismBounded(t *testing.T) {
+	// Do must not run more tasks concurrently than GOMAXPROCS + 1 (the
+	// pool plus the calling goroutine).
+	limit := int32(runtime.GOMAXPROCS(0) + 1)
+	var cur, peak int32
+	Do(256, func(i int) {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > limit {
+		t.Fatalf("observed %d concurrent tasks, limit %d", peak, limit)
+	}
+}

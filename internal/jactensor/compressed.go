@@ -2,6 +2,7 @@ package jactensor
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"masc/internal/compress"
@@ -14,6 +15,14 @@ import (
 // Put compresses step t-1 using step t as the prediction reference; during
 // the reverse sweep step i is decompressed using the already-materialized
 // step i+1, whose memory is freed by Release.
+//
+// In async mode (NewCompressedStoreAsync) the compression runs on a
+// persistent background worker behind a bounded queue, so Put returns as
+// soon as the incoming values are copied and the solver proceeds to step
+// t+1 while step t-1 compresses; symmetrically, the reverse sweep
+// prefetches step i-1 on a background goroutine while the adjoint solve
+// consumes step i. The blob sequence is byte-identical to sync mode: the
+// worker performs exactly the same Compress calls in the same order.
 type CompressedStore struct {
 	jc, cc compress.Compressor
 
@@ -23,16 +32,46 @@ type CompressedStore struct {
 	n              int       // highest step put; -1 before first Put
 	forwardDone    bool
 
-	// Reverse-sweep plaintext cache: at most two live steps.
+	// Reverse-sweep plaintext cache: at most two live steps (plus one
+	// in-flight prefetch in async mode).
 	plainJ, plainC map[int][]float64
 
 	stats    Stats
 	resident int64
+
+	// Async pipeline state. mu guards every field above that the worker
+	// or prefetch goroutine touches (blobs, stats, resident, plain maps,
+	// pools, ferr); the sync code path never contends on it.
+	async   bool
+	mu      sync.Mutex
+	jobs    chan fwdJob
+	wkDone  chan struct{}
+	drained bool  // worker joined (EndForward or Close ran)
+	ferr    error // first background error; surfaces on Put/EndForward
+
+	poolJ, poolC [][]float64 // recycled plaintext buffers
+
+	pf *prefetch // at most one in-flight reverse prefetch
 }
 
-// NewCompressedStore builds a store over the given codecs (one for the J
-// tensor, one for C). jPat/cPat, when non-nil, contribute the one-off
-// shared-index footprint to the stats, matching the paper's accounting.
+// fwdJob asks the worker to compress step t-1 (cur) against step t (ref).
+type fwdJob struct {
+	curJ, curC []float64
+	refJ, refC []float64
+}
+
+// prefetch is one in-flight background decompression of step `step`.
+type prefetch struct {
+	step int
+	j, c []float64
+	err  error
+	done chan struct{}
+}
+
+// NewCompressedStore builds a synchronous store over the given codecs (one
+// for the J tensor, one for C). jPat/cPat, when non-nil, contribute the
+// one-off shared-index footprint to the stats, matching the paper's
+// accounting.
 func NewCompressedStore(jc, cc compress.Compressor, jPat, cPat *sparse.Pattern) *CompressedStore {
 	s := &CompressedStore{
 		jc: jc, cc: cc,
@@ -49,6 +88,30 @@ func NewCompressedStore(jc, cc compress.Compressor, jPat, cPat *sparse.Pattern) 
 	return s
 }
 
+// NewCompressedStoreAsync builds a pipelined store: Put hands compression
+// jobs to a persistent background worker through a queue of the given
+// depth (the number of timesteps the solver may run ahead of the
+// compressor; <1 selects the default of 2), and the reverse sweep
+// prefetches the next step in the background. Stats gain a StallTime
+// entry: the time Put spent blocked on a full queue.
+func NewCompressedStoreAsync(jc, cc compress.Compressor, jPat, cPat *sparse.Pattern, depth int) *CompressedStore {
+	s := NewCompressedStore(jc, cc, jPat, cPat)
+	if depth < 1 {
+		depth = 2
+	}
+	s.async = true
+	s.jobs = make(chan fwdJob, depth)
+	s.wkDone = make(chan struct{})
+	go s.worker()
+	return s
+}
+
+// Async reports whether the store runs the pipelined (background
+// compression) mode.
+func (s *CompressedStore) Async() bool { return s.async }
+
+// bumpResident adjusts the resident-byte model; callers in async mode must
+// hold mu.
 func (s *CompressedStore) bumpResident(delta int64) {
 	s.resident += delta
 	if s.resident > s.stats.PeakResident {
@@ -56,8 +119,75 @@ func (s *CompressedStore) bumpResident(delta int64) {
 	}
 }
 
+// takeBuf returns a length-n plaintext buffer, recycling a pooled one when
+// available. mu must be held. The checked-out buffer counts as resident
+// until it is recycled.
+func takeBuf(pool *[][]float64, n int) []float64 {
+	if k := len(*pool); k > 0 {
+		b := (*pool)[k-1]
+		*pool = (*pool)[:k-1]
+		if len(b) == n {
+			return b
+		}
+	}
+	return make([]float64, n)
+}
+
+// worker drains the forward compression queue. It is the only goroutine
+// calling s.jc.Compress / s.cc.Compress, so the (stateful, non-thread-safe)
+// codecs see exactly the sync-mode call sequence.
+func (s *CompressedStore) worker() {
+	defer close(s.wkDone)
+	for job := range s.jobs {
+		s.runJob(job)
+	}
+}
+
+func (s *CompressedStore) runJob(job fwdJob) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			if s.ferr == nil {
+				s.ferr = fmt.Errorf("jactensor: async compress: %v", r)
+			}
+			s.mu.Unlock()
+		}
+	}()
+	s.mu.Lock()
+	failed := s.ferr != nil
+	s.mu.Unlock()
+	if failed {
+		s.recycle(job.curJ, job.curC)
+		return
+	}
+	start := time.Now()
+	jb := s.jc.Compress(nil, job.curJ, job.refJ)
+	cb := s.cc.Compress(nil, job.curC, job.refC)
+	elapsed := time.Since(start)
+	s.mu.Lock()
+	s.jBlobs = append(s.jBlobs, jb)
+	s.cBlobs = append(s.cBlobs, cb)
+	s.stats.StoredBytes += int64(len(jb) + len(cb))
+	s.stats.CompressTime += elapsed
+	s.bumpResident(int64(len(jb) + len(cb)))
+	s.mu.Unlock()
+	s.recycle(job.curJ, job.curC)
+}
+
+// recycle returns a consumed plaintext pair to the buffer pool.
+func (s *CompressedStore) recycle(j, c []float64) {
+	s.mu.Lock()
+	s.poolJ = append(s.poolJ, j)
+	s.poolC = append(s.poolC, c)
+	s.bumpResident(-int64(8 * (len(j) + len(c))))
+	s.mu.Unlock()
+}
+
 // Put implements Store.
 func (s *CompressedStore) Put(step int, jVals, cVals []float64) error {
+	if s.async {
+		return s.putAsync(step, jVals, cVals)
+	}
 	if s.forwardDone {
 		return fmt.Errorf("jactensor: Put after EndForward")
 	}
@@ -99,9 +229,71 @@ func (s *CompressedStore) Put(step int, jVals, cVals []float64) error {
 	return nil
 }
 
+// putAsync double-buffers the incoming values and hands the "compress
+// M_{t-1} against M_t" job to the worker, so the caller immediately
+// proceeds to the next timestep. Worker errors surface here (and on
+// EndForward), one Put late at worst.
+func (s *CompressedStore) putAsync(step int, jVals, cVals []float64) error {
+	s.mu.Lock()
+	if err := s.ferr; err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if s.forwardDone {
+		s.mu.Unlock()
+		return fmt.Errorf("jactensor: Put after EndForward")
+	}
+	if step != s.n+1 {
+		s.mu.Unlock()
+		return fmt.Errorf("jactensor: put step %d out of order (expected %d)", step, s.n+1)
+	}
+	if step == 0 {
+		s.jLen, s.cLen = len(jVals), len(cVals)
+	} else if len(jVals) != s.jLen || len(cVals) != s.cLen {
+		s.mu.Unlock()
+		return fmt.Errorf("jactensor: step %d value counts changed (%d/%d vs %d/%d)",
+			step, len(jVals), len(cVals), s.jLen, s.cLen)
+	}
+	jb := takeBuf(&s.poolJ, len(jVals))
+	cb := takeBuf(&s.poolC, len(cVals))
+	s.bumpResident(int64(8 * (len(jVals) + len(cVals))))
+	s.mu.Unlock()
+
+	copy(jb, jVals)
+	copy(cb, cVals)
+	if step > 0 {
+		job := fwdJob{curJ: s.lastJ, curC: s.lastC, refJ: jb, refC: cb}
+		select {
+		case s.jobs <- job:
+		default:
+			// Queue full: the compressor is the bottleneck right now.
+			// Account the wait so the overlap experiment can report how
+			// much compression latency leaked back onto the solver.
+			start := time.Now()
+			s.jobs <- job
+			stall := time.Since(start)
+			s.mu.Lock()
+			s.stats.StallTime += stall
+			s.mu.Unlock()
+		}
+	}
+	s.lastJ, s.lastC = jb, cb
+
+	s.mu.Lock()
+	s.n = step
+	s.stats.Steps++
+	s.stats.RawBytes += int64(8 * (len(jVals) + len(cVals)))
+	s.mu.Unlock()
+	return nil
+}
+
 // EndForward implements Store: the final step is compressed with no
-// reference so the reverse chain has a self-contained head.
+// reference so the reverse chain has a self-contained head. In async mode
+// it first drains the compression queue.
 func (s *CompressedStore) EndForward() error {
+	if s.async {
+		return s.endForwardAsync()
+	}
 	if s.forwardDone {
 		return nil
 	}
@@ -124,9 +316,123 @@ func (s *CompressedStore) EndForward() error {
 	return nil
 }
 
+func (s *CompressedStore) endForwardAsync() error {
+	s.mu.Lock()
+	if s.forwardDone {
+		s.mu.Unlock()
+		return nil
+	}
+	if s.n < 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("jactensor: EndForward with no steps")
+	}
+	// Block further Puts before the queue closes.
+	s.forwardDone = true
+	s.mu.Unlock()
+
+	close(s.jobs)
+	<-s.wkDone
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drained = true
+	if s.ferr != nil {
+		return s.ferr
+	}
+	start := time.Now()
+	jb := s.jc.Compress(nil, s.lastJ, nil)
+	cb := s.cc.Compress(nil, s.lastC, nil)
+	s.jBlobs = append(s.jBlobs, jb)
+	s.cBlobs = append(s.cBlobs, cb)
+	s.stats.StoredBytes += int64(len(jb) + len(cb))
+	s.stats.CompressTime += time.Since(start)
+	s.plainJ[s.n] = s.lastJ
+	s.plainC[s.n] = s.lastC
+	s.lastJ, s.lastC = nil, nil
+	s.bumpResident(int64(len(jb) + len(cb)))
+	return nil
+}
+
+// decompressStep inflates step's blobs against the given references into
+// freshly checked-out buffers. At most one call runs at a time (Fetch joins
+// any in-flight prefetch first), so the codecs' scratch state is safe.
+func (s *CompressedStore) decompressStep(step int, refJ, refC []float64) ([]float64, []float64, error) {
+	s.mu.Lock()
+	jv := takeBuf(&s.poolJ, s.jLen)
+	cv := takeBuf(&s.poolC, s.cLen)
+	jBlob, cBlob := s.jBlobs[step], s.cBlobs[step]
+	s.mu.Unlock()
+	start := time.Now()
+	if err := s.jc.Decompress(jv, jBlob, refJ); err != nil {
+		return nil, nil, fmt.Errorf("jactensor: step %d J: %w", step, err)
+	}
+	if err := s.cc.Decompress(cv, cBlob, refC); err != nil {
+		return nil, nil, fmt.Errorf("jactensor: step %d C: %w", step, err)
+	}
+	elapsed := time.Since(start)
+	s.mu.Lock()
+	s.stats.DecompressTime += elapsed
+	s.mu.Unlock()
+	return jv, cv, nil
+}
+
+// maybePrefetch schedules a background decompression of step-1 using
+// step's (resident) plaintext as reference. mu must be held.
+func (s *CompressedStore) maybePrefetch(step int) {
+	if !s.async || s.pf != nil || step <= 0 {
+		return
+	}
+	prev := step - 1
+	if _, ok := s.plainJ[prev]; ok {
+		return
+	}
+	refJ, refC := s.plainJ[step], s.plainC[step]
+	pf := &prefetch{step: prev, done: make(chan struct{})}
+	s.pf = pf
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				pf.err = fmt.Errorf("jactensor: prefetch step %d: %v", pf.step, r)
+			}
+			close(pf.done)
+		}()
+		pf.j, pf.c, pf.err = s.decompressStep(pf.step, refJ, refC)
+	}()
+}
+
+// joinPrefetch waits for the in-flight prefetch (if any) and materializes
+// its result. It reports the prefetch error for `step` when that is the
+// step the caller wants.
+func (s *CompressedStore) joinPrefetch(step int) error {
+	s.mu.Lock()
+	pf := s.pf
+	s.mu.Unlock()
+	if pf == nil {
+		return nil
+	}
+	<-pf.done
+	s.mu.Lock()
+	s.pf = nil
+	if pf.err == nil {
+		s.plainJ[pf.step] = pf.j
+		s.plainC[pf.step] = pf.c
+		s.bumpResident(int64(8 * (len(pf.j) + len(pf.c))))
+	}
+	s.mu.Unlock()
+	if pf.step == step {
+		return pf.err
+	}
+	return nil
+}
+
 // Fetch implements Store. Steps must be fetched in reverse order; each
-// decompression uses the plaintext of step i+1 as its reference.
+// decompression uses the plaintext of step i+1 as its reference. In async
+// mode the common case is a hit on the background prefetch, and fetching
+// step i kicks off the prefetch of step i-1.
 func (s *CompressedStore) Fetch(step int) ([]float64, []float64, error) {
+	if s.async {
+		return s.fetchAsync(step)
+	}
 	if !s.forwardDone {
 		return nil, nil, fmt.Errorf("jactensor: Fetch before EndForward")
 	}
@@ -161,8 +467,73 @@ func (s *CompressedStore) Fetch(step int) ([]float64, []float64, error) {
 	return jv, cv, nil
 }
 
+func (s *CompressedStore) fetchAsync(step int) ([]float64, []float64, error) {
+	s.mu.Lock()
+	if !s.forwardDone || !s.drained {
+		s.mu.Unlock()
+		return nil, nil, fmt.Errorf("jactensor: Fetch before EndForward")
+	}
+	if step < 0 || step > s.n {
+		s.mu.Unlock()
+		return nil, nil, fmt.Errorf("jactensor: fetch step %d of %d", step, s.n)
+	}
+	s.mu.Unlock()
+
+	// Join any in-flight prefetch first: it is either our step (the hit
+	// path) or must finish before we may run another decompression.
+	if err := s.joinPrefetch(step); err != nil {
+		return nil, nil, err
+	}
+
+	s.mu.Lock()
+	if j, ok := s.plainJ[step]; ok {
+		c := s.plainC[step]
+		s.maybePrefetch(step)
+		s.mu.Unlock()
+		return j, c, nil
+	}
+	var refJ, refC []float64
+	if step < s.n {
+		var ok bool
+		refJ, ok = s.plainJ[step+1]
+		if !ok {
+			s.mu.Unlock()
+			return nil, nil, fmt.Errorf("%w: step %d needs step %d resident", ErrOutOfOrder, step, step+1)
+		}
+		refC = s.plainC[step+1]
+	}
+	s.mu.Unlock()
+
+	jv, cv, err := s.decompressStep(step, refJ, refC)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.mu.Lock()
+	s.plainJ[step] = jv
+	s.plainC[step] = cv
+	s.bumpResident(int64(8 * (len(jv) + len(cv))))
+	s.maybePrefetch(step)
+	s.mu.Unlock()
+	return jv, cv, nil
+}
+
 // Release implements Store.
 func (s *CompressedStore) Release(step int) {
+	if s.async {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if v, ok := s.plainJ[step]; ok {
+			s.bumpResident(-int64(8 * len(v)))
+			s.poolJ = append(s.poolJ, v)
+			delete(s.plainJ, step)
+		}
+		if v, ok := s.plainC[step]; ok {
+			s.bumpResident(-int64(8 * len(v)))
+			s.poolC = append(s.poolC, v)
+			delete(s.plainC, step)
+		}
+		return
+	}
 	if v, ok := s.plainJ[step]; ok {
 		s.bumpResident(-int64(8 * len(v)))
 		delete(s.plainJ, step)
@@ -174,10 +545,37 @@ func (s *CompressedStore) Release(step int) {
 }
 
 // Stats implements Store.
-func (s *CompressedStore) Stats() Stats { return s.stats }
+func (s *CompressedStore) Stats() Stats {
+	if s.async {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	return s.stats
+}
 
-// Close implements Store.
+// Close implements Store. In async mode it shuts the pipeline down, even
+// when the forward pass was abandoned before EndForward.
 func (s *CompressedStore) Close() error {
+	if s.async {
+		s.mu.Lock()
+		needDrain := !s.drained
+		s.forwardDone = true
+		s.mu.Unlock()
+		if needDrain {
+			close(s.jobs)
+			<-s.wkDone
+			s.mu.Lock()
+			s.drained = true
+			s.mu.Unlock()
+		}
+		_ = s.joinPrefetch(-1)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.jBlobs, s.cBlobs = nil, nil
+		s.plainJ, s.plainC = nil, nil
+		s.poolJ, s.poolC = nil, nil
+		return s.ferr
+	}
 	s.jBlobs, s.cBlobs = nil, nil
 	s.plainJ, s.plainC = nil, nil
 	return nil

@@ -24,6 +24,10 @@ type Stats struct {
 	CompressTime   time.Duration
 	DecompressTime time.Duration
 	IOTime         time.Duration
+	// StallTime is the solver-visible time Put spent blocked on a full
+	// compression queue (async stores only): the residue of compression
+	// cost that the pipeline failed to hide behind the solve.
+	StallTime time.Duration
 }
 
 // Store retains per-step (J values, C values) pairs written forward and

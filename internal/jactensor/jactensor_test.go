@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"masc/internal/compress"
 	"masc/internal/compress/chimpz"
@@ -194,6 +195,192 @@ func TestCompressedStorePutValidation(t *testing.T) {
 	if err := st.Put(1, js[1], cs[1]); err == nil {
 		t.Fatal("expected put-after-EndForward error")
 	}
+}
+
+func TestAsyncStoreRoundTrip(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(30, 50, 16)
+	for _, depth := range []int{1, 2, 8} {
+		opt := masczip.Options{Workers: 2}
+		st := NewCompressedStoreAsync(masczip.New(jp, opt), masczip.New(cp, opt), jp, cp, depth)
+		if !st.Async() {
+			t.Fatal("store not in async mode")
+		}
+		fillAndVerify(t, st, js, cs)
+	}
+}
+
+func TestAsyncStoreMarkov(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(31, 60, 20)
+	opt := masczip.Options{Markov: true, CalibEvery: 5, Workers: 4}
+	st := NewCompressedStoreAsync(masczip.New(jp, opt), masczip.New(cp, opt), jp, cp, 3)
+	fillAndVerify(t, st, js, cs)
+}
+
+// TestAsyncMatchesSyncBytes is the cross-mode equivalence invariant: the
+// async pipeline performs exactly the sync sequence of Compress calls, so
+// StoredBytes (and every fetched value) must be byte-identical.
+func TestAsyncMatchesSyncBytes(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(32, 70, 25)
+	mk := func(async bool) *CompressedStore {
+		opt := masczip.Options{Markov: true, CalibEvery: 4}
+		jc, cc := masczip.New(jp, opt), masczip.New(cp, opt)
+		if async {
+			return NewCompressedStoreAsync(jc, cc, jp, cp, 2)
+		}
+		return NewCompressedStore(jc, cc, jp, cp)
+	}
+	run := func(st *CompressedStore) (Stats, [][]float64) {
+		var fetched [][]float64
+		for i := range js {
+			if err := st.Put(i, js[i], cs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.EndForward(); err != nil {
+			t.Fatal(err)
+		}
+		for i := len(js) - 1; i >= 0; i-- {
+			jv, cv, err := st.Fetch(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fetched = append(fetched, append([]float64(nil), jv...), append([]float64(nil), cv...))
+			if i < len(js)-1 {
+				st.Release(i + 1)
+			}
+		}
+		return st.Stats(), fetched
+	}
+	sStats, sVals := run(mk(false))
+	aStats, aVals := run(mk(true))
+	if sStats.StoredBytes != aStats.StoredBytes {
+		t.Fatalf("StoredBytes diverge: sync %d, async %d", sStats.StoredBytes, aStats.StoredBytes)
+	}
+	if sStats.Steps != aStats.Steps || sStats.RawBytes != aStats.RawBytes {
+		t.Fatalf("step accounting diverges: %+v vs %+v", sStats, aStats)
+	}
+	for k := range sVals {
+		for i := range sVals[k] {
+			if math.Float64bits(sVals[k][i]) != math.Float64bits(aVals[k][i]) {
+				t.Fatalf("reverse-sweep values diverge at fetch %d index %d", k, i)
+			}
+		}
+	}
+}
+
+func TestAsyncStoreValidation(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(33, 20, 3)
+	opt := masczip.Options{}
+	st := NewCompressedStoreAsync(masczip.New(jp, opt), masczip.New(cp, opt), jp, cp, 2)
+	if err := st.Put(1, js[1], cs[1]); err == nil {
+		t.Fatal("expected out-of-order put error")
+	}
+	if err := st.Put(0, js[0], cs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(1, js[1][:3], cs[1]); err == nil {
+		t.Fatal("expected length-change error")
+	}
+	if _, _, err := st.Fetch(0); err == nil {
+		t.Fatal("expected Fetch-before-EndForward error")
+	}
+	if err := st.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(1, js[1], cs[1]); err == nil {
+		t.Fatal("expected put-after-EndForward error")
+	}
+	if _, _, err := st.Fetch(7); err == nil {
+		t.Fatal("expected out-of-range fetch error")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncWorkerErrorSurfaces forces a background compression panic (via
+// a value-count change smuggled past Put's validation is impossible, so a
+// poisoned codec stands in) and checks the error lands on a later Put or
+// on EndForward — not as a panic on the solver thread.
+func TestAsyncWorkerErrorSurfaces(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(34, 20, 6)
+	jc := poisonCodec{Compressor: masczip.New(jp, masczip.Options{}), failOn: 2}
+	st := NewCompressedStoreAsync(&jc, masczip.New(cp, masczip.Options{}), jp, cp, 1)
+	var putErr error
+	for i := range js {
+		if putErr = st.Put(i, js[i], cs[i]); putErr != nil {
+			break
+		}
+	}
+	endErr := st.EndForward()
+	if putErr == nil && endErr == nil {
+		t.Fatal("background compression failure never surfaced")
+	}
+	if err := st.Close(); err == nil {
+		t.Fatal("Close must report the pipeline error")
+	}
+}
+
+// poisonCodec panics on its failOn-th Compress call.
+type poisonCodec struct {
+	compress.Compressor
+	calls, failOn int
+}
+
+func (p *poisonCodec) Compress(dst []byte, cur, ref []float64) []byte {
+	p.calls++
+	if p.calls == p.failOn {
+		panic("poisoned compress")
+	}
+	return p.Compressor.Compress(dst, cur, ref)
+}
+
+func TestAsyncCloseWithoutEndForward(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(35, 20, 4)
+	opt := masczip.Options{}
+	st := NewCompressedStoreAsync(masczip.New(jp, opt), masczip.New(cp, opt), jp, cp, 2)
+	for i := range js {
+		if err := st.Put(i, js[i], cs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Abandoning the run must shut the worker down cleanly.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncStallTimeAccounted(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(36, 80, 30)
+	// slowCodec makes compression the bottleneck so the depth-1 queue
+	// must stall the producer.
+	jc := slowCodec{Compressor: masczip.New(jp, masczip.Options{}), delay: time.Millisecond}
+	st := NewCompressedStoreAsync(&jc, masczip.New(cp, masczip.Options{}), jp, cp, 1)
+	for i := range js {
+		if err := st.Put(i, js[i], cs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().StallTime <= 0 {
+		t.Fatal("expected nonzero StallTime with a saturated queue")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// slowCodec adds a fixed delay to every Compress.
+type slowCodec struct {
+	compress.Compressor
+	delay time.Duration
+}
+
+func (s *slowCodec) Compress(dst []byte, cur, ref []float64) []byte {
+	time.Sleep(s.delay)
+	return s.Compressor.Compress(dst, cur, ref)
 }
 
 func TestDiskStoreRoundTrip(t *testing.T) {

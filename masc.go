@@ -110,6 +110,16 @@ type SimOptions struct {
 	Storage Storage
 	// Workers bounds the parallel compressor (default 1).
 	Workers int
+	// Async pipelines the compressed store: compression runs on a
+	// background worker so the transient loop proceeds to step t+1 while
+	// step t-1 compresses, and the reverse sweep prefetches the next step
+	// during each adjoint solve. Only meaningful for the MASC storage
+	// strategies. The stored bytes are byte-identical to sync mode.
+	Async bool
+	// PipelineDepth bounds how many timesteps the solver may run ahead of
+	// the async compressor (default 2). Larger depths hide longer
+	// compression bursts at the cost of more resident plaintext copies.
+	PipelineDepth int
 	// DiskBytesPerSec models the spill-device bandwidth for StorageDisk;
 	// 0 means unthrottled. DiskDir defaults to the system temp directory.
 	DiskBytesPerSec float64
@@ -168,10 +178,12 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 			Markov:  storage == StorageMASCMarkov,
 			Workers: workers,
 		}
-		store = jactensor.NewCompressedStore(
-			masczip.New(ckt.JPat, mo),
-			masczip.New(ckt.CPat, mo),
-			ckt.JPat, ckt.CPat)
+		jc, cc := masczip.New(ckt.JPat, mo), masczip.New(ckt.CPat, mo)
+		if opt.Async {
+			store = jactensor.NewCompressedStoreAsync(jc, cc, ckt.JPat, ckt.CPat, opt.PipelineDepth)
+		} else {
+			store = jactensor.NewCompressedStore(jc, cc, ckt.JPat, ckt.CPat)
+		}
 	default:
 		return nil, fmt.Errorf("masc: unknown storage strategy %q", storage)
 	}
@@ -190,6 +202,9 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 
 	tr, err := transient.Run(ckt, topt)
 	if err != nil {
+		if store != nil {
+			store.Close() // shuts down any async pipeline worker
+		}
 		return nil, err
 	}
 	run := &Run{Tran: tr, Storage: storage}
@@ -197,6 +212,7 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 	var src adjoint.JacobianSource
 	if store != nil {
 		if err := store.EndForward(); err != nil {
+			store.Close()
 			return nil, err
 		}
 		src = store
@@ -205,6 +221,9 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 	}
 	sens, err := adjoint.Sensitivities(ckt, tr, src, objectives, adjoint.Options{Params: params})
 	if err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return nil, err
 	}
 	run.Sens = sens

@@ -56,6 +56,36 @@ func TestSimulateAllStorages(t *testing.T) {
 	}
 }
 
+func TestSimulateAsyncMatchesSync(t *testing.T) {
+	ckt, _, obj := buildTestCircuit(t)
+	for _, st := range []Storage{StorageMASC, StorageMASCMarkov} {
+		sync, err := Simulate(ckt, SimOptions{
+			TStep: 2e-6, TStop: 4e-4, Storage: st,
+		}, []Objective{obj}, nil)
+		if err != nil {
+			t.Fatalf("%s sync: %v", st, err)
+		}
+		async, err := Simulate(ckt, SimOptions{
+			TStep: 2e-6, TStop: 4e-4, Storage: st, Async: true, PipelineDepth: 3,
+		}, []Objective{obj}, nil)
+		if err != nil {
+			t.Fatalf("%s async: %v", st, err)
+		}
+		// Pipelining reorders work, never results: same compressed size,
+		// bit-identical sensitivities.
+		if sync.TensorStats.StoredBytes != async.TensorStats.StoredBytes {
+			t.Fatalf("%s: stored bytes diverge: sync %d async %d",
+				st, sync.TensorStats.StoredBytes, async.TensorStats.StoredBytes)
+		}
+		for k := range sync.Sens.DOdp[0] {
+			a, b := sync.Sens.DOdp[0][k], async.Sens.DOdp[0][k]
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("%s: sensitivity %d diverges: %g vs %g", st, k, a, b)
+			}
+		}
+	}
+}
+
 func TestSimulateValidation(t *testing.T) {
 	ckt, _, obj := buildTestCircuit(t)
 	if _, err := Simulate(ckt, SimOptions{TStep: 1e-6, TStop: 1e-5}, nil, nil); err == nil {
