@@ -142,22 +142,31 @@ func (c *Compressor) Decompress(cur []float64, blob []byte, ref []float64) error
 		return fmt.Errorf("ansz: blob holds %d elements, want %d", n64, len(cur))
 	}
 	var freqs [256]uint32
-	sum := uint32(0)
+	sum := 0
 	for s := 0; s < 256; s++ {
 		f, k := binary.Uvarint(blob[off:])
 		if k <= 0 {
 			return fmt.Errorf("ansz: truncated frequency table")
 		}
 		off += k
+		// Reject frequencies a valid encoder can never emit before they
+		// reach buildTables: a corrupt table whose (wrapping) sum happened
+		// to land on probScale would otherwise index past the slot array.
+		if f > probScale {
+			return fmt.Errorf("ansz: frequency %d of symbol %d exceeds scale", f, s)
+		}
 		freqs[s] = uint32(f)
-		sum += uint32(f)
+		sum += int(f)
 	}
 	nraw := 8 * len(cur)
-	if nraw > 0 && sum != probScale {
-		return fmt.Errorf("ansz: frequency table sums to %d", sum)
-	}
 	if len(blob) < off+4 {
 		return fmt.Errorf("ansz: truncated state")
+	}
+	if nraw == 0 {
+		return nil
+	}
+	if sum != probScale {
+		return fmt.Errorf("ansz: frequency table sums to %d", sum)
 	}
 	cum, slots := buildTables(&freqs)
 	state := binary.LittleEndian.Uint32(blob[off:])

@@ -1,0 +1,44 @@
+package ansz
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"masc/internal/compress"
+	"masc/internal/compress/codectest"
+)
+
+func TestConformanceMatrix(t *testing.T) {
+	codectest.RunMatrix(t, codectest.Config{
+		New: func() compress.Compressor { return New() },
+	})
+}
+
+// FuzzDecompress feeds arbitrary bytes to the rANS decoder: whatever the
+// input, it must return an error or garbage values, never panic or index
+// past the slot table.
+func FuzzDecompress(f *testing.F) {
+	c := New()
+	for _, pair := range codectest.Sequences(99) {
+		f.Add(c.Compress(nil, pair[0], pair[1]))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	// Regression: a frequency table whose entries wrap through uint32 so the
+	// (wrapping) sum lands back on probScale. The pre-hardened decoder built
+	// slot tables from it and indexed out of bounds; the per-symbol bound
+	// check must reject it before buildTables runs.
+	wrap := binary.AppendUvarint(nil, 1) // one element (8 raw bytes)
+	wrap = binary.AppendUvarint(wrap, 1<<32|probScale)
+	for s := 1; s < 256; s++ {
+		wrap = binary.AppendUvarint(wrap, 0)
+	}
+	wrap = append(wrap, 0, 0, 0x80, 0) // decoder state
+	f.Add(wrap)
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		for _, n := range []int{0, 1, 64} {
+			out := make([]float64, n)
+			_ = New().Decompress(out, blob, nil)
+		}
+	})
+}

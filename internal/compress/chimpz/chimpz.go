@@ -81,6 +81,9 @@ func (c *Compressor) Compress(dst []byte, cur, ref []float64) []byte {
 
 // Decompress implements compress.Compressor.
 func (c *Compressor) Decompress(cur []float64, blob []byte, ref []float64) error {
+	if c.UseRef && ref != nil && len(ref) != len(cur) {
+		return fmt.Errorf("chimpz: reference holds %d values, want %d", len(ref), len(cur))
+	}
 	r := bitstream.NewReader(blob)
 	var prev uint64
 	var winLZ, winLen uint

@@ -1,0 +1,39 @@
+package chimpz
+
+import (
+	"testing"
+
+	"masc/internal/compress"
+	"masc/internal/compress/codectest"
+)
+
+func TestConformanceMatrixStream(t *testing.T) {
+	codectest.RunMatrix(t, codectest.Config{
+		New: func() compress.Compressor { return New() },
+	})
+}
+
+func TestConformanceMatrixTemporal(t *testing.T) {
+	codectest.RunMatrix(t, codectest.Config{
+		New: func() compress.Compressor { return NewTemporal() },
+	})
+}
+
+// FuzzDecompress feeds arbitrary bytes to both XOR-decoder variants; with
+// and without a reference they must never panic, whatever the bit stream
+// claims about window sizes or leading-zero counts.
+func FuzzDecompress(f *testing.F) {
+	for _, pair := range codectest.Sequences(99) {
+		f.Add(New().Compress(nil, pair[0], pair[1]))
+		f.Add(NewTemporal().Compress(nil, pair[0], pair[1]))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		out := make([]float64, 64)
+		ref := make([]float64, 64)
+		_ = New().Decompress(out, blob, nil)
+		_ = NewTemporal().Decompress(out, blob, ref)
+		_ = NewTemporal().Decompress(out, blob, nil)
+	})
+}

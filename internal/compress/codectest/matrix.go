@@ -1,0 +1,253 @@
+package codectest
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"masc/internal/compress"
+)
+
+// Config describes one codec's conformance profile for RunMatrix. The
+// factory form (rather than a shared instance) lets the matrix verify that
+// encoding is a pure function of the input — two fresh instances must emit
+// identical bytes — and keeps stateful codecs from leaking calibration
+// across probes.
+type Config struct {
+	// New returns a fresh codec instance.
+	New func() compress.Compressor
+	// FixedLen, when > 0, pins every generated sequence to exactly that
+	// element count — for pattern-bound codecs (masczip) whose value-array
+	// length is fixed by construction. The variable-length and empty-input
+	// probes are skipped.
+	FixedLen int
+	// RelTol, when > 0, runs the lossy roundtrip contract with this
+	// relative bound instead of requiring bit-exactness. NaN and ±Inf must
+	// still be preserved exactly.
+	RelTol float64
+}
+
+// matrixSequences returns the (cur, ref) pairs the matrix probes exercise.
+// With fixedLen > 0 every pair has exactly that many elements.
+func matrixSequences(seed int64, fixedLen int) [][2][]float64 {
+	if fixedLen <= 0 {
+		seqs := Sequences(seed)
+		// Denormal-heavy sequence: gradual-underflow bit patterns stress
+		// mantissa-oriented predictors differently from normals.
+		rng := rand.New(rand.NewSource(seed + 1))
+		den := make([]float64, 300)
+		for i := range den {
+			den[i] = math.Float64frombits(uint64(rng.Int63()) & ((1 << 52) - 1))
+			if i%3 == 0 {
+				den[i] = -den[i]
+			}
+		}
+		return append(seqs, [2][]float64{den, nil})
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out [][2][]float64
+	mk := func(fill func(i int) (c, r float64), withRef bool) {
+		cur := make([]float64, fixedLen)
+		ref := make([]float64, fixedLen)
+		for i := range cur {
+			cur[i], ref[i] = fill(i)
+		}
+		if !withRef {
+			ref = nil
+		}
+		out = append(out, [2][]float64{cur, ref})
+	}
+	// Smooth temporally correlated pair.
+	mk(func(i int) (float64, float64) {
+		r := math.Sin(float64(i)/7) * math.Exp(float64(i%13))
+		return r * (1 + 1e-9*rng.NormFloat64()), r
+	}, true)
+	// Fully static tensor.
+	mk(func(i int) (float64, float64) {
+		v := math.Cos(float64(i)) * 1e3
+		return v, v
+	}, true)
+	// No reference.
+	mk(func(i int) (float64, float64) {
+		return rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20)), 0
+	}, false)
+	// Specials scattered through an otherwise smooth tensor.
+	specials := []float64{0, math.Copysign(0, -1),
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		math.MaxFloat64, math.SmallestNonzeroFloat64, -math.MaxFloat64}
+	mk(func(i int) (float64, float64) {
+		r := float64(i) * 0.25
+		c := r
+		if i%5 == 0 {
+			c = specials[(i/5)%len(specials)]
+		}
+		return c, r
+	}, true)
+	return out
+}
+
+// checkRoundtrip asserts the decode of blob matches cur under the profile's
+// loss contract.
+func checkRoundtrip(t *testing.T, cfg Config, label string, cur, ref []float64, blob []byte) {
+	t.Helper()
+	c := cfg.New()
+	got := make([]float64, len(cur))
+	if err := c.Decompress(got, blob, ref); err != nil {
+		t.Fatalf("%s: %s: decompress: %v", c.Name(), label, err)
+	}
+	for i := range cur {
+		w, g := cur[i], got[i]
+		if cfg.RelTol == 0 {
+			if math.Float64bits(g) != math.Float64bits(w) {
+				t.Fatalf("%s: %s: value %d: got %x, want %x",
+					c.Name(), label, i, math.Float64bits(g), math.Float64bits(w))
+			}
+			continue
+		}
+		switch {
+		case math.IsNaN(w):
+			if !math.IsNaN(g) {
+				t.Fatalf("%s: %s: value %d: NaN not preserved", c.Name(), label, i)
+			}
+		case math.IsInf(w, 0):
+			if g != w {
+				t.Fatalf("%s: %s: value %d: Inf not preserved", c.Name(), label, i)
+			}
+		default:
+			if math.Abs(g-w) > cfg.RelTol*math.Abs(w)+1e-300 {
+				t.Fatalf("%s: %s: value %d: %g vs %g exceeds rel %g",
+					c.Name(), label, i, g, w, cfg.RelTol)
+			}
+		}
+	}
+}
+
+// decodeMustNotPanic runs one Decompress call, converting a panic into a
+// test failure. Decoders face attacker-controlled bytes (blobs come off
+// disk); whatever the input, the only acceptable outcomes are an error or
+// garbage values.
+func decodeMustNotPanic(t *testing.T, c compress.Compressor, cur []float64, blob []byte, ref []float64, label string) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: %s: decoder panicked: %v", c.Name(), label, r)
+		}
+	}()
+	_ = c.Decompress(cur, blob, ref)
+}
+
+// RunMatrix runs the full codec conformance matrix: roundtrips under the
+// loss contract, empty input, special values, reference-length mismatches,
+// truncated and corrupted blobs, and encode determinism.
+func RunMatrix(t *testing.T, cfg Config) {
+	t.Helper()
+	probe := cfg.New()
+	if cfg.RelTol == 0 && !probe.Lossless() {
+		t.Fatalf("%s: lossy codec needs Config.RelTol", probe.Name())
+	}
+	if cfg.RelTol > 0 && probe.Lossless() {
+		t.Fatalf("%s: lossless codec must not set Config.RelTol", probe.Name())
+	}
+	seqs := matrixSequences(4321, cfg.FixedLen)
+
+	t.Run("Roundtrip", func(t *testing.T) {
+		for _, pair := range seqs {
+			cur, ref := pair[0], pair[1]
+			blob := cfg.New().Compress(nil, cur, ref)
+			checkRoundtrip(t, cfg, "roundtrip", cur, ref, blob)
+		}
+	})
+
+	if cfg.FixedLen <= 0 {
+		t.Run("Empty", func(t *testing.T) {
+			c := cfg.New()
+			blob := c.Compress(nil, nil, nil)
+			if err := c.Decompress(nil, blob, nil); err != nil {
+				t.Fatalf("%s: empty roundtrip: %v", c.Name(), err)
+			}
+			// Decoding an empty blob into an empty array must also hold:
+			// a zero-step store legitimately produces zero bytes.
+			decodeMustNotPanic(t, cfg.New(), nil, nil, nil, "nil blob")
+		})
+	}
+
+	t.Run("RefLenMismatch", func(t *testing.T) {
+		pair := seqs[0]
+		cur, ref := pair[0], pair[1]
+		if ref == nil {
+			ref = make([]float64, len(cur))
+		}
+		blob := cfg.New().Compress(nil, cur, ref)
+		out := make([]float64, len(cur))
+		// Short, long, and nil references: none may panic the decoder.
+		if len(ref) > 1 {
+			decodeMustNotPanic(t, cfg.New(), out, blob, ref[:len(ref)/2], "short ref")
+		}
+		long := make([]float64, len(ref)+7)
+		copy(long, ref)
+		decodeMustNotPanic(t, cfg.New(), out, blob, long, "long ref")
+		decodeMustNotPanic(t, cfg.New(), out, blob, nil, "nil ref")
+	})
+
+	t.Run("Truncated", func(t *testing.T) {
+		for _, pair := range seqs {
+			cur, ref := pair[0], pair[1]
+			blob := cfg.New().Compress(nil, cur, ref)
+			out := make([]float64, len(cur))
+			// Every prefix: exhaustively for short blobs, strided for long.
+			stride := 1
+			if len(blob) > 256 {
+				stride = len(blob) / 256
+			}
+			for k := 0; k < len(blob); k += stride {
+				decodeMustNotPanic(t, cfg.New(), out, blob[:k], ref, "truncated blob")
+			}
+		}
+	})
+
+	t.Run("Corrupt", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(777))
+		for _, pair := range seqs {
+			cur, ref := pair[0], pair[1]
+			blob := cfg.New().Compress(nil, cur, ref)
+			if len(blob) == 0 {
+				continue
+			}
+			out := make([]float64, len(cur))
+			// Single-byte corruptions at random offsets, plus header bytes
+			// forced to extremes (length fields and flags live up front).
+			for trial := 0; trial < 64; trial++ {
+				mut := append([]byte(nil), blob...)
+				mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+				decodeMustNotPanic(t, cfg.New(), out, mut, ref, "corrupt blob")
+			}
+			for k := 0; k < len(blob) && k < 12; k++ {
+				for _, v := range []byte{0x00, 0x7F, 0x80, 0xFF} {
+					mut := append([]byte(nil), blob...)
+					mut[k] = v
+					decodeMustNotPanic(t, cfg.New(), out, mut, ref, "corrupt header")
+				}
+			}
+		}
+	})
+
+	t.Run("Determinism", func(t *testing.T) {
+		for si, pair := range seqs {
+			cur, ref := pair[0], pair[1]
+			a := cfg.New().Compress(nil, cur, ref)
+			b := cfg.New().Compress(nil, cur, ref)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("%s: sequence %d: two fresh instances emitted different bytes (%d vs %d)",
+					probe.Name(), si, len(a), len(b))
+			}
+			// The same instance must also be history-independent for the
+			// first call after construction — and appending to a prefix
+			// must not change the emitted suffix.
+			withPrefix := cfg.New().Compress([]byte{0xA5, 0x5A}, cur, ref)
+			if !bytes.Equal(withPrefix[2:], a) {
+				t.Fatalf("%s: sequence %d: dst prefix changed the encoding", probe.Name(), si)
+			}
+		}
+	})
+}

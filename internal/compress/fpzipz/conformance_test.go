@@ -1,0 +1,29 @@
+package fpzipz
+
+import (
+	"testing"
+
+	"masc/internal/compress"
+	"masc/internal/compress/codectest"
+)
+
+func TestConformanceMatrix(t *testing.T) {
+	codectest.RunMatrix(t, codectest.Config{
+		New: func() compress.Compressor { return New() },
+	})
+}
+
+// FuzzDecompress feeds arbitrary bytes to the Lorenzo/zigzag decoder: bogus
+// residual bit-lengths must not panic the bit reader or shift machinery.
+func FuzzDecompress(f *testing.F) {
+	c := New()
+	for _, pair := range codectest.Sequences(99) {
+		f.Add(c.Compress(nil, pair[0], pair[1]))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		out := make([]float64, 64)
+		_ = New().Decompress(out, blob, nil)
+	})
+}

@@ -1,0 +1,32 @@
+package gzipz
+
+import (
+	"testing"
+
+	"masc/internal/compress"
+	"masc/internal/compress/codectest"
+)
+
+func TestConformanceMatrix(t *testing.T) {
+	codectest.RunMatrix(t, codectest.Config{
+		New: func() compress.Compressor { return New() },
+	})
+}
+
+// FuzzDecompress feeds arbitrary bytes to the gzip wrapper — the stdlib
+// flate machinery does the parsing, but the wrapper's length handling and
+// error paths are ours.
+func FuzzDecompress(f *testing.F) {
+	c := New()
+	for _, pair := range codectest.Sequences(99) {
+		f.Add(c.Compress(nil, pair[0], pair[1]))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x1F, 0x8B, 0x08, 0x00}) // truncated gzip header
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		for _, n := range []int{0, 1, 64} {
+			out := make([]float64, n)
+			_ = New().Decompress(out, blob, nil)
+		}
+	})
+}

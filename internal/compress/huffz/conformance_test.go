@@ -1,0 +1,40 @@
+package huffz
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"masc/internal/compress"
+	"masc/internal/compress/codectest"
+)
+
+func TestConformanceMatrix(t *testing.T) {
+	codectest.RunMatrix(t, codectest.Config{
+		New: func() compress.Compressor { return New() },
+	})
+}
+
+// FuzzDecompress feeds arbitrary bytes to the canonical-Huffman decoder:
+// corrupt length tables must not let a code index past the ordered-symbol
+// array or spin past maxCodeLen.
+func FuzzDecompress(f *testing.F) {
+	c := New()
+	for _, pair := range codectest.Sequences(99) {
+		f.Add(c.Compress(nil, pair[0], pair[1]))
+	}
+	f.Add([]byte{})
+	// A header claiming every symbol has a 15-bit code — an impossible
+	// (oversubscribed-complement) table the decoder must survive.
+	bad := binary.AppendUvarint(nil, 4)
+	for i := 0; i < 128; i++ {
+		bad = append(bad, 0xFF)
+	}
+	bad = append(bad, 0xAA, 0x55, 0xAA, 0x55)
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		for _, n := range []int{0, 1, 64} {
+			out := make([]float64, n)
+			_ = New().Decompress(out, blob, nil)
+		}
+	})
+}

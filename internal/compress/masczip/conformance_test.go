@@ -1,0 +1,30 @@
+package masczip
+
+import (
+	"math/rand"
+	"testing"
+
+	"masc/internal/compress"
+	"masc/internal/compress/codectest"
+)
+
+// TestConformanceMatrix runs the shared codec matrix against masczip. The
+// codec is pattern-bound — every value array must have exactly the
+// pattern's nonzero count — so the fixed-length profile is used.
+func TestConformanceMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := mnaPattern(rng, 20, 25)
+	profiles := map[string]Options{
+		"plain":  {},
+		"markov": {Markov: true, CalibEvery: 4, Workers: 3},
+	}
+	for name, opt := range profiles {
+		opt := opt
+		t.Run(name, func(t *testing.T) {
+			codectest.RunMatrix(t, codectest.Config{
+				New:      func() compress.Compressor { return New(p, opt) },
+				FixedLen: p.NNZ(),
+			})
+		})
+	}
+}

@@ -1,0 +1,138 @@
+package masczip
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"masc/internal/sparse"
+)
+
+// goldenFrames returns the deterministic pattern and frame sequence the
+// golden corpus is built from. math/rand's sequence for a fixed seed is
+// covered by the Go 1 compatibility promise, so these values are stable
+// across toolchains.
+func goldenFrames() (*sparse.Pattern, [][]float64) {
+	rng := rand.New(rand.NewSource(42))
+	p := mnaPattern(rng, 16, 20)
+	v := mnaValues(rng, p, 0.05)
+	frames := [][]float64{v}
+	for i := 0; i < 4; i++ {
+		v = evolve(rng, v, 1e-6)
+		frames = append(frames, v)
+	}
+	return p, frames
+}
+
+// writeCorpus serializes blobs as: uvarint count, then per blob uvarint
+// length + bytes.
+func writeCorpus(path string, blobs [][]byte) error {
+	out := binary.AppendUvarint(nil, uint64(len(blobs)))
+	for _, b := range blobs {
+		out = binary.AppendUvarint(out, uint64(len(b)))
+		out = append(out, b...)
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+func readCorpus(path string) ([][]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cnt, k := binary.Uvarint(raw)
+	if k <= 0 {
+		return nil, fmt.Errorf("bad corpus header")
+	}
+	off := k
+	blobs := make([][]byte, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		l, k := binary.Uvarint(raw[off:])
+		if k <= 0 || off+k+int(l) > len(raw) {
+			return nil, fmt.Errorf("truncated corpus at blob %d", i)
+		}
+		off += k
+		blobs = append(blobs, raw[off:off+int(l)])
+		off += int(l)
+	}
+	return blobs, nil
+}
+
+// TestGoldenFormat pins the masczip on-disk format: the checked-in blobs
+// must decode to the exact deterministic frame sequence (decode
+// compatibility — old archives stay readable), and a fresh encoder over the
+// same frames must reproduce the blobs byte for byte (encode identity — the
+// format has not silently drifted). Regenerate after a deliberate format
+// change with MASC_UPDATE_GOLDEN=1 go test ./internal/compress/masczip
+// -run TestGoldenFormat, and say so in the commit message.
+func TestGoldenFormat(t *testing.T) {
+	p, frames := goldenFrames()
+	profiles := []struct {
+		name string
+		opt  Options
+	}{
+		{"plain", Options{}},
+		{"markov", Options{Markov: true, CalibEvery: 2}},
+		{"chunked", Options{Workers: 3}},
+	}
+	for _, prof := range profiles {
+		t.Run(prof.name, func(t *testing.T) {
+			// Encode the frame chain the way the store does: frame i against
+			// frame i+1 as reference, head frame unreferenced.
+			c := New(p, prof.opt)
+			var blobs [][]byte
+			for i := 0; i < len(frames)-1; i++ {
+				blobs = append(blobs, c.Compress(nil, frames[i], frames[i+1]))
+			}
+			blobs = append(blobs, c.Compress(nil, frames[len(frames)-1], nil))
+
+			path := filepath.Join("testdata", "golden-"+prof.name+".bin")
+			if os.Getenv("MASC_UPDATE_GOLDEN") != "" {
+				if err := writeCorpus(path, blobs); err != nil {
+					t.Fatal(err)
+				}
+			}
+			golden, err := readCorpus(path)
+			if err != nil {
+				t.Fatalf("reading %s (regenerate with MASC_UPDATE_GOLDEN=1): %v", path, err)
+			}
+
+			// Encode identity.
+			if len(golden) != len(blobs) {
+				t.Fatalf("golden holds %d blobs, encoder produced %d", len(golden), len(blobs))
+			}
+			for i := range blobs {
+				if !bytes.Equal(blobs[i], golden[i]) {
+					t.Fatalf("blob %d: encoder output diverged from golden corpus (%d vs %d bytes);\n"+
+						"if the format change is deliberate, regenerate with MASC_UPDATE_GOLDEN=1",
+						i, len(blobs[i]), len(golden[i]))
+				}
+			}
+
+			// Decode compatibility: a fresh decoder must invert the
+			// checked-in corpus bit-exactly.
+			d := New(p, prof.opt)
+			got := make([]float64, p.NNZ())
+			for i := range golden {
+				var ref []float64
+				if i < len(frames)-1 {
+					ref = frames[i+1]
+				}
+				if err := d.Decompress(got, golden[i], ref); err != nil {
+					t.Fatalf("golden blob %d: %v", i, err)
+				}
+				for k := range got {
+					if math.Float64bits(got[k]) != math.Float64bits(frames[i][k]) {
+						t.Fatalf("golden blob %d value %d: got %x want %x",
+							i, k, math.Float64bits(got[k]), math.Float64bits(frames[i][k]))
+					}
+				}
+			}
+		})
+	}
+}

@@ -285,6 +285,9 @@ func (c *Compressor) Decompress(cur []float64, blob []byte, ref []float64) error
 	if len(cur) != c.plan.nnz {
 		return fmt.Errorf("masczip: value count %d does not match pattern nnz %d", len(cur), c.plan.nnz)
 	}
+	if ref != nil && len(ref) != c.plan.nnz {
+		return fmt.Errorf("masczip: reference count %d does not match pattern nnz %d", len(ref), c.plan.nnz)
+	}
 	ref = c.refOrZeros(ref)
 	if len(blob) < 1 {
 		return fmt.Errorf("masczip: empty blob")

@@ -1,0 +1,35 @@
+package ndzipz
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"masc/internal/compress"
+	"masc/internal/compress/codectest"
+)
+
+func TestConformanceMatrix(t *testing.T) {
+	codectest.RunMatrix(t, codectest.Config{
+		New: func() compress.Compressor { return New() },
+	})
+}
+
+// FuzzDecompress feeds arbitrary bytes to the block/bitmap decoder: bitmaps
+// promising more nonzero words than the blob holds must error, not read
+// past the end.
+func FuzzDecompress(f *testing.F) {
+	c := New()
+	for _, pair := range codectest.Sequences(99) {
+		f.Add(c.Compress(nil, pair[0], pair[1]))
+	}
+	f.Add([]byte{})
+	// All-ones bitmap with no payload behind it.
+	full := binary.LittleEndian.AppendUint64(nil, ^uint64(0))
+	f.Add(full)
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		for _, n := range []int{0, 1, 63, 64, 65, 130} {
+			out := make([]float64, n)
+			_ = New().Decompress(out, blob, nil)
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package parallelz
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"masc/internal/compress"
+	"masc/internal/compress/codectest"
+	"masc/internal/compress/gzipz"
+)
+
+func TestConformanceMatrix(t *testing.T) {
+	for _, w := range []int{1, 3} {
+		codectest.RunMatrix(t, codectest.Config{
+			New: func() compress.Compressor {
+				return New(func() compress.Compressor { return gzipz.New() }, w)
+			},
+		})
+	}
+}
+
+// FuzzDecompress feeds arbitrary bytes to the chunk-header parser: corrupt
+// counts and lengths must be rejected before any inner decode can slice
+// past the blob.
+func FuzzDecompress(f *testing.F) {
+	c := New(func() compress.Compressor { return gzipz.New() }, 3)
+	for _, pair := range codectest.Sequences(99) {
+		f.Add(c.Compress(nil, pair[0], pair[1]))
+	}
+	f.Add([]byte{})
+	// 64 values in 2^40 chunks.
+	huge := binary.AppendUvarint(nil, 64)
+	huge = binary.AppendUvarint(huge, 1<<40)
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		for _, n := range []int{0, 1, 64} {
+			out := make([]float64, n)
+			_ = New(func() compress.Compressor { return gzipz.New() }, 3).Decompress(out, blob, nil)
+		}
+	})
+}

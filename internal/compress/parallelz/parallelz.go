@@ -93,6 +93,9 @@ func (c *Compressor) Compress(dst []byte, cur, ref []float64) []byte {
 
 // Decompress implements compress.Compressor.
 func (c *Compressor) Decompress(cur []float64, blob []byte, ref []float64) error {
+	if ref != nil && len(ref) != len(cur) {
+		return fmt.Errorf("parallelz: reference holds %d values, want %d", len(ref), len(cur))
+	}
 	n64, k := binary.Uvarint(blob)
 	if k <= 0 {
 		return fmt.Errorf("parallelz: bad header")

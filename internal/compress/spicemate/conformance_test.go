@@ -1,0 +1,35 @@
+package spicemate
+
+import (
+	"testing"
+
+	"masc/internal/compress"
+	"masc/internal/compress/codectest"
+)
+
+func TestConformanceMatrix(t *testing.T) {
+	// The default tolerance keeps k = 30 mantissa bits, so the relative
+	// error is bounded by 2^-30 < 1e-9.
+	codectest.RunMatrix(t, codectest.Config{
+		New:    func() compress.Compressor { return New() },
+		RelTol: 1e-9,
+	})
+}
+
+// FuzzDecompress feeds arbitrary bytes to the truncated-mantissa decoder —
+// the flate layer parses the stream, the byte-reassembly loop is ours.
+func FuzzDecompress(f *testing.F) {
+	c := New()
+	for _, pair := range codectest.Sequences(99) {
+		f.Add(c.Compress(nil, pair[0], pair[1]))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x00, 0x00, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		for _, n := range []int{0, 1, 64} {
+			out := make([]float64, n)
+			_ = New().Decompress(out, blob, nil)
+			_ = NewWithTolerance(1e-3).Decompress(out, blob, nil)
+		}
+	})
+}

@@ -22,6 +22,16 @@ var ErrSingular = errors.New("lu: matrix is numerically singular")
 // become numerically unusable; the caller should Factor afresh.
 var ErrPivotDegraded = errors.New("lu: recorded pivot order degraded, refactor from scratch")
 
+// refactorGrowthLimit bounds the L-entry magnitude Refactor accepts before
+// declaring the recorded pivot order degraded. A fresh factorization with the
+// default threshold τ=0.1 keeps |L| ≤ 10; letting reuse drift three decades
+// beyond that trades at most ~4 digits for refactorization speed. Past it the
+// pivot has genuinely collapsed — e.g. refactoring a DC Jacobian (diagonal
+// gmin ≈ 1e-12 on capacitor-only nodes) with pivots recorded for a transient
+// Jacobian (diagonal C/h) — and silent acceptance poisons every subsequent
+// solve at far above roundoff.
+const refactorGrowthLimit = 1e4
+
 // Options configures a factorization.
 type Options struct {
 	// PivotThreshold τ ∈ (0,1]: the structurally "diagonal" row is kept as
@@ -275,7 +285,21 @@ func (f *LU) Refactor(a *sparse.Matrix) error {
 			}
 		}
 		d := f.w[f.prow[j]]
-		if d == 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+		bad := d == 0 || math.IsNaN(d) || math.IsInf(d, 0)
+		if !bad {
+			// Pivot-growth guard: the recorded pivot must still dominate its
+			// column well enough that the L entries stay bounded.
+			maxw := 0.0
+			for t := lo; t < hi; t++ {
+				if f.topoDest[t] < -1 {
+					if a := math.Abs(f.w[f.topoRow[t]]); a > maxw {
+						maxw = a
+					}
+				}
+			}
+			bad = maxw > refactorGrowthLimit*math.Abs(d)
+		}
+		if bad {
 			// Clear workspace before bailing out.
 			for t := lo; t < hi; t++ {
 				f.w[f.topoRow[t]] = 0

@@ -1,0 +1,68 @@
+package verify
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFleetSmoke runs a compact fleet — every circuit family appears at
+// least once — through the full differential matrix. This is the in-tree
+// slice of what `masc-verify -n 50` runs pre-merge.
+func TestFleetSmoke(t *testing.T) {
+	cases := Cases(2*len(Families), 1)
+	fr := Fleet(cases, Options{FDChecks: 2})
+	for _, rep := range fr.Reports {
+		for _, f := range rep.Failures {
+			t.Errorf("%s: %s", rep.Case.Name(), f)
+		}
+	}
+	if fr.FDChecked == 0 {
+		t.Error("finite-difference layer never engaged")
+	}
+}
+
+// TestCasesDeterministic pins the generator contract the whole harness
+// rests on: the same (n, seed) must reproduce identical circuits, and
+// Build must be repeatable on one Case (VerifyCase rebuilds per storage
+// mode and compares bitwise).
+func TestCasesDeterministic(t *testing.T) {
+	a := Cases(10, 7)
+	b := Cases(10, 7)
+	for i := range a {
+		if a[i].Name() != b[i].Name() || a[i].Seed != b[i].Seed {
+			t.Fatalf("case %d differs across identical Cases calls", i)
+		}
+		ba, err := a[i].Build()
+		if err != nil {
+			t.Fatalf("%s: %v", a[i].Name(), err)
+		}
+		bb, err := b[i].Build()
+		if err != nil {
+			t.Fatalf("%s: %v", b[i].Name(), err)
+		}
+		pa, pb := ba.Ckt.Params(), bb.Ckt.Params()
+		if len(pa) != len(pb) {
+			t.Fatalf("%s: param counts differ", a[i].Name())
+		}
+		for k := range pa {
+			if pa[k].Name != pb[k].Name ||
+				math.Float64bits(pa[k].Get()) != math.Float64bits(pb[k].Get()) {
+				t.Fatalf("%s: param %d differs across rebuilds", a[i].Name(), k)
+			}
+		}
+	}
+}
+
+// TestRelErrScaleFloor exercises the comparison primitive's floor: an
+// absolute discrepancy far below the scale must not register.
+func TestRelErrScaleFloor(t *testing.T) {
+	if e := relErr(1e-12, 2e-12, 1e-3); e > 1e-8 {
+		t.Fatalf("scale floor ignored: %g", e)
+	}
+	if e := relErr(1.0, 1.1, 1e-3); e < 0.05 {
+		t.Fatalf("real discrepancy suppressed: %g", e)
+	}
+	if relErr(0, 0, 0) != 0 {
+		t.Fatal("0/0 must be 0")
+	}
+}
