@@ -17,26 +17,36 @@ import (
 	"strings"
 
 	"masc/internal/bench"
+	"masc/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "table1|fig1|table2|table3|fig5b|fig6|fig7|parallel|pipeline|memory|ablation|all")
-		scale   = flag.Float64("scale", 1.0, "workload scale (1 = benchmark size)")
-		workers = flag.Int("workers", runtime.NumCPU(), "parallel compressor workers")
-		depth   = flag.Int("pipeline-depth", 2, "async pipeline depth for the pipeline experiment")
-		diskBps = flag.Float64("disk-bps", bench.DefaultDiskBps, "simulated disk bandwidth (bytes/s)")
+		exp       = flag.String("experiment", "all", "table1|fig1|table2|table3|fig5b|fig6|fig7|parallel|pipeline|memory|ablation|all")
+		scale     = flag.Float64("scale", 1.0, "workload scale (1 = benchmark size)")
+		workers   = flag.Int("workers", runtime.NumCPU(), "parallel compressor workers")
+		depth     = flag.Int("pipeline-depth", 2, "async pipeline depth for the pipeline experiment")
+		diskBps   = flag.Float64("disk-bps", bench.DefaultDiskBps, "simulated disk bandwidth (bytes/s)")
+		statsJSON = flag.String("stats-json", "", "write every experiment's raw rows as one JSON document")
 	)
 	flag.Parse()
-	if err := run(strings.ToLower(*exp), *scale, *workers, *depth, *diskBps); err != nil {
+	if err := run(strings.ToLower(*exp), *scale, *workers, *depth, *diskBps, *statsJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "masc-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale float64, workers, depth int, diskBps float64) error {
+func run(exp string, scale float64, workers, depth int, diskBps float64, statsJSON string) error {
 	all := exp == "all"
 	did := false
+	// The manifest mirrors every experiment's raw rows, so a -stats-json
+	// snapshot is machine-diffable against a later run.
+	man := obs.NewManifest("masc-bench")
+	man.Set("experiment", exp).
+		Set("scale", scale).
+		Set("workers", workers).
+		Set("pipeline_depth", depth).
+		Set("disk_bps", diskBps)
 	section := func(title string) {
 		fmt.Printf("\n==== %s ====\n", title)
 		did = true
@@ -48,6 +58,7 @@ func run(exp string, scale float64, workers, depth int, diskBps float64) error {
 			return err
 		}
 		fmt.Print(bench.FormatTable1(rows))
+		man.Section("table1", rows)
 	}
 	if all || exp == "fig1" {
 		section("Figure 1 — memory cost of storing Jacobians")
@@ -56,6 +67,7 @@ func run(exp string, scale float64, workers, depth int, diskBps float64) error {
 			return err
 		}
 		fmt.Print(bench.FormatFig1(rows))
+		man.Section("fig1", rows)
 	}
 	if all || exp == "table2" {
 		section("Table 2 — datasets and the gzip reference")
@@ -64,6 +76,7 @@ func run(exp string, scale float64, workers, depth int, diskBps float64) error {
 			return err
 		}
 		fmt.Print(bench.FormatTable2(rows))
+		man.Section("table2", rows)
 	}
 	if all || exp == "table3" {
 		section("Table 3 — compression ratio and time by codec")
@@ -72,6 +85,7 @@ func run(exp string, scale float64, workers, depth int, diskBps float64) error {
 			return err
 		}
 		fmt.Print(bench.FormatTable3(cells))
+		man.Section("table3", cells)
 	}
 	if all || exp == "fig5b" || exp == "fig6" {
 		section("Figures 5b & 6 — residual and model-selection statistics")
@@ -82,6 +96,8 @@ func run(exp string, scale float64, workers, depth int, diskBps float64) error {
 		fmt.Print(bench.FormatFig5b(f5))
 		fmt.Println()
 		fmt.Print(bench.FormatFig6(f6))
+		man.Section("fig5b", f5)
+		man.Section("fig6", f6)
 	}
 	if all || exp == "fig7" {
 		section("Figure 7 — end-to-end sensitivity simulation time")
@@ -90,6 +106,7 @@ func run(exp string, scale float64, workers, depth int, diskBps float64) error {
 			return err
 		}
 		fmt.Print(bench.FormatFig7(rows))
+		man.Section("fig7", rows)
 	}
 	if all || exp == "parallel" {
 		section("§6.4 — parallel compressor scaling")
@@ -98,6 +115,7 @@ func run(exp string, scale float64, workers, depth int, diskBps float64) error {
 			return err
 		}
 		fmt.Print(bench.FormatParallel(rows))
+		man.Section("parallel", rows)
 	}
 	if all || exp == "pipeline" {
 		section("Pipelined store — async compression overlap")
@@ -106,6 +124,7 @@ func run(exp string, scale float64, workers, depth int, diskBps float64) error {
 			return err
 		}
 		fmt.Print(bench.FormatPipeline(rows))
+		man.Section("pipeline", rows)
 	}
 	if all || exp == "memory" {
 		section("Memory footprint by storage strategy (measured)")
@@ -114,6 +133,7 @@ func run(exp string, scale float64, workers, depth int, diskBps float64) error {
 			return err
 		}
 		fmt.Print(bench.FormatMemory(rows))
+		man.Section("memory", rows)
 	}
 	if all || exp == "ablation" {
 		section("Ablation — MASC design choices")
@@ -122,9 +142,16 @@ func run(exp string, scale float64, workers, depth int, diskBps float64) error {
 			return err
 		}
 		fmt.Print(bench.FormatAblation(rows))
+		man.Section("ablation", rows)
 	}
 	if !did {
 		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	if statsJSON != "" {
+		if err := man.Write(statsJSON); err != nil {
+			return err
+		}
+		fmt.Printf("\nstats written to %s\n", statsJSON)
 	}
 	return nil
 }

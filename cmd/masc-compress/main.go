@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"masc/internal/bench"
+	"masc/internal/obs"
 	"masc/internal/workload"
 )
 
@@ -29,6 +30,8 @@ func main() {
 		scale   = flag.Float64("scale", 0.5, "workload scale")
 		workers = flag.Int("workers", 1, "parallel compressor workers")
 		list    = flag.Bool("list", false, "list datasets and codecs")
+
+		statsJSON = flag.String("stats-json", "", "write the measured codec cells as one JSON document")
 	)
 	flag.Parse()
 	if *list {
@@ -36,13 +39,13 @@ func main() {
 		fmt.Println("codecs:  ", strings.Join(append(bench.CodecNames(), "rans", "huffman", "chimp-temporal"), " "))
 		return
 	}
-	if err := run(*dataset, *file, *dump, *codecs, *scale, *workers); err != nil {
+	if err := run(*dataset, *file, *dump, *codecs, *scale, *workers, *statsJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "masc-compress:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, file, dump, codecs string, scale float64, workers int) error {
+func run(dataset, file, dump, codecs string, scale float64, workers int, statsJSON string) error {
 	var tn *bench.Tensor
 	if file != "" {
 		t, err := bench.LoadTensor(file)
@@ -79,5 +82,17 @@ func run(dataset, file, dump, codecs string, scale float64, workers int) error {
 		return err
 	}
 	fmt.Print(bench.FormatTable3(cells))
+	if statsJSON != "" {
+		man := obs.NewManifest("masc-compress")
+		man.Set("dataset", dataset).
+			Set("file", file).
+			Set("scale", scale).
+			Set("workers", workers)
+		man.Section("codecs", cells)
+		if err := man.Write(statsJSON); err != nil {
+			return err
+		}
+		fmt.Printf("stats written to %s\n", statsJSON)
+	}
 	return nil
 }

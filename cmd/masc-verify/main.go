@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"masc/internal/obs"
 	"masc/internal/verify"
 )
 
@@ -30,8 +31,25 @@ func main() {
 		workers = flag.Int("workers", 1, "masczip compression workers")
 		depth   = flag.Int("pipeline-depth", 2, "async store queue depth")
 		verbose = flag.Bool("v", false, "log every case")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address during the fleet run")
+		maniPath    = flag.String("manifest", "", "write a JSON manifest of the fleet result to this file")
+		hold        = flag.Duration("hold", 0, "keep the metrics endpoint alive this long after the fleet finishes")
 	)
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	var srv *obs.Server
+	if *metricsAddr != "" {
+		var err error
+		srv, err = obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "masc-verify:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: serving http://%s/metrics\n", srv.Addr)
+	}
 
 	opt := verify.Options{
 		Workers:       *workers,
@@ -50,11 +68,45 @@ func main() {
 	cases := verify.Cases(*n, *seed)
 	fr := verify.Fleet(cases, opt)
 
+	reg.Gauge("masc_verify_cases", "Randomized circuits pushed through the fleet.").Set(float64(len(cases)))
+	reg.Gauge("masc_verify_failed", "Cases with at least one failing check.").Set(float64(fr.Failed))
+	reg.Gauge("masc_verify_max_direct_rel_err", "Worst adjoint-vs-direct relative error.").Set(fr.MaxDirectErr)
+	reg.Gauge("masc_verify_max_fd_rel_err", "Worst finite-difference relative error.").Set(fr.MaxFDErr)
+
 	fmt.Printf("masc-verify: %d cases, seed %d: %d passed, %d failed (%.1fs)\n",
 		len(cases), *seed, len(cases)-fr.Failed, fr.Failed, time.Since(start).Seconds())
 	fmt.Printf("  layers: dense oracle vs recompute/sync/async (bitwise), store fetch sweep (bitwise),\n")
 	fmt.Printf("          direct method (max rel err %.3g), finite differences (%d checked, %d skipped, max rel err %.3g)\n",
 		fr.MaxDirectErr, fr.FDChecked, fr.FDSkipped, fr.MaxFDErr)
+	if *maniPath != "" {
+		man := obs.NewManifest("masc-verify")
+		man.Set("n", *n).
+			Set("seed", *seed).
+			Set("fd_checks", *fd).
+			Set("fd_tol", *fdTol).
+			Set("direct_tol", *dirTol).
+			Set("workers", *workers).
+			Set("pipeline_depth", *depth)
+		man.Section("fleet", map[string]any{
+			"cases":          len(cases),
+			"failed":         fr.Failed,
+			"fd_checked":     fr.FDChecked,
+			"fd_skipped":     fr.FDSkipped,
+			"max_direct_err": fr.MaxDirectErr,
+			"max_fd_err":     fr.MaxFDErr,
+			"seconds":        time.Since(start).Seconds(),
+		})
+		man.AttachMetrics(reg)
+		if err := man.Write(*maniPath); err != nil {
+			fmt.Fprintln(os.Stderr, "masc-verify:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("manifest written to %s\n", *maniPath)
+	}
+	if *hold > 0 && srv != nil {
+		fmt.Printf("holding metrics endpoint http://%s/metrics for %v\n", srv.Addr, *hold)
+		time.Sleep(*hold)
+	}
 	if !fr.OK() {
 		for _, rep := range fr.Reports {
 			for _, f := range rep.Failures {

@@ -6,6 +6,13 @@
 //
 // The storage flag selects the Jacobian strategy the paper compares:
 // recompute (Xyce-style), memory, disk, masc, masc+markov.
+//
+// Telemetry (all optional, all near-zero cost when off):
+//
+//	-metrics-addr :9090   serve /metrics, /debug/vars, /debug/pprof
+//	-trace run.jsonl      per-timestep JSONL event trace
+//	-manifest run.json    one-document run manifest (config + stats)
+//	-hold 30s             keep the metrics endpoint up after the run
 package main
 
 import (
@@ -14,35 +21,51 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"masc"
 )
 
+// cli bundles the parsed command-line configuration.
+type cli struct {
+	path, storage       string
+	workers, depth, top int
+	async               bool
+	diskBps             float64
+	csvPath             string
+	metricsAddr         string
+	tracePath, maniPath string
+	hold                time.Duration
+}
+
 func main() {
-	var (
-		path    = flag.String("netlist", "", "netlist file (required)")
-		storage = flag.String("storage", "masc", "jacobian storage: recompute|memory|disk|masc|masc+markov")
-		workers = flag.Int("workers", 1, "parallel compressor workers")
-		async   = flag.Bool("async", false, "pipeline MASC compression on a background worker (overlaps with the solve)")
-		depth   = flag.Int("pipeline-depth", 2, "async mode: max timesteps the solver may run ahead of the compressor")
-		diskBps = flag.Float64("disk-bps", 0, "simulated disk bandwidth in bytes/s (0 = unthrottled)")
-		top     = flag.Int("top", 12, "print the top-N sensitivities per objective")
-		csvPath = flag.String("csv", "", "write .print waveforms to this CSV file")
-	)
+	var c cli
+	flag.StringVar(&c.path, "netlist", "", "netlist file (required)")
+	flag.StringVar(&c.storage, "storage", "masc", "jacobian storage: recompute|memory|disk|masc|masc+markov")
+	flag.IntVar(&c.workers, "workers", 1, "parallel compressor workers")
+	flag.BoolVar(&c.async, "async", false, "pipeline MASC compression on a background worker (overlaps with the solve)")
+	flag.IntVar(&c.depth, "pipeline-depth", 2, "async mode: max timesteps the solver may run ahead of the compressor")
+	flag.Float64Var(&c.diskBps, "disk-bps", 0, "simulated disk bandwidth in bytes/s (0 = unthrottled)")
+	flag.IntVar(&c.top, "top", 12, "print the top-N sensitivities per objective")
+	flag.StringVar(&c.csvPath, "csv", "", "write .print waveforms to this CSV file")
+	flag.StringVar(&c.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
+	flag.StringVar(&c.tracePath, "trace", "", "write a per-timestep JSONL event trace to this file")
+	flag.StringVar(&c.maniPath, "manifest", "", "write a JSON run manifest (config + aggregate stats) to this file")
+	flag.DurationVar(&c.hold, "hold", 0, "keep the metrics endpoint alive this long after the run finishes")
 	flag.Parse()
-	if *path == "" {
+	if c.path == "" {
 		fmt.Fprintln(os.Stderr, "masc: -netlist is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*path, *storage, *workers, *async, *depth, *diskBps, *top, *csvPath); err != nil {
+	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "masc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, storage string, workers int, async bool, depth int, diskBps float64, top int, csvPath string) error {
-	f, err := os.Open(path)
+func run(c cli) error {
+	f, err := os.Open(c.path)
 	if err != nil {
 		return err
 	}
@@ -59,17 +82,53 @@ func run(path, storage string, workers int, async bool, depth int, diskBps float
 	}
 	fmt.Printf("%s\n%s\n", deck.Title, deck.Ckt)
 
+	// Telemetry: a registry whenever anything will consume it, a tracer
+	// only when -trace names a file.
+	var ob *masc.Observer
+	var reg *masc.Registry
+	telemetry := c.metricsAddr != "" || c.tracePath != "" || c.maniPath != ""
+	if telemetry {
+		reg = masc.NewRegistry()
+		ob = &masc.Observer{Reg: reg}
+		if c.tracePath != "" {
+			tr, err := masc.OpenTrace(c.tracePath)
+			if err != nil {
+				return err
+			}
+			defer tr.Close()
+			ob.Trace = tr
+		}
+	}
+	var srv *masc.MetricsServer
+	if c.metricsAddr != "" {
+		srv, err = masc.ServeMetrics(c.metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: serving http://%s/metrics\n", srv.Addr)
+	}
+
 	run, err := masc.Simulate(deck.Ckt, masc.SimOptions{
-		TStep:           deck.Tran.TStep,
-		TStop:           deck.Tran.TStop,
-		Storage:         masc.Storage(storage),
-		Workers:         workers,
-		Async:           async,
-		PipelineDepth:   depth,
-		DiskBytesPerSec: diskBps,
+		TStep:             deck.Tran.TStep,
+		TStop:             deck.Tran.TStop,
+		Storage:           masc.Storage(c.storage),
+		Workers:           c.workers,
+		Async:             c.async,
+		PipelineDepth:     c.depth,
+		DiskBytesPerSec:   c.diskBps,
+		Obs:               ob,
+		CollectCodecStats: telemetry,
 	}, deck.Objectives, nil)
 	if err != nil {
 		return err
+	}
+	// All trace events are emitted inside Simulate; flush now so the file
+	// is complete even if the process is killed during -hold.
+	if ob != nil && ob.Trace != nil {
+		if err := ob.Trace.Flush(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
 	}
 
 	fmt.Printf("transient: %d steps, %d newton iterations, %d (re)factorizations\n",
@@ -83,17 +142,24 @@ func run(path, storage string, workers int, async bool, depth int, diskBps float
 		fmt.Printf("tensor: raw %d B, stored %d B (CR %.2f), peak resident %d B\n",
 			st.RawBytes, st.StoredBytes,
 			float64(st.RawBytes)/float64(st.StoredBytes), st.PeakResident)
-		if async && (run.Storage == masc.StorageMASC || run.Storage == masc.StorageMASCMarkov) {
+		if c.async && (run.Storage == masc.StorageMASC || run.Storage == masc.StorageMASCMarkov) {
 			fmt.Printf("pipeline: compress %v moved off the solver thread, %v leaked back as Put stalls\n",
 				st.CompressTime, st.StallTime)
 		}
 	}
 
-	if csvPath != "" {
-		if err := writeCSV(csvPath, deck, run.Tran); err != nil {
+	if c.csvPath != "" {
+		if err := writeCSV(c.csvPath, deck, run.Tran); err != nil {
 			return err
 		}
-		fmt.Printf("waveforms written to %s\n", csvPath)
+		fmt.Printf("waveforms written to %s\n", c.csvPath)
+	}
+
+	if c.maniPath != "" {
+		if err := writeManifest(c, deck, run, reg); err != nil {
+			return err
+		}
+		fmt.Printf("manifest written to %s\n", c.maniPath)
 	}
 
 	params := deck.Ckt.Params()
@@ -108,7 +174,7 @@ func run(path, storage string, workers int, async bool, depth int, diskBps float
 			list[k] = pv{params[k].Name, run.Sens.DOdp[o][k]}
 		}
 		sort.Slice(list, func(i, j int) bool { return abs(list[i].v) > abs(list[j].v) })
-		n := top
+		n := c.top
 		if n > len(list) {
 			n = len(list)
 		}
@@ -116,7 +182,43 @@ func run(path, storage string, workers int, async bool, depth int, diskBps float
 			fmt.Printf("  dO/d(%-16s) = %+.6e\n", e.name, e.v)
 		}
 	}
+
+	if c.hold > 0 && srv != nil {
+		fmt.Printf("holding metrics endpoint http://%s/metrics for %v\n", srv.Addr, c.hold)
+		time.Sleep(c.hold)
+	}
 	return nil
+}
+
+// writeManifest serializes the run's configuration and every layer's
+// aggregate statistics as one JSON document. The tensor section is the
+// store's Stats() verbatim, so its fields match the in-process values
+// bit-for-bit.
+func writeManifest(c cli, deck *masc.Deck, run *masc.Run, reg *masc.Registry) error {
+	man := masc.NewManifest("masc")
+	man.Set("netlist", c.path).
+		Set("storage", string(run.Storage)).
+		Set("workers", c.workers).
+		Set("async", c.async).
+		Set("pipeline_depth", c.depth).
+		Set("disk_bps", c.diskBps).
+		Set("tstep", deck.Tran.TStep).
+		Set("tstop", deck.Tran.TStop)
+	man.Section("transient", run.Tran.Stats)
+	man.Section("sensitivity_timing", run.Sens.Timing)
+	if run.Storage != masc.StorageRecompute {
+		man.Section("tensor", run.TensorStats)
+	}
+	if run.HasCodecStats {
+		man.Section("codec_j", run.CodecStatsJ)
+		man.Section("codec_c", run.CodecStatsC)
+		man.Section("codec_summary", map[string]any{
+			"markov_hit_rate_j": run.CodecStatsJ.MarkovHitRate(),
+			"markov_hit_rate_c": run.CodecStatsC.MarkovHitRate(),
+		})
+	}
+	man.AttachMetrics(reg)
+	return man.Write(c.maniPath)
 }
 
 func abs(v float64) float64 {

@@ -1,0 +1,15 @@
+* RC low-pass with a diode clamp — small but nonlinear, so the forward
+* solve exercises Newton iterations and the Jacobian tensor moves between
+* timesteps (giving the MASC predictors something to do).
+.model dclamp D IS=1e-14 N=1.5
+VIN in 0 SIN(0 3 2k)
+R1 in mid 1k
+C1 mid 0 220n
+D1 mid clip dclamp
+RC clip 0 10k
+R2 mid out 4.7k
+C2 out 0 100n
+.tran 5u 2m
+.obj v(out) v(clip)
+.print v(in) v(mid) v(out)
+.end

@@ -26,6 +26,7 @@ import (
 	"masc/internal/circuit"
 	"masc/internal/device"
 	"masc/internal/lu"
+	"masc/internal/obs"
 	"masc/internal/sparse"
 	"masc/internal/transient"
 )
@@ -84,6 +85,37 @@ func (o *Objective) sourceAt(i, n int, h float64) float64 {
 type Options struct {
 	// Params are indices into ckt.Params(); nil means all parameters.
 	Params []int
+
+	// Obs, if non-nil, receives per-step telemetry: the masc_adjoint_*
+	// metric families and one trace event per reverse-sweep phase
+	// ("adjoint_fetch", "adjoint_solve", "param_eval").
+	Obs *obs.Observer
+}
+
+// sweepObs is the resolved telemetry bundle of one reverse sweep; the
+// zero value is a no-op.
+type sweepObs struct {
+	on       bool
+	tr       *obs.Tracer
+	steps    *obs.Counter
+	fetchSec *obs.Counter
+	solveSec *obs.Counter
+	paramSec *obs.Counter
+}
+
+func newSweepObs(o *obs.Observer) sweepObs {
+	if o == nil {
+		return sweepObs{}
+	}
+	reg := o.Registry()
+	return sweepObs{
+		on:       true,
+		tr:       o.Tracer(),
+		steps:    reg.Counter("masc_adjoint_steps_total", "Reverse-sweep steps completed."),
+		fetchSec: reg.Counter("masc_adjoint_fetch_seconds_total", "Jacobian acquisition time (recompute/decompress/IO)."),
+		solveSec: reg.Counter("masc_adjoint_solve_seconds_total", "LU factorization and adjoint solve time."),
+		paramSec: reg.Counter("masc_adjoint_param_seconds_total", "Parameter sensitivity (dF/dp) accumulation time."),
+	}
 }
 
 // Timing is the wall-clock split of a sensitivity run.
@@ -151,6 +183,7 @@ func Sensitivities(ckt *circuit.Circuit, tr *transient.Result, src JacobianSourc
 	}
 	tmp := make([]float64, N)
 	acc := device.NewSensAccum(N)
+	so := newSweepObs(opt.Obs)
 
 	factorize := func(j *sparse.Matrix) error {
 		if fact != nil {
@@ -172,7 +205,14 @@ func Sensitivities(ckt *circuit.Circuit, tr *transient.Result, src JacobianSourc
 		if err != nil {
 			return nil, fmt.Errorf("adjoint: fetch step %d: %w", i, err)
 		}
-		res.Timing.Fetch += time.Since(tFetch)
+		if so.on {
+			d := time.Since(tFetch)
+			res.Timing.Fetch += d
+			so.fetchSec.AddDuration(d)
+			so.tr.Emit(obs.Event{Step: i, Phase: "adjoint_fetch", Dur: d})
+		} else {
+			res.Timing.Fetch += time.Since(tFetch)
+		}
 		// Step i+1 is no longer needed once step i has materialized —
 		// mirroring Algorithm 2's "decompress M_{n-1} using M_n, then
 		// free M_n". Releasing earlier would drop the decompression
@@ -223,7 +263,14 @@ func Sensitivities(ckt *circuit.Circuit, tr *transient.Result, src JacobianSourc
 			}
 			fact.SolveT(lam[o])
 		}
-		res.Timing.FactorSolve += time.Since(tSolve)
+		if so.on {
+			d := time.Since(tSolve)
+			res.Timing.FactorSolve += d
+			so.solveSec.AddDuration(d)
+			so.tr.Emit(obs.Event{Step: i, Phase: "adjoint_solve", Dur: d})
+		} else {
+			res.Timing.FactorSolve += time.Since(tSolve)
+		}
 
 		// Accumulate dO/dp contributions of step i. The sparse accumulator
 		// keeps this O(device terminals), not O(N), per parameter.
@@ -263,7 +310,15 @@ func Sensitivities(ckt *circuit.Circuit, tr *transient.Result, src JacobianSourc
 				res.DOdp[o][pk] -= contrib
 			}
 		}
-		res.Timing.ParamEval += time.Since(tPar)
+		if so.on {
+			d := time.Since(tPar)
+			res.Timing.ParamEval += d
+			so.paramSec.AddDuration(d)
+			so.tr.Emit(obs.Event{Step: i, Phase: "param_eval", Dur: d})
+			so.steps.Inc()
+		} else {
+			res.Timing.ParamEval += time.Since(tPar)
+		}
 
 		for o := range objs {
 			if i >= 1 {

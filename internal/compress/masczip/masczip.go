@@ -50,6 +50,22 @@ type Stats struct {
 	// SelectorBits / PayloadBits split the stream cost.
 	SelectorBits int64
 	PayloadBits  int64
+	// MarkovPredicted counts elements whose selector came from the frozen
+	// Markov table (non-calibration matrices, no selector bits on the
+	// wire); MarkovExact counts the subset whose predicted model
+	// reproduced the value bit-exactly. Their ratio is the Markov hit
+	// rate.
+	MarkovPredicted int64
+	MarkovExact     int64
+}
+
+// MarkovHitRate is MarkovExact/MarkovPredicted (0 when nothing was
+// table-predicted).
+func (s *Stats) MarkovHitRate() float64 {
+	if s.MarkovPredicted == 0 {
+		return 0
+	}
+	return float64(s.MarkovExact) / float64(s.MarkovPredicted)
 }
 
 func (s *Stats) merge(o *Stats) {
@@ -63,6 +79,8 @@ func (s *Stats) merge(o *Stats) {
 	}
 	s.SelectorBits += o.SelectorBits
 	s.PayloadBits += o.PayloadBits
+	s.MarkovPredicted += o.MarkovPredicted
+	s.MarkovExact += o.MarkovExact
 }
 
 // Compressor implements compress.Compressor for one shared pattern.
@@ -627,6 +645,12 @@ func (cc *chunkCoder) codeElement(w *bitstream.Writer, r *bitstream.Reader,
 			}
 		} else {
 			sym = table[*prev]
+			if cc.stats != nil {
+				cc.stats.MarkovPredicted++
+				if math.Float64bits(val) == math.Float64bits(cands[sym]) {
+					cc.stats.MarkovExact++
+				}
+			}
 		}
 		*prev = sym
 		cc.encodeResidual(w, val, cands[sym])

@@ -7,6 +7,7 @@ import (
 
 	"masc/internal/compress"
 	"masc/internal/compress/varint"
+	"masc/internal/obs"
 	"masc/internal/sparse"
 )
 
@@ -52,10 +53,13 @@ type CompressedStore struct {
 	poolJ, poolC [][]float64 // recycled plaintext buffers
 
 	pf *prefetch // at most one in-flight reverse prefetch
+
+	ob storeObs // telemetry handles; zero value = disabled
 }
 
 // fwdJob asks the worker to compress step t-1 (cur) against step t (ref).
 type fwdJob struct {
+	step       int // the step being compressed (t-1)
 	curJ, curC []float64
 	refJ, refC []float64
 }
@@ -117,6 +121,7 @@ func (s *CompressedStore) bumpResident(delta int64) {
 	if s.resident > s.stats.PeakResident {
 		s.stats.PeakResident = s.resident
 	}
+	s.ob.observeResident(s.resident)
 }
 
 // takeBuf returns a length-n plaintext buffer, recycling a pooled one when
@@ -171,7 +176,20 @@ func (s *CompressedStore) runJob(job fwdJob) {
 	s.stats.CompressTime += elapsed
 	s.bumpResident(int64(len(jb) + len(cb)))
 	s.mu.Unlock()
+	s.observeCompress(job.step, elapsed, len(jb)+len(cb))
+	s.ob.queueDepth.Set(float64(len(s.jobs)))
 	s.recycle(job.curJ, job.curC)
+}
+
+// observeCompress mirrors one compressed step into the telemetry handles
+// (no-op when detached).
+func (s *CompressedStore) observeCompress(step int, d time.Duration, bytes int) {
+	s.ob.compressSec.AddDuration(d)
+	s.ob.storedBytes.Add(float64(bytes))
+	s.ob.blobBytes.Observe(float64(bytes))
+	if s.ob.tr != nil {
+		s.ob.tr.Emit(obs.Event{Step: step, Phase: "compress", Dur: d, Key: "bytes", N: int64(bytes)})
+	}
 }
 
 // recycle returns a consumed plaintext pair to the buffer pool.
@@ -209,6 +227,7 @@ func (s *CompressedStore) Put(step int, jVals, cVals []float64) error {
 		s.cBlobs = append(s.cBlobs, cb)
 		s.stats.StoredBytes += int64(len(jb) + len(cb))
 		s.bumpResident(int64(len(jb) + len(cb)))
+		s.observeCompress(step-1, time.Since(start), len(jb)+len(cb))
 	} else {
 		s.lastJ = make([]float64, len(jVals))
 		s.lastC = make([]float64, len(cVals))
@@ -226,6 +245,8 @@ func (s *CompressedStore) Put(step int, jVals, cVals []float64) error {
 	s.stats.Steps++
 	s.stats.RawBytes += int64(8 * (len(jVals) + len(cVals)))
 	s.stats.CompressTime += time.Since(start)
+	s.ob.puts.Inc()
+	s.ob.rawBytes.Add(float64(8 * (len(jVals) + len(cVals))))
 	return nil
 }
 
@@ -262,7 +283,7 @@ func (s *CompressedStore) putAsync(step int, jVals, cVals []float64) error {
 	copy(jb, jVals)
 	copy(cb, cVals)
 	if step > 0 {
-		job := fwdJob{curJ: s.lastJ, curC: s.lastC, refJ: jb, refC: cb}
+		job := fwdJob{step: step - 1, curJ: s.lastJ, curC: s.lastC, refJ: jb, refC: cb}
 		select {
 		case s.jobs <- job:
 		default:
@@ -275,6 +296,10 @@ func (s *CompressedStore) putAsync(step int, jVals, cVals []float64) error {
 			s.mu.Lock()
 			s.stats.StallTime += stall
 			s.mu.Unlock()
+			s.ob.stallSec.AddDuration(stall)
+			if s.ob.tr != nil {
+				s.ob.tr.Emit(obs.Event{Step: step, Phase: "stall", Dur: stall})
+			}
 		}
 	}
 	s.lastJ, s.lastC = jb, cb
@@ -284,6 +309,13 @@ func (s *CompressedStore) putAsync(step int, jVals, cVals []float64) error {
 	s.stats.Steps++
 	s.stats.RawBytes += int64(8 * (len(jVals) + len(cVals)))
 	s.mu.Unlock()
+	s.ob.puts.Inc()
+	s.ob.rawBytes.Add(float64(8 * (len(jVals) + len(cVals))))
+	depth := len(s.jobs)
+	s.ob.queueDepth.Set(float64(depth))
+	if s.ob.tr != nil {
+		s.ob.tr.Emit(obs.Event{Step: step, Phase: "put", Key: "queue", N: int64(depth)})
+	}
 	return nil
 }
 
@@ -313,6 +345,7 @@ func (s *CompressedStore) EndForward() error {
 	s.lastJ, s.lastC = nil, nil
 	s.bumpResident(int64(len(jb) + len(cb)))
 	s.forwardDone = true
+	s.observeCompress(s.n, time.Since(start), len(jb)+len(cb))
 	return nil
 }
 
@@ -350,13 +383,16 @@ func (s *CompressedStore) endForwardAsync() error {
 	s.plainC[s.n] = s.lastC
 	s.lastJ, s.lastC = nil, nil
 	s.bumpResident(int64(len(jb) + len(cb)))
+	s.observeCompress(s.n, time.Since(start), len(jb)+len(cb))
 	return nil
 }
 
 // decompressStep inflates step's blobs against the given references into
 // freshly checked-out buffers. At most one call runs at a time (Fetch joins
 // any in-flight prefetch first), so the codecs' scratch state is safe.
-func (s *CompressedStore) decompressStep(step int, refJ, refC []float64) ([]float64, []float64, error) {
+// phase names the trace event ("decompress" foreground, "prefetch"
+// background).
+func (s *CompressedStore) decompressStep(step int, refJ, refC []float64, phase string) ([]float64, []float64, error) {
 	s.mu.Lock()
 	jv := takeBuf(&s.poolJ, s.jLen)
 	cv := takeBuf(&s.poolC, s.cLen)
@@ -373,6 +409,11 @@ func (s *CompressedStore) decompressStep(step int, refJ, refC []float64) ([]floa
 	s.mu.Lock()
 	s.stats.DecompressTime += elapsed
 	s.mu.Unlock()
+	s.ob.decompressSec.AddDuration(elapsed)
+	if s.ob.tr != nil {
+		s.ob.tr.Emit(obs.Event{Step: step, Phase: phase, Dur: elapsed,
+			Key: "bytes", N: int64(len(jBlob) + len(cBlob))})
+	}
 	return jv, cv, nil
 }
 
@@ -396,7 +437,7 @@ func (s *CompressedStore) maybePrefetch(step int) {
 			}
 			close(pf.done)
 		}()
-		pf.j, pf.c, pf.err = s.decompressStep(pf.step, refJ, refC)
+		pf.j, pf.c, pf.err = s.decompressStep(pf.step, refJ, refC, "prefetch")
 	}()
 }
 
@@ -440,6 +481,7 @@ func (s *CompressedStore) Fetch(step int) ([]float64, []float64, error) {
 		return nil, nil, fmt.Errorf("jactensor: fetch step %d of %d", step, s.n)
 	}
 	if j, ok := s.plainJ[step]; ok {
+		s.ob.fetches.Inc()
 		return j, s.plainC[step], nil
 	}
 	var refJ, refC []float64
@@ -460,10 +502,17 @@ func (s *CompressedStore) Fetch(step int) ([]float64, []float64, error) {
 	if err := s.cc.Decompress(cv, s.cBlobs[step], refC); err != nil {
 		return nil, nil, fmt.Errorf("jactensor: step %d C: %w", step, err)
 	}
-	s.stats.DecompressTime += time.Since(start)
+	elapsed := time.Since(start)
+	s.stats.DecompressTime += elapsed
 	s.plainJ[step] = jv
 	s.plainC[step] = cv
 	s.bumpResident(int64(8 * (len(jv) + len(cv))))
+	s.ob.fetches.Inc()
+	s.ob.decompressSec.AddDuration(elapsed)
+	if s.ob.tr != nil {
+		s.ob.tr.Emit(obs.Event{Step: step, Phase: "decompress", Dur: elapsed,
+			Key: "bytes", N: int64(len(s.jBlobs[step]) + len(s.cBlobs[step]))})
+	}
 	return jv, cv, nil
 }
 
@@ -477,6 +526,7 @@ func (s *CompressedStore) fetchAsync(step int) ([]float64, []float64, error) {
 		s.mu.Unlock()
 		return nil, nil, fmt.Errorf("jactensor: fetch step %d of %d", step, s.n)
 	}
+	wasPrefetched := s.pf != nil && s.pf.step == step
 	s.mu.Unlock()
 
 	// Join any in-flight prefetch first: it is either our step (the hit
@@ -490,6 +540,13 @@ func (s *CompressedStore) fetchAsync(step int) ([]float64, []float64, error) {
 		c := s.plainC[step]
 		s.maybePrefetch(step)
 		s.mu.Unlock()
+		s.ob.fetches.Inc()
+		if wasPrefetched {
+			s.ob.prefetchHits.Inc()
+			if s.ob.tr != nil {
+				s.ob.tr.Emit(obs.Event{Step: step, Phase: "prefetch_hit"})
+			}
+		}
 		return j, c, nil
 	}
 	var refJ, refC []float64
@@ -504,7 +561,9 @@ func (s *CompressedStore) fetchAsync(step int) ([]float64, []float64, error) {
 	}
 	s.mu.Unlock()
 
-	jv, cv, err := s.decompressStep(step, refJ, refC)
+	s.ob.fetches.Inc()
+	s.ob.prefetchMiss.Inc()
+	jv, cv, err := s.decompressStep(step, refJ, refC, "decompress")
 	if err != nil {
 		return nil, nil, err
 	}

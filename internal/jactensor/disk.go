@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"masc/internal/diskio"
+	"masc/internal/obs"
 )
 
 // DiskStore spills every step to a (bandwidth-throttled) spill file — the
@@ -20,6 +21,19 @@ type DiskStore struct {
 	stats        Stats
 	scratch      []byte
 	jBuf, cBuf   []float64
+	ob           storeObs
+}
+
+// trackResident recomputes the resident-byte model — the streaming encode
+// scratch plus the fetch buffers, the only state the spill store keeps in
+// RAM — and folds it into the running peak, mirroring the accounting of
+// MemStore and CompressedStore.
+func (s *DiskStore) trackResident() {
+	resident := int64(cap(s.scratch)) + int64(8*(len(s.jBuf)+len(s.cBuf)))
+	if resident > s.stats.PeakResident {
+		s.stats.PeakResident = resident
+	}
+	s.ob.observeResident(resident)
 }
 
 // NewDiskStore creates a spill-backed store. dir may be empty (temp dir);
@@ -55,6 +69,7 @@ func (s *DiskStore) Put(step int, jVals, cVals []float64) error {
 	if step == 0 {
 		s.jLen, s.cLen = len(jVals), len(cVals)
 	}
+	start := time.Now()
 	off, err := s.spill.Append(s.encode(jVals))
 	if err != nil {
 		return err
@@ -67,6 +82,15 @@ func (s *DiskStore) Put(step int, jVals, cVals []float64) error {
 	s.cOffs = append(s.cOffs, off)
 	s.stats.Steps++
 	s.stats.RawBytes += int64(8 * (len(jVals) + len(cVals)))
+	s.trackResident()
+	s.ob.puts.Inc()
+	s.ob.rawBytes.Add(float64(8 * (len(jVals) + len(cVals))))
+	if s.ob.tr != nil || s.ob.ioSec != nil {
+		d := time.Since(start)
+		s.ob.ioSec.AddDuration(d)
+		s.ob.tr.Emit(obs.Event{Step: step, Phase: "put", Dur: d,
+			Key: "bytes", N: int64(8 * (len(jVals) + len(cVals)))})
+	}
 	return nil
 }
 
@@ -74,7 +98,8 @@ func (s *DiskStore) Put(step int, jVals, cVals []float64) error {
 func (s *DiskStore) EndForward() error {
 	s.forwardDone = true
 	s.stats.StoredBytes = s.spill.Size()
-	s.stats.PeakResident = int64(8 * (s.jLen + s.cLen)) // streaming buffers only
+	s.trackResident()
+	s.ob.storedBytes.Add(float64(s.stats.StoredBytes))
 	return nil
 }
 
@@ -108,7 +133,15 @@ func (s *DiskStore) Fetch(step int) ([]float64, []float64, error) {
 	if err := read(s.cBuf, s.cOffs[step]); err != nil {
 		return nil, nil, err
 	}
-	s.stats.IOTime += time.Since(start)
+	d := time.Since(start)
+	s.stats.IOTime += d
+	s.trackResident()
+	s.ob.fetches.Inc()
+	s.ob.ioSec.AddDuration(d)
+	if s.ob.tr != nil {
+		s.ob.tr.Emit(obs.Event{Step: step, Phase: "fetch", Dur: d,
+			Key: "bytes", N: int64(8 * (s.jLen + s.cLen))})
+	}
 	return s.jBuf, s.cBuf, nil
 }
 

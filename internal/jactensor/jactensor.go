@@ -52,12 +52,25 @@ type Store interface {
 // MemStore keeps every step uncompressed in memory — the fastest and most
 // memory-hungry strategy (the paper's Figure 1 overhead).
 type MemStore struct {
-	j, c  [][]float64
-	stats Stats
+	j, c     [][]float64
+	stats    Stats
+	resident int64
+	ob       storeObs
 }
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore { return &MemStore{} }
+
+// bumpResident adjusts the resident-byte model and its running peak —
+// the same accounting CompressedStore and DiskStore use, so PeakResident
+// is comparable across the three strategies.
+func (s *MemStore) bumpResident(delta int64) {
+	s.resident += delta
+	if s.resident > s.stats.PeakResident {
+		s.stats.PeakResident = s.resident
+	}
+	s.ob.observeResident(s.resident)
+}
 
 // Put implements Store.
 func (s *MemStore) Put(step int, jVals, cVals []float64) error {
@@ -68,13 +81,16 @@ func (s *MemStore) Put(step int, jVals, cVals []float64) error {
 	s.c = append(s.c, append([]float64(nil), cVals...))
 	s.stats.Steps++
 	s.stats.RawBytes += int64(8 * (len(jVals) + len(cVals)))
+	s.bumpResident(int64(8 * (len(jVals) + len(cVals))))
+	s.ob.puts.Inc()
+	s.ob.rawBytes.Add(float64(8 * (len(jVals) + len(cVals))))
 	return nil
 }
 
 // EndForward implements Store.
 func (s *MemStore) EndForward() error {
 	s.stats.StoredBytes = s.stats.RawBytes
-	s.stats.PeakResident = s.stats.RawBytes
+	s.ob.storedBytes.Add(float64(s.stats.StoredBytes))
 	return nil
 }
 
@@ -86,12 +102,16 @@ func (s *MemStore) Fetch(step int) ([]float64, []float64, error) {
 	if s.j[step] == nil {
 		return nil, nil, fmt.Errorf("jactensor: step %d already released", step)
 	}
+	s.ob.fetches.Inc()
 	return s.j[step], s.c[step], nil
 }
 
 // Release implements Store.
 func (s *MemStore) Release(step int) {
 	if step >= 0 && step < len(s.j) {
+		if s.j[step] != nil {
+			s.bumpResident(-int64(8 * (len(s.j[step]) + len(s.c[step]))))
+		}
 		s.j[step] = nil
 		s.c[step] = nil
 	}

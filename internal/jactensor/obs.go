@@ -1,0 +1,134 @@
+package jactensor
+
+import (
+	"fmt"
+
+	"masc/internal/compress/masczip"
+	"masc/internal/obs"
+)
+
+// storeObs is the resolved telemetry handle bundle of a store. The zero
+// value (all-nil handles) makes every hook a cheap no-op, so the hot
+// paths carry no "is telemetry on?" branching of their own.
+type storeObs struct {
+	tr *obs.Tracer
+
+	puts          *obs.Counter
+	fetches       *obs.Counter
+	rawBytes      *obs.Counter
+	storedBytes   *obs.Counter
+	compressSec   *obs.Counter
+	decompressSec *obs.Counter
+	ioSec         *obs.Counter
+	stallSec      *obs.Counter
+	prefetchHits  *obs.Counter
+	prefetchMiss  *obs.Counter
+	queueDepth    *obs.Gauge
+	resident      *obs.Gauge
+	peakResident  *obs.Gauge
+	blobBytes     *obs.Histogram
+}
+
+// newStoreObs resolves the masc_store_* metric families, labelled with the
+// store kind ("memory", "disk", "compressed"). All families are registered
+// eagerly so /metrics exposes them from the first scrape, before any
+// traffic.
+func newStoreObs(o *obs.Observer, kind string) storeObs {
+	reg := o.Registry()
+	lbl := []string{"store", kind}
+	return storeObs{
+		tr:            o.Tracer(),
+		puts:          reg.Counter("masc_store_put_total", "Steps written to the Jacobian store.", lbl...),
+		fetches:       reg.Counter("masc_store_fetch_total", "Steps fetched from the Jacobian store.", lbl...),
+		rawBytes:      reg.Counter("masc_store_raw_bytes_total", "Uncompressed payload bytes written (the paper's S_NZ).", lbl...),
+		storedBytes:   reg.Counter("masc_store_stored_bytes_total", "Bytes held by the store (compressed/spilled).", lbl...),
+		compressSec:   reg.Counter("masc_store_compress_seconds_total", "Time spent compressing tensors.", lbl...),
+		decompressSec: reg.Counter("masc_store_decompress_seconds_total", "Time spent decompressing tensors.", lbl...),
+		ioSec:         reg.Counter("masc_store_io_seconds_total", "Time spent on spill-file I/O.", lbl...),
+		stallSec:      reg.Counter("masc_store_stall_seconds_total", "Solver-visible time Put blocked on a full compression queue.", lbl...),
+		prefetchHits:  reg.Counter("masc_store_prefetch_hits_total", "Reverse-sweep fetches served by the background prefetch.", lbl...),
+		prefetchMiss:  reg.Counter("masc_store_prefetch_misses_total", "Reverse-sweep fetches that decompressed in the foreground.", lbl...),
+		queueDepth:    reg.Gauge("masc_store_queue_depth", "Jobs waiting in the async compression queue.", lbl...),
+		resident:      reg.Gauge("masc_store_resident_bytes", "Modelled resident bytes held by the store right now.", lbl...),
+		peakResident:  reg.Gauge("masc_store_peak_resident_bytes", "Peak modelled resident bytes over the run.", lbl...),
+		blobBytes:     reg.Histogram("masc_store_blob_bytes", "Per-step compressed blob sizes (J+C).", obs.SizeBuckets(), lbl...),
+	}
+}
+
+// observeResident mirrors a resident-byte model change into the gauges.
+func (so *storeObs) observeResident(resident int64) {
+	so.resident.Set(float64(resident))
+	so.peakResident.SetMax(float64(resident))
+}
+
+// SetObserver attaches telemetry to the store. Call it before the first
+// Put; a nil observer detaches.
+func (s *MemStore) SetObserver(o *obs.Observer) { s.ob = newStoreObs(o, "memory") }
+
+// SetObserver attaches telemetry to the store. Call it before the first
+// Put; a nil observer detaches.
+func (s *DiskStore) SetObserver(o *obs.Observer) { s.ob = newStoreObs(o, "disk") }
+
+// SetObserver attaches telemetry to the store. Call it before the first
+// Put; a nil observer detaches. Safe in async mode only before the first
+// Put (the worker reads the handles unlocked afterwards).
+func (s *CompressedStore) SetObserver(o *obs.Observer) { s.ob = newStoreObs(o, "compressed") }
+
+// PredictorStats returns the predictor-selection statistics accumulated by
+// the J and C codecs, when the store was built over masczip compressors
+// with Options.CollectStats enabled (ok reports both conditions). In async
+// mode call it only after EndForward or Close, once the worker has
+// drained.
+func (s *CompressedStore) PredictorStats() (j, c masczip.Stats, ok bool) {
+	type statser interface{ Stats() masczip.Stats }
+	js, okJ := s.jc.(statser)
+	cs, okC := s.cc.(statser)
+	if !okJ || !okC {
+		return j, c, false
+	}
+	j, c = js.Stats(), cs.Stats()
+	// CollectStats off leaves the counters at zero; report !ok so callers
+	// can distinguish "no data" from "all-zero data".
+	if j.Elements == 0 && c.Elements == 0 {
+		return j, c, false
+	}
+	return j, c, true
+}
+
+// PublishCodecStats mirrors one codec's predictor-selection statistics
+// into the masc_codec_* metric families, labelled with the tensor name
+// ("j" or "c"). The counters are set once, from the encoder's final
+// accumulated totals.
+func PublishCodecStats(reg *obs.Registry, tensor string, st masczip.Stats) {
+	if reg == nil {
+		return
+	}
+	sel := func(model string) *obs.Counter {
+		return reg.Counter("masc_codec_predictor_selections_total",
+			"Model-selection outcomes of selector-coded elements by predictor family.",
+			"tensor", tensor, "model", model)
+	}
+	sel("temporal").Add(float64(st.Temporal))
+	sel("stamp").Add(float64(st.Stamp))
+	sel("last_value").Add(float64(st.LastValue))
+	reg.Counter("masc_codec_elements_total", "Matrix elements pushed through the MASC coder.",
+		"tensor", tensor).Add(float64(st.Elements))
+	reg.Counter("masc_codec_selector_elements_total", "Elements that went through model selection (nonzero temporal residual).",
+		"tensor", tensor).Add(float64(st.SelectorElements))
+	reg.Counter("masc_codec_selector_bits_total", "Selector bits on the wire.",
+		"tensor", tensor).Add(float64(st.SelectorBits))
+	reg.Counter("masc_codec_payload_bits_total", "Residual payload bits on the wire.",
+		"tensor", tensor).Add(float64(st.PayloadBits))
+	reg.Counter("masc_codec_markov_predicted_total", "Elements whose selector came from the frozen Markov table.",
+		"tensor", tensor).Add(float64(st.MarkovPredicted))
+	reg.Counter("masc_codec_markov_exact_total", "Markov-predicted elements reproduced bit-exactly.",
+		"tensor", tensor).Add(float64(st.MarkovExact))
+	for i, n := range st.LZHist {
+		class := fmt.Sprintf("%d", i*8)
+		if i == len(st.LZHist)-1 {
+			class = "zero"
+		}
+		reg.Counter("masc_codec_residual_lz_class_total", "Residuals by leading-zero class (bits); class=zero is an all-zero residual.",
+			"tensor", tensor, "class", class).Add(float64(n))
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed cumulative buckets, Prometheus
+// style: bucket i counts observations <= bounds[i], with an implicit +Inf
+// bucket holding everything else. Observe is lock-free. A nil Histogram is
+// a no-op.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds, +Inf excluded
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomicFloat
+	total  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one observation of value v.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket lists are small (≤ ~20) and the scan beats a
+	// binary search at that size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.total.Add(1)
+}
+
+// Count returns the number of observations (0 for a nil histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of observed values (0 for a nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// writePrometheus renders the cumulative _bucket/_sum/_count series.
+func (h *Histogram) writePrometheus(b []byte, name, sig string) []byte {
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		b = append(b, name...)
+		b = append(b, "_bucket"...)
+		b = appendLE(b, sig, h.boundLabel(i))
+		b = append(b, ' ')
+		b = appendFloat(b, float64(cum))
+		b = append(b, '\n')
+	}
+	b = appendSample(b, name+"_sum", sig, h.Sum())
+	b = appendSample(b, name+"_count", sig, float64(h.Count()))
+	return b
+}
+
+// boundLabel returns the le label value of bucket i.
+func (h *Histogram) boundLabel(i int) string {
+	if i == len(h.bounds) {
+		return "+Inf"
+	}
+	return string(appendFloat(nil, h.bounds[i]))
+}
+
+// appendLE merges the le="..." label into an existing label signature.
+func appendLE(b []byte, sig, le string) []byte {
+	if sig == "" {
+		b = append(b, `{le="`...)
+		b = append(b, le...)
+		return append(b, `"}`...)
+	}
+	// sig is "{...}": splice before the closing brace.
+	b = append(b, sig[:len(sig)-1]...)
+	b = append(b, `,le="`...)
+	b = append(b, le...)
+	return append(b, `"}`...)
+}
+
+// snapshot returns the histogram state for Registry.Snapshot.
+func (h *Histogram) snapshot() map[string]any {
+	buckets := map[string]uint64{}
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		buckets[h.boundLabel(i)] = cum
+	}
+	return map[string]any{"count": h.Count(), "sum": h.Sum(), "buckets": buckets}
+}
+
+// TimingBuckets is the default bucket ladder for phase durations in
+// seconds: 1µs … ~34s in powers of 4.
+func TimingBuckets() []float64 {
+	out := make([]float64, 0, 13)
+	for v := 1e-6; v < 40; v *= 4 {
+		out = append(out, v)
+	}
+	return out
+}
+
+// SizeBuckets is the default bucket ladder for byte sizes: 64 B … 64 MB in
+// powers of 4.
+func SizeBuckets() []float64 {
+	out := make([]float64, 0, 11)
+	for v := 64.0; v <= 64<<20; v *= 4 {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the boundary semantics: bucket i
+// counts v <= bounds[i] (Prometheus le), so an observation exactly on a
+// bound lands in that bound's bucket, and anything above the last bound
+// lands in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0},
+		{1, 0},      // exactly on a bound: le is inclusive
+		{1.0001, 1}, // just above: next bucket
+		{10, 1},
+		{99.9, 2},
+		{100, 2},
+		{100.1, 3}, // +Inf
+		{math.Inf(1), 3},
+	}
+	for i, tc := range cases {
+		before := make([]uint64, len(h.counts))
+		for k := range h.counts {
+			before[k] = h.counts[k].Load()
+		}
+		h.Observe(tc.v)
+		for k := range h.counts {
+			want := before[k]
+			if k == tc.bucket {
+				want++
+			}
+			if got := h.counts[k].Load(); got != want {
+				t.Fatalf("case %d (v=%v): bucket %d = %d, want %d", i, tc.v, k, got, want)
+			}
+		}
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(cases))
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	h := newHistogram([]float64{100, 1, 10})
+	h.Observe(5)
+	if got := h.counts[1].Load(); got != 1 {
+		t.Fatalf("5 landed outside the le=10 bucket (counts[1]=%d)", got)
+	}
+}
+
+func TestDefaultBucketLadders(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		bs     []float64
+		lo, hi float64
+	}{
+		{"timing", TimingBuckets(), 1e-6, 40},
+		{"size", SizeBuckets(), 64, 64 << 20},
+	} {
+		if len(tc.bs) == 0 {
+			t.Fatalf("%s: empty ladder", tc.name)
+		}
+		if tc.bs[0] != tc.lo {
+			t.Fatalf("%s: first bound %v, want %v", tc.name, tc.bs[0], tc.lo)
+		}
+		last := tc.bs[len(tc.bs)-1]
+		if last > tc.hi || last*4 <= tc.hi-1 {
+			t.Fatalf("%s: last bound %v outside (%v/4, %v]", tc.name, last, tc.hi, tc.hi)
+		}
+		for i := 1; i < len(tc.bs); i++ {
+			if tc.bs[i] != tc.bs[i-1]*4 {
+				t.Fatalf("%s: not a ×4 ladder at %d: %v", tc.name, i, tc.bs[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// Manifest is the skeleton of a run manifest: one JSON document holding
+// everything needed to compare a run against another run — the tool and
+// configuration that produced it, the aggregate statistics of every
+// pipeline layer, and an optional metrics snapshot. Sections is the
+// tool-specific payload; values marshal with encoding/json, so integer
+// counters and time.Duration fields (nanoseconds) round-trip bit-exactly.
+type Manifest struct {
+	Tool       string                    `json:"tool"`
+	CreatedAt  time.Time                 `json:"created_at"`
+	Host       string                    `json:"host,omitempty"`
+	Config     map[string]any            `json:"config,omitempty"`
+	Sections   map[string]any            `json:"sections,omitempty"`
+	MetricSnap map[string]map[string]any `json:"metrics,omitempty"`
+}
+
+// NewManifest returns a manifest stamped with the tool name, hostname and
+// current time.
+func NewManifest(tool string) *Manifest {
+	host, _ := os.Hostname()
+	return &Manifest{
+		Tool:      tool,
+		CreatedAt: time.Now().UTC(),
+		Host:      host,
+		Config:    map[string]any{},
+		Sections:  map[string]any{},
+	}
+}
+
+// Section attaches a named payload (any json-marshalable value).
+func (m *Manifest) Section(name string, v any) *Manifest {
+	m.Sections[name] = v
+	return m
+}
+
+// Set records one configuration key.
+func (m *Manifest) Set(key string, v any) *Manifest {
+	m.Config[key] = v
+	return m
+}
+
+// AttachMetrics embeds a snapshot of reg (no-op when reg is nil).
+func (m *Manifest) AttachMetrics(reg *Registry) *Manifest {
+	if reg != nil {
+		m.MetricSnap = reg.Snapshot()
+	}
+	return m
+}
+
+// Write serializes the manifest (indented JSON, trailing newline) to path.
+func (m *Manifest) Write(path string) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// WriteJSON writes any value as an indented JSON document at path — the
+// shared helper behind -stats-json style flags.
+func WriteJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

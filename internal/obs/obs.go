@@ -1,0 +1,40 @@
+// Package obs is the MASC pipeline's zero-dependency telemetry layer. It
+// bundles three orthogonal facilities behind one Observer handle:
+//
+//   - a concurrent metrics Registry (counters, gauges, histograms) that
+//     renders in Prometheus text exposition format and as an expvar JSON
+//     snapshot, optionally served over HTTP together with net/http/pprof;
+//   - a structured per-timestep Tracer that streams one JSON object per
+//     pipeline phase (solve, put, compress, fetch, adjoint solve, …) to a
+//     JSONL file, with a zero-allocation no-op path when tracing is off;
+//   - a run-Manifest writer that serializes the configuration and final
+//     aggregate statistics of a run as one JSON document, so experiments
+//     can be compared across runs and machines.
+//
+// Every type is nil-safe: a nil *Observer, *Registry, *Tracer, *Counter,
+// *Gauge or *Histogram turns the corresponding call into a no-op, so
+// instrumented code needs no "is telemetry on?" branches of its own.
+package obs
+
+// Observer bundles the telemetry sinks threaded through the pipeline.
+// A nil Observer (or nil fields) disables the corresponding facility.
+type Observer struct {
+	Reg   *Registry
+	Trace *Tracer
+}
+
+// Registry returns the metrics registry, or nil when o is nil.
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Reg
+}
+
+// Tracer returns the trace writer, or nil when o is nil.
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}

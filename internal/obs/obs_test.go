@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestObserverNilSafety(t *testing.T) {
+	var o *Observer
+	if o.Registry() != nil || o.Tracer() != nil {
+		t.Fatal("nil observer must expose nil sinks")
+	}
+	o2 := &Observer{}
+	if o2.Registry() != nil || o2.Tracer() != nil {
+		t.Fatal("empty observer must expose nil sinks")
+	}
+	o3 := &Observer{Reg: NewRegistry()}
+	if o3.Registry() == nil {
+		t.Fatal("observer dropped its registry")
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_requests_total", "Test counter.").Add(5)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "test_requests_total 5") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	resp.Body.Close()
+
+	code, body = get("/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["masc_metrics"]; !ok {
+		t.Fatal("/debug/vars missing masc_metrics")
+	}
+
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("root help = %d: %s", code, body)
+	}
+}
+
+func TestManifestWrite(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("steps_total", "").Add(42)
+
+	path := filepath.Join(t.TempDir(), "run.json")
+	man := NewManifest("masc-test")
+	man.Set("storage", "masc").Set("workers", 4)
+	man.Section("tensor", map[string]int64{"RawBytes": 1000, "StoredBytes": 250})
+	man.AttachMetrics(reg)
+	if err := man.Write(path); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Tool     string         `json:"tool"`
+		Config   map[string]any `json:"config"`
+		Sections map[string]any `json:"sections"`
+		Metrics  map[string]any `json:"metrics"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("manifest is not JSON: %v", err)
+	}
+	if doc.Tool != "masc-test" {
+		t.Fatalf("tool = %q", doc.Tool)
+	}
+	if doc.Config["storage"] != "masc" || doc.Config["workers"] != 4.0 {
+		t.Fatalf("config = %v", doc.Config)
+	}
+	tensor := doc.Sections["tensor"].(map[string]any)
+	if tensor["RawBytes"] != 1000.0 || tensor["StoredBytes"] != 250.0 {
+		t.Fatalf("tensor section = %v", tensor)
+	}
+	if doc.Metrics["steps_total"].(map[string]any)[""] != 42.0 {
+		t.Fatalf("metrics snapshot = %v", doc.Metrics)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stats.json")
+	if err := WriteJSON(path, map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]int
+	if err := json.Unmarshal(b, &m); err != nil || m["a"] != 1 {
+		t.Fatalf("bad stats file: %v %v", err, m)
+	}
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Event is one structured trace record. Step is the timestep the event
+// belongs to (-1 when not step-scoped), Phase names the pipeline phase
+// ("solve", "put", "compress", "fetch", "adjoint_solve", …), T is the
+// simulation time in seconds when known, Dur the phase duration, and
+// Key/N an optional extra integer field (Newton iterations, queue depth,
+// byte counts) emitted as "Key": N.
+type Event struct {
+	Step  int
+	Phase string
+	T     float64
+	Dur   time.Duration
+	Key   string
+	N     int64
+}
+
+// Tracer streams Events as JSON Lines: one object per event, in emission
+// order, with a monotonically increasing "seq" field assigned under the
+// tracer's lock. A nil Tracer ignores Emit with zero allocations, so
+// instrumented code calls it unconditionally.
+type Tracer struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	c     io.Closer
+	start time.Time
+	seq   int64
+	buf   []byte
+	err   error
+}
+
+// NewTracer wraps w; if w is also an io.Closer, Close closes it.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{bw: bufio.NewWriterSize(w, 1<<16), start: time.Now()}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// OpenTrace creates (truncating) the JSONL trace file at path.
+func OpenTrace(path string) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewTracer(f), nil
+}
+
+// Emit appends one event. It is safe for concurrent use; a nil tracer
+// returns immediately without allocating.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.seq++
+	b := t.buf[:0]
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendInt(b, t.seq, 10)
+	b = append(b, `,"wall_us":`...)
+	b = strconv.AppendFloat(b, float64(time.Since(t.start))/1e3, 'f', 1, 64)
+	b = append(b, `,"step":`...)
+	b = strconv.AppendInt(b, int64(ev.Step), 10)
+	b = append(b, `,"phase":"`...)
+	b = append(b, ev.Phase...) // phases are code-controlled identifiers
+	b = append(b, '"')
+	b = append(b, `,"t":`...)
+	b = strconv.AppendFloat(b, ev.T, 'g', -1, 64)
+	if ev.Dur > 0 {
+		b = append(b, `,"dur_us":`...)
+		b = strconv.AppendFloat(b, float64(ev.Dur)/1e3, 'f', 1, 64)
+	}
+	if ev.Key != "" {
+		b = append(b, ',', '"')
+		b = append(b, ev.Key...)
+		b = append(b, `":`...)
+		b = strconv.AppendInt(b, ev.N, 10)
+	}
+	b = append(b, '}', '\n')
+	t.buf = b
+	if _, err := t.bw.Write(b); err != nil {
+		t.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Flush pushes buffered events to the underlying writer.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Close flushes and closes the underlying file (when the tracer owns one).
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	err := t.Flush()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.c != nil {
+		if cerr := t.c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		t.c = nil
+	}
+	return err
+}

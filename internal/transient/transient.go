@@ -10,9 +10,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"masc/internal/circuit"
 	"masc/internal/lu"
+	"masc/internal/obs"
 	"masc/internal/sparse"
 )
 
@@ -52,6 +54,11 @@ type Options struct {
 	// step i ≥ 1 carries J = G + C/h at the converged state. The matrices
 	// are reused between calls — the callee must copy what it keeps.
 	Capture func(step int, t float64, x []float64, J, C *sparse.Matrix)
+
+	// Obs, if non-nil, receives per-step telemetry: the
+	// masc_transient_* metric families and one trace event per solve
+	// attempt ("dc", "solve", "step_cut").
+	Obs *obs.Observer
 }
 
 func (o *Options) withDefaults() Options {
@@ -109,6 +116,37 @@ type Stats struct {
 	Refactorizations int
 	StepsAccepted    int
 	StepsCut         int
+}
+
+// runObs is the resolved telemetry bundle of one transient run. The zero
+// value (nil handles) is a no-op, so Run carries no telemetry branches
+// beyond a couple of time.Now calls guarded by `on`.
+type runObs struct {
+	on      bool
+	tr      *obs.Tracer
+	steps   *obs.Counter
+	cuts    *obs.Counter
+	newton  *obs.Counter
+	facts   *obs.Counter
+	stepSec *obs.Histogram
+	simTime *obs.Gauge
+}
+
+func newRunObs(o *obs.Observer) runObs {
+	if o == nil {
+		return runObs{}
+	}
+	reg := o.Registry()
+	return runObs{
+		on:      true,
+		tr:      o.Tracer(),
+		steps:   reg.Counter("masc_transient_steps_total", "Accepted integration steps."),
+		cuts:    reg.Counter("masc_transient_step_cuts_total", "Step halvings after Newton failure or LTE rejection."),
+		newton:  reg.Counter("masc_transient_newton_iters_total", "Newton iterations across all solves."),
+		facts:   reg.Counter("masc_transient_factorizations_total", "LU factorizations plus pivot-reusing refactorizations."),
+		stepSec: reg.Histogram("masc_transient_step_seconds", "Wall time per timestep solve attempt.", obs.TimingBuckets()),
+		simTime: reg.Gauge("masc_transient_sim_time_seconds", "Simulation time reached by the forward analysis."),
+	}
 }
 
 // Result is the forward trajectory.
@@ -301,11 +339,26 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 	}
 	trap := opt.Method == MethodTrap
 	res := &Result{Method: opt.Method}
+	ro := newRunObs(opt.Obs)
+	var dcStart time.Time
+	if ro.on {
+		dcStart = time.Now()
+	}
 	x, dcStats, err := DCOperatingPoint(ckt, opt.TStart, opt)
 	if err != nil {
 		return nil, err
 	}
 	res.Stats = dcStats
+	if ro.on {
+		d := time.Since(dcStart)
+		ro.steps.Inc()
+		ro.newton.Add(float64(dcStats.NewtonIters))
+		ro.facts.Add(float64(dcStats.Factorizations + dcStats.Refactorizations))
+		ro.stepSec.Observe(d.Seconds())
+		ro.simTime.Set(opt.TStart)
+		ro.tr.Emit(obs.Event{Step: 0, Phase: "dc", T: opt.TStart, Dur: d,
+			Key: "iters", N: int64(dcStats.NewtonIters)})
+	}
 	s := newSolver(ckt, opt, &res.Stats)
 
 	record := func(t, h float64, xx []float64) {
@@ -340,6 +393,12 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 		tNext := t + h
 		invH := 1 / h
 		copy(xTrial, x)
+		itersBefore := res.Stats.NewtonIters
+		factsBefore := res.Stats.Factorizations + res.Stats.Refactorizations
+		var attemptStart time.Time
+		if ro.on {
+			attemptStart = time.Now()
+		}
 		var eval func(xx []float64)
 		if trap {
 			// (q_i - q_{i-1})/h + (f_i + f_{i-1})/2 = 0.
@@ -362,6 +421,13 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 		if err := s.newton(xTrial, eval); err != nil {
 			cuts++
 			res.Stats.StepsCut++
+			if ro.on {
+				ro.cuts.Inc()
+				ro.newton.Add(float64(res.Stats.NewtonIters - itersBefore))
+				ro.facts.Add(float64(res.Stats.Factorizations + res.Stats.Refactorizations - factsBefore))
+				ro.tr.Emit(obs.Event{Step: step, Phase: "step_cut", T: tNext,
+					Dur: time.Since(attemptStart), Key: "cuts", N: int64(cuts)})
+			}
 			if cuts > opt.MaxCuts {
 				return nil, fmt.Errorf("transient: step at t=%g failed after %d cuts: %w", t, cuts, err)
 			}
@@ -382,6 +448,11 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 			}
 			if worst > 1 && h > opt.MinStep {
 				res.Stats.StepsCut++
+				if ro.on {
+					ro.cuts.Inc()
+					ro.tr.Emit(obs.Event{Step: step, Phase: "step_cut", T: tNext,
+						Dur: time.Since(attemptStart), Key: "lte", N: 1})
+				}
 				h = math.Max(h/2, opt.MinStep)
 				continue
 			}
@@ -400,6 +471,17 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 		}
 		record(tNext, h, x)
 		res.Stats.StepsAccepted++
+		if ro.on {
+			d := time.Since(attemptStart)
+			iters := res.Stats.NewtonIters - itersBefore
+			ro.steps.Inc()
+			ro.newton.Add(float64(iters))
+			ro.facts.Add(float64(res.Stats.Factorizations + res.Stats.Refactorizations - factsBefore))
+			ro.stepSec.Observe(d.Seconds())
+			ro.simTime.Set(tNext)
+			ro.tr.Emit(obs.Event{Step: step, Phase: "solve", T: tNext, Dur: d,
+				Key: "iters", N: int64(iters)})
+		}
 		if opt.Capture != nil {
 			opt.Capture(step, tNext, x, s.J, s.ev.C)
 		}

@@ -35,6 +35,7 @@ import (
 	"masc/internal/device"
 	"masc/internal/jactensor"
 	"masc/internal/netlist"
+	"masc/internal/obs"
 	"masc/internal/sparse"
 	"masc/internal/transient"
 )
@@ -70,6 +71,21 @@ type (
 
 	// Method selects the integration scheme of the forward analysis.
 	Method = transient.Method
+
+	// Observer bundles the optional telemetry sinks (metrics + trace).
+	Observer = obs.Observer
+	// Registry is a concurrent metrics registry with Prometheus and
+	// expvar rendering.
+	Registry = obs.Registry
+	// Tracer writes the per-timestep JSONL event trace.
+	Tracer = obs.Tracer
+	// Manifest is the run-manifest document written by -manifest.
+	Manifest = obs.Manifest
+	// MetricsServer is the HTTP endpoint serving /metrics and pprof.
+	MetricsServer = obs.Server
+	// CodecStats is the predictor-selection statistics of one masczip
+	// encoder (J or C), available via SimOptions.CollectCodecStats.
+	CodecStats = masczip.Stats
 )
 
 // Integration schemes (set SimOptions.Transient.Method).
@@ -80,6 +96,21 @@ const (
 
 // NewBuilder returns an empty circuit builder.
 func NewBuilder() *Builder { return circuit.NewBuilder() }
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// OpenTrace opens (truncating) a JSONL trace file.
+func OpenTrace(path string) (*Tracer, error) { return obs.OpenTrace(path) }
+
+// NewManifest starts a run manifest for the named tool.
+func NewManifest(tool string) *Manifest { return obs.NewManifest(tool) }
+
+// ServeMetrics starts an HTTP listener on addr exposing /metrics
+// (Prometheus text format), /debug/vars (expvar) and /debug/pprof.
+func ServeMetrics(addr string, reg *Registry) (*MetricsServer, error) {
+	return obs.Serve(addr, reg)
+}
 
 // ParseNetlist parses a SPICE-subset netlist.
 func ParseNetlist(r io.Reader) (*Deck, error) { return netlist.Parse(r) }
@@ -127,6 +158,14 @@ type SimOptions struct {
 	// Transient exposes the remaining solver knobs; TStep/TStop above
 	// override its time axis when set.
 	Transient TransientOptions
+	// Obs, if non-nil, receives telemetry from every pipeline stage:
+	// metric updates into Obs.Reg and per-timestep events into Obs.Trace.
+	// A nil Obs (or nil fields) costs nothing on the hot paths.
+	Obs *Observer
+	// CollectCodecStats enables the masczip encoder-side predictor
+	// statistics (Run.CodecStatsJ/C); MASC storage strategies only.
+	// Adds one branch plus a few counter increments per element.
+	CollectCodecStats bool
 }
 
 // Run bundles everything a sensitivity simulation produces.
@@ -135,6 +174,11 @@ type Run struct {
 	Sens        *SensitivityResult
 	TensorStats TensorStats
 	Storage     Storage
+	// CodecStatsJ/C are the predictor-selection statistics of the J and C
+	// encoders; valid only when HasCodecStats (MASC storage with
+	// SimOptions.CollectCodecStats set).
+	CodecStatsJ, CodecStatsC CodecStats
+	HasCodecStats            bool
 }
 
 // Simulate runs the full MASC pipeline on ckt: forward transient analysis
@@ -175,8 +219,9 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 		store = ds
 	case StorageMASC, StorageMASCMarkov:
 		mo := masczip.Options{
-			Markov:  storage == StorageMASCMarkov,
-			Workers: workers,
+			Markov:       storage == StorageMASCMarkov,
+			Workers:      workers,
+			CollectStats: opt.CollectCodecStats,
 		}
 		jc, cc := masczip.New(ckt.JPat, mo), masczip.New(ckt.CPat, mo)
 		if opt.Async {
@@ -187,6 +232,13 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 	default:
 		return nil, fmt.Errorf("masc: unknown storage strategy %q", storage)
 	}
+
+	if store != nil && opt.Obs != nil {
+		if so, ok := store.(interface{ SetObserver(*obs.Observer) }); ok {
+			so.SetObserver(opt.Obs)
+		}
+	}
+	topt.Obs = opt.Obs
 
 	if store != nil {
 		prev := topt.Capture
@@ -219,7 +271,7 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 	} else {
 		src = adjoint.NewRecomputeSource(ckt, tr)
 	}
-	sens, err := adjoint.Sensitivities(ckt, tr, src, objectives, adjoint.Options{Params: params})
+	sens, err := adjoint.Sensitivities(ckt, tr, src, objectives, adjoint.Options{Params: params, Obs: opt.Obs})
 	if err != nil {
 		if store != nil {
 			store.Close()
@@ -229,6 +281,16 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 	run.Sens = sens
 	if store != nil {
 		run.TensorStats = store.Stats()
+		if cs, ok := store.(*jactensor.CompressedStore); ok {
+			if j, c, ok := cs.PredictorStats(); ok {
+				run.CodecStatsJ, run.CodecStatsC = j, c
+				run.HasCodecStats = true
+				if opt.Obs != nil {
+					jactensor.PublishCodecStats(opt.Obs.Registry(), "j", j)
+					jactensor.PublishCodecStats(opt.Obs.Registry(), "c", c)
+				}
+			}
+		}
 		if err := store.Close(); err != nil {
 			return nil, err
 		}
