@@ -7,6 +7,14 @@
 //
 //	masc-verify -n 50 -seed 1
 //
+// Chaos mode replaces the differential matrix with the fault-injection
+// gauntlet: every seeded case is re-run under deterministic storage faults
+// (blob bit rot, truncation, transient and hard spill I/O errors, poisoned
+// pipeline workers) and each run must either finish bit-identical to the
+// fault-free baseline or fail loudly with an error naming the step:
+//
+//	masc-verify -chaos -seeds 20
+//
 // The exit status is 0 only if every case passes every check, so the
 // command slots directly into CI and pre-merge gauntlets.
 package main
@@ -31,6 +39,9 @@ func main() {
 		workers = flag.Int("workers", 1, "masczip compression workers")
 		depth   = flag.Int("pipeline-depth", 2, "async store queue depth")
 		verbose = flag.Bool("v", false, "log every case")
+
+		chaos      = flag.Bool("chaos", false, "run the fault-injection gauntlet instead of the differential matrix")
+		chaosSeeds = flag.Int("seeds", 20, "chaos mode: number of seeded cases (each runs every fault scenario)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address during the fleet run")
 		maniPath    = flag.String("manifest", "", "write a JSON manifest of the fleet result to this file")
@@ -62,6 +73,11 @@ func main() {
 		opt.Logf = func(format string, args ...interface{}) {
 			fmt.Printf(format+"\n", args...)
 		}
+	}
+
+	if *chaos {
+		runChaos(*chaosSeeds, *seed, opt, reg, *maniPath, *hold, srv)
+		return
 	}
 
 	start := time.Now()
@@ -111,6 +127,58 @@ func main() {
 		for _, rep := range fr.Reports {
 			for _, f := range rep.Failures {
 				fmt.Printf("  FAIL %s: %s\n", rep.Case.Name(), f)
+			}
+		}
+		os.Exit(1)
+	}
+}
+
+// runChaos executes the fault-injection gauntlet and reports the outcome
+// distribution. Exit is nonzero on any contract violation: a run that
+// finished with numbers differing from the fault-free baseline (silent
+// corruption) or failed with an undiagnosable error.
+func runChaos(seeds int, seed int64, opt verify.Options, reg *obs.Registry, maniPath string, hold time.Duration, srv *obs.Server) {
+	start := time.Now()
+	cr := verify.ChaosFleet(seeds, seed, opt)
+
+	reg.Gauge("masc_chaos_runs", "Fault-injected pipeline runs.").Set(float64(len(cr.Reports)))
+	reg.Gauge("masc_chaos_failed", "Chaos contract violations.").Set(float64(cr.Failed))
+
+	fmt.Printf("masc-verify -chaos: %d seeds × %d scenarios = %d runs, seed %d (%.1fs)\n",
+		seeds, len(cr.Reports)/max(seeds, 1), len(cr.Reports), seed, time.Since(start).Seconds())
+	for _, oc := range []verify.ChaosOutcome{
+		verify.OutcomeDegraded, verify.OutcomeAbsorbed, verify.OutcomeFailedLoud,
+		verify.OutcomeClean, verify.OutcomeSilent, verify.OutcomeOpaque,
+	} {
+		if n := cr.Counts[oc]; n > 0 {
+			fmt.Printf("  %-18s %d\n", string(oc), n)
+		}
+	}
+	if maniPath != "" {
+		man := obs.NewManifest("masc-verify-chaos")
+		man.Set("seeds", seeds).Set("seed", seed)
+		counts := map[string]any{}
+		for oc, n := range cr.Counts {
+			counts[string(oc)] = n
+		}
+		counts["failed"] = cr.Failed
+		counts["seconds"] = time.Since(start).Seconds()
+		man.Section("chaos", counts)
+		man.AttachMetrics(reg)
+		if err := man.Write(maniPath); err != nil {
+			fmt.Fprintln(os.Stderr, "masc-verify:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("manifest written to %s\n", maniPath)
+	}
+	if hold > 0 && srv != nil {
+		fmt.Printf("holding metrics endpoint http://%s/metrics for %v\n", srv.Addr, hold)
+		time.Sleep(hold)
+	}
+	if !cr.OK() {
+		for _, r := range cr.Reports {
+			if r.Bad() {
+				fmt.Printf("  FAIL %s %s: %s: %s\n", r.Case.Name(), r.Scenario, r.Outcome, r.Detail)
 			}
 		}
 		os.Exit(1)

@@ -17,10 +17,14 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"masc"
@@ -109,7 +113,22 @@ func run(c cli) error {
 		fmt.Printf("telemetry: serving http://%s/metrics\n", srv.Addr)
 	}
 
-	run, err := masc.Simulate(deck.Ckt, masc.SimOptions{
+	// Graceful shutdown: the first SIGINT/SIGTERM asks the transient loop to
+	// stop at the next step boundary (no half-written tensor step); a second
+	// signal falls through to the default handler and kills the process.
+	var stopped atomic.Bool
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		if _, ok := <-sigCh; ok {
+			fmt.Fprintln(os.Stderr, "masc: interrupt — stopping at the next step boundary")
+			stopped.Store(true)
+			signal.Stop(sigCh)
+		}
+	}()
+
+	simOpt := masc.SimOptions{
 		TStep:             deck.Tran.TStep,
 		TStop:             deck.Tran.TStop,
 		Storage:           masc.Storage(c.storage),
@@ -119,8 +138,27 @@ func run(c cli) error {
 		DiskBytesPerSec:   c.diskBps,
 		Obs:               ob,
 		CollectCodecStats: telemetry,
-	}, deck.Objectives, nil)
+	}
+	simOpt.Transient.Stop = stopped.Load
+
+	run, err := masc.Simulate(deck.Ckt, simOpt, deck.Objectives, nil)
 	if err != nil {
+		if errors.Is(err, masc.ErrInterrupted) {
+			// Flush what telemetry exists so the partial run is diagnosable,
+			// then report the interruption as a failure (nonzero exit).
+			if ob != nil && ob.Trace != nil {
+				if ferr := ob.Trace.Flush(); ferr != nil {
+					fmt.Fprintln(os.Stderr, "masc: trace flush:", ferr)
+				}
+			}
+			if c.maniPath != "" {
+				if merr := writeManifest(c, deck, nil, reg, "interrupted"); merr != nil {
+					fmt.Fprintln(os.Stderr, "masc: manifest:", merr)
+				} else {
+					fmt.Printf("manifest written to %s\n", c.maniPath)
+				}
+			}
+		}
 		return err
 	}
 	// All trace events are emitted inside Simulate; flush now so the file
@@ -156,7 +194,7 @@ func run(c cli) error {
 	}
 
 	if c.maniPath != "" {
-		if err := writeManifest(c, deck, run, reg); err != nil {
+		if err := writeManifest(c, deck, run, reg, "ok"); err != nil {
 			return err
 		}
 		fmt.Printf("manifest written to %s\n", c.maniPath)
@@ -193,29 +231,35 @@ func run(c cli) error {
 // writeManifest serializes the run's configuration and every layer's
 // aggregate statistics as one JSON document. The tensor section is the
 // store's Stats() verbatim, so its fields match the in-process values
-// bit-for-bit.
-func writeManifest(c cli, deck *masc.Deck, run *masc.Run, reg *masc.Registry) error {
+// bit-for-bit. run may be nil (e.g. an interrupted simulation): the
+// manifest then records the configuration, status, and whatever metrics
+// accumulated before the stop.
+func writeManifest(c cli, deck *masc.Deck, run *masc.Run, reg *masc.Registry, status string) error {
 	man := masc.NewManifest("masc")
 	man.Set("netlist", c.path).
-		Set("storage", string(run.Storage)).
+		Set("status", status).
+		Set("storage", c.storage).
 		Set("workers", c.workers).
 		Set("async", c.async).
 		Set("pipeline_depth", c.depth).
 		Set("disk_bps", c.diskBps).
 		Set("tstep", deck.Tran.TStep).
 		Set("tstop", deck.Tran.TStop)
-	man.Section("transient", run.Tran.Stats)
-	man.Section("sensitivity_timing", run.Sens.Timing)
-	if run.Storage != masc.StorageRecompute {
-		man.Section("tensor", run.TensorStats)
-	}
-	if run.HasCodecStats {
-		man.Section("codec_j", run.CodecStatsJ)
-		man.Section("codec_c", run.CodecStatsC)
-		man.Section("codec_summary", map[string]any{
-			"markov_hit_rate_j": run.CodecStatsJ.MarkovHitRate(),
-			"markov_hit_rate_c": run.CodecStatsC.MarkovHitRate(),
-		})
+	if run != nil {
+		man.Set("storage", string(run.Storage))
+		man.Section("transient", run.Tran.Stats)
+		man.Section("sensitivity_timing", run.Sens.Timing)
+		if run.Storage != masc.StorageRecompute {
+			man.Section("tensor", run.TensorStats)
+		}
+		if run.HasCodecStats {
+			man.Section("codec_j", run.CodecStatsJ)
+			man.Section("codec_c", run.CodecStatsC)
+			man.Section("codec_summary", map[string]any{
+				"markov_hit_rate_j": run.CodecStatsJ.MarkovHitRate(),
+				"markov_hit_rate_c": run.CodecStatsC.MarkovHitRate(),
+			})
+		}
 	}
 	man.AttachMetrics(reg)
 	return man.Write(c.maniPath)

@@ -20,11 +20,13 @@
 package adjoint
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"masc/internal/circuit"
 	"masc/internal/device"
+	"masc/internal/jactensor"
 	"masc/internal/lu"
 	"masc/internal/obs"
 	"masc/internal/sparse"
@@ -88,9 +90,33 @@ type Options struct {
 
 	// Obs, if non-nil, receives per-step telemetry: the masc_adjoint_*
 	// metric families and one trace event per reverse-sweep phase
-	// ("adjoint_fetch", "adjoint_solve", "param_eval").
+	// ("adjoint_fetch", "adjoint_solve", "param_eval", "degrade").
 	Obs *obs.Observer
+
+	// DisableDegrade turns off the recompute-on-corruption fallback: any
+	// degradable fetch error aborts the sweep instead. Used by tests and
+	// by callers that prefer fail-fast over degraded completion.
+	DisableDegrade bool
 }
+
+// DegradeError reports a step that could be neither fetched nor
+// recomputed: the sweep cannot continue correctly, so it fails loudly,
+// naming the step and both causes.
+type DegradeError struct {
+	Step      int
+	Fetch     error // the original storage failure
+	Recompute error // why the recomputation fallback also failed
+}
+
+func (e *DegradeError) Error() string {
+	return fmt.Sprintf("adjoint: step %d unrecoverable: fetch failed (%v) and recompute failed (%v)",
+		e.Step, e.Fetch, e.Recompute)
+}
+
+func (e *DegradeError) Unwrap() error { return e.Fetch }
+
+// FailedStep names the step for diagnosability checks.
+func (e *DegradeError) FailedStep() int { return e.Step }
 
 // sweepObs is the resolved telemetry bundle of one reverse sweep; the
 // zero value is a no-op.
@@ -101,6 +127,7 @@ type sweepObs struct {
 	fetchSec *obs.Counter
 	solveSec *obs.Counter
 	paramSec *obs.Counter
+	degraded *obs.Counter
 }
 
 func newSweepObs(o *obs.Observer) sweepObs {
@@ -115,6 +142,7 @@ func newSweepObs(o *obs.Observer) sweepObs {
 		fetchSec: reg.Counter("masc_adjoint_fetch_seconds_total", "Jacobian acquisition time (recompute/decompress/IO)."),
 		solveSec: reg.Counter("masc_adjoint_solve_seconds_total", "LU factorization and adjoint solve time."),
 		paramSec: reg.Counter("masc_adjoint_param_seconds_total", "Parameter sensitivity (dF/dp) accumulation time."),
+		degraded: reg.Counter("masc_store_degraded_total", "Reverse-sweep steps recovered by per-step recomputation after a storage failure."),
 	}
 }
 
@@ -133,6 +161,10 @@ type Result struct {
 	DOdp   [][]float64
 	Params []int
 	Timing Timing
+	// DegradedSteps lists the steps (in sweep order, descending) whose
+	// stored Jacobians could not be fetched and were recomputed instead.
+	// Empty on a healthy run.
+	DegradedSteps []int
 }
 
 // Sensitivities runs the adjoint reverse sweep over the trajectory tr.
@@ -199,11 +231,42 @@ func Sensitivities(ckt *circuit.Circuit, tr *transient.Result, src JacobianSourc
 		return nil
 	}
 
+	var rec *RecomputeSource // lazy recompute fallback for degraded steps
 	for i := n; i >= 0; i-- {
 		tFetch := time.Now()
 		jv, cv, err := src.Fetch(i)
 		if err != nil {
-			return nil, fmt.Errorf("adjoint: fetch step %d: %w", i, err)
+			// Degradation ladder: a fetch-side integrity or read failure is
+			// recoverable — the trajectory is still in memory, so the step's
+			// Jacobians can be rebuilt bit-exactly from the converged state
+			// (the Xyce-style recompute baseline, scoped to just this step).
+			// Anything else, or a failed recomputation, aborts loudly.
+			var se *jactensor.StepError
+			if opt.DisableDegrade || !errors.As(err, &se) || !se.Degradable {
+				return nil, fmt.Errorf("adjoint: fetch step %d: %w", i, err)
+			}
+			if rec == nil {
+				rec = NewRecomputeSource(ckt, tr)
+			}
+			rj, rc, rerr := rec.Fetch(i)
+			if rerr != nil {
+				return nil, &DegradeError{Step: i, Fetch: err, Recompute: rerr}
+			}
+			// Hand the recomputed plaintext back to the store: it heals the
+			// quarantined step and, for the chained compressed store,
+			// restores the reference step i-1 decompresses against.
+			if rp, ok := src.(jactensor.Repairer); ok {
+				rp.Repair(i, rj, rc)
+				if jv2, cv2, ferr := src.Fetch(i); ferr == nil {
+					rj, rc = jv2, cv2
+				}
+			}
+			jv, cv = rj, rc
+			res.DegradedSteps = append(res.DegradedSteps, i)
+			if so.on {
+				so.degraded.Inc()
+				so.tr.Emit(obs.Event{Step: i, Phase: "degrade", Dur: time.Since(tFetch)})
+			}
 		}
 		if so.on {
 			d := time.Since(tFetch)

@@ -13,10 +13,8 @@ import (
 
 // captureInto wires a jactensor store into transient options.
 func captureInto(opt transient.Options, store jactensor.Store) transient.Options {
-	opt.Capture = func(step int, _ float64, _ []float64, J, C *sparse.Matrix) {
-		if err := store.Put(step, J.Val, C.Val); err != nil {
-			panic(err)
-		}
+	opt.Capture = func(step int, _ float64, _ []float64, J, C *sparse.Matrix) error {
+		return store.Put(step, J.Val, C.Val)
 	}
 	return opt
 }

@@ -1,0 +1,121 @@
+package adjoint
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"masc/internal/compress/masczip"
+	"masc/internal/faultinject"
+	"masc/internal/jactensor"
+	"masc/internal/sparse"
+	"masc/internal/transient"
+)
+
+// degradeFixture runs one forward transient on the RC ladder, capturing
+// into both a clean MemStore (the reference) and the store under test.
+func degradeFixture(t *testing.T, faulty jactensor.Store) (*Result, *Result, *transient.Result) {
+	t.Helper()
+	ckt, b := rcLadder(t)
+	node, err := b.NodeIndex("n6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := jactensor.NewMemStore()
+	opt := transient.Options{TStop: 2e-4, TStep: 2e-6}
+	opt.Capture = func(step int, _ float64, _ []float64, J, C *sparse.Matrix) error {
+		if err := clean.Put(step, J.Val, C.Val); err != nil {
+			return err
+		}
+		return faulty.Put(step, J.Val, C.Val)
+	}
+	res, err := transient.Run(ckt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	if err := faulty.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	objs := []Objective{{Node: node, Weight: 1}}
+	want, err := Sensitivities(ckt, res, clean, objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Sensitivities(ckt, res, faulty, objs, Options{})
+	if err != nil {
+		t.Fatalf("degraded sweep failed: %v", err)
+	}
+	return want, got, res
+}
+
+// TestDegradedSweepBitIdentical corrupts stored blobs with the fault
+// injector and asserts the tentpole guarantee: the reverse sweep degrades
+// to per-step recomputation for the damaged steps and finishes with
+// sensitivities BIT-IDENTICAL to the fault-free run.
+func TestDegradedSweepBitIdentical(t *testing.T) {
+	mk := map[string]func() (jactensor.Store, *faultinject.Injector){
+		"mem": func() (jactensor.Store, *faultinject.Injector) {
+			in := faultinject.New(faultinject.Profile{Seed: 11, BitFlipOneIn: 10})
+			st := jactensor.NewMemStore()
+			st.SetFault(in)
+			return st, in
+		},
+		"compressed-sync": func() (jactensor.Store, *faultinject.Injector) {
+			in := faultinject.New(faultinject.Profile{Seed: 12, BitFlipOneIn: 10})
+			ckt, _ := rcLadder(t)
+			st := jactensor.NewCompressedStore(
+				masczip.New(ckt.JPat, masczip.Options{}), masczip.New(ckt.CPat, masczip.Options{}),
+				ckt.JPat, ckt.CPat)
+			st.SetFault(in)
+			return st, in
+		},
+	}
+	for name, build := range mk {
+		t.Run(name, func(t *testing.T) {
+			st, in := build()
+			want, got, _ := degradeFixture(t, st)
+			if !in.Stats().Any() {
+				t.Fatal("injector delivered no faults; test proves nothing")
+			}
+			if len(got.DegradedSteps) == 0 {
+				t.Fatal("faults were injected but no step degraded")
+			}
+			for k := range want.DOdp[0] {
+				if math.Float64bits(want.DOdp[0][k]) != math.Float64bits(got.DOdp[0][k]) {
+					t.Fatalf("param %d: degraded %g != clean %g (not bit-identical)",
+						k, got.DOdp[0][k], want.DOdp[0][k])
+				}
+			}
+			if st.Stats().Repairs != len(got.DegradedSteps) {
+				t.Fatalf("repairs %d != degraded steps %d", st.Stats().Repairs, len(got.DegradedSteps))
+			}
+		})
+	}
+}
+
+// TestDisableDegradeFailsFast pins the opt-out: with DisableDegrade the
+// sweep aborts on the first corrupt step instead of recomputing.
+func TestDisableDegradeFailsFast(t *testing.T) {
+	ckt, b := rcLadder(t)
+	node, err := b.NodeIndex("n6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := jactensor.NewMemStore()
+	st.SetFault(faultinject.New(faultinject.Profile{Seed: 3, BitFlipOneIn: 5}))
+	res, err := transient.Run(ckt, captureInto(transient.Options{TStop: 2e-4, TStep: 2e-6}, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Sensitivities(ckt, res, st, []Objective{{Node: node, Weight: 1}},
+		Options{DisableDegrade: true})
+	if !errors.Is(err, jactensor.ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt with DisableDegrade, got %v", err)
+	}
+}

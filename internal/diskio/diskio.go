@@ -3,15 +3,73 @@
 // paper's measurement SSD (~0.5 GB/s) deterministically on any host, so the
 // Figure-7 disk-vs-compression crossover reproduces regardless of how fast
 // the local filesystem actually is.
+//
+// Every operation runs under a bounded retry policy with exponential
+// backoff, deterministic jitter and a per-op deadline, so a transient
+// device error (EINTR, a flaky network mount, an injected EIO) costs a few
+// milliseconds instead of a multi-hour run. Errors that survive the retry
+// budget come back as *OpError naming the operation, offset and attempt
+// count.
 package diskio
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
+
+	"masc/internal/faultinject"
 )
+
+// ErrClosed is returned by operations on a store after Close.
+var ErrClosed = errors.New("diskio: store is closed")
+
+// RetryPolicy bounds how hard a store fights transient I/O errors.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per operation (min 1).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep. 0 means uncapped.
+	MaxDelay time.Duration
+	// OpDeadline bounds the wall-clock time of one operation including
+	// retries and backoff; once exceeded, no further attempts are made.
+	// 0 disables the deadline.
+	OpDeadline time.Duration
+}
+
+// DefaultRetryPolicy absorbs short transient faults (a handful of
+// milliseconds) without letting a dead device stall a step for more than a
+// couple of seconds.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    50 * time.Millisecond,
+		OpDeadline:  2 * time.Second,
+	}
+}
+
+// OpError is a disk operation failure after retries were exhausted (or
+// skipped, for non-retryable conditions such as ErrClosed).
+type OpError struct {
+	Op       string // "write" or "read"
+	Off      int64  // file offset of the operation
+	Attempts int    // attempts made before giving up
+	Err      error  // the last underlying error
+}
+
+func (e *OpError) Error() string {
+	return fmt.Sprintf("diskio: %s at offset %d failed after %d attempt(s): %v",
+		e.Op, e.Off, e.Attempts, e.Err)
+}
+
+func (e *OpError) Unwrap() error { return e.Err }
 
 // Store is an append-only spill file with random-access reads.
 type Store struct {
@@ -22,10 +80,15 @@ type Store struct {
 	bps     float64 // simulated bytes/second; 0 disables throttling
 	ioTime  time.Duration
 	ioBytes int64
+	retry   RetryPolicy
+	retries int64
+	jrng    *rand.Rand // deterministic backoff jitter
+	fault   *faultinject.Injector
 }
 
 // Create opens a spill file in dir (os.TempDir() if empty). bytesPerSec of
-// zero disables the bandwidth simulation.
+// zero disables the bandwidth simulation. The store starts with
+// DefaultRetryPolicy.
 func Create(dir string, bytesPerSec float64) (*Store, error) {
 	if dir == "" {
 		dir = os.TempDir()
@@ -34,7 +97,92 @@ func Create(dir string, bytesPerSec float64) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("diskio: %w", err)
 	}
-	return &Store{f: f, path: filepath.Join(dir, filepath.Base(f.Name())), bps: bytesPerSec}, nil
+	return &Store{
+		f:     f,
+		path:  filepath.Join(dir, filepath.Base(f.Name())),
+		bps:   bytesPerSec,
+		retry: DefaultRetryPolicy(),
+		jrng:  rand.New(rand.NewSource(0x6d617363)), // deterministic across runs
+	}, nil
+}
+
+// SetRetryPolicy replaces the retry policy (a zero policy means one attempt,
+// no backoff, no deadline).
+func (s *Store) SetRetryPolicy(p RetryPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retry = p
+}
+
+// SetFault installs a fault injector consulted before every physical disk
+// attempt. nil (the default) injects nothing.
+func (s *Store) SetFault(in *faultinject.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fault = in
+}
+
+// Path returns the spill file's location (for tests that audit cleanup).
+func (s *Store) Path() string { return s.path }
+
+// Retries returns how many retry attempts the store has performed.
+func (s *Store) Retries() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retries
+}
+
+// backoff returns the sleep before retry number `attempt` (1-based):
+// exponential growth from BaseDelay, capped at MaxDelay, with deterministic
+// jitter in [d/2, d] so concurrent stores don't retry in lockstep while
+// runs stay reproducible.
+func (s *Store) backoff(attempt int) time.Duration {
+	d := s.retry.BaseDelay << uint(attempt-1)
+	if s.retry.MaxDelay > 0 && (d > s.retry.MaxDelay || d <= 0) {
+		d = s.retry.MaxDelay
+	}
+	if d <= 0 {
+		return 0
+	}
+	half := d / 2
+	return half + time.Duration(s.jrng.Int63n(int64(half)+1))
+}
+
+// withRetry runs one physical operation under the retry policy. The caller
+// holds s.mu (the store is fully serialized, so sleeping under the lock
+// does not change concurrency behavior, only op latency).
+func (s *Store) withRetry(op string, off int64, f func() error) error {
+	maxAttempts := s.retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var deadline time.Time
+	if s.retry.OpDeadline > 0 {
+		deadline = time.Now().Add(s.retry.OpDeadline)
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = s.fault.OpError(op); err == nil {
+			err = f()
+		}
+		if err == nil {
+			return nil
+		}
+		// EOF is deterministic (the bytes are not there), not a transient
+		// device fault: retrying it only delays the typed failure.
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return &OpError{Op: op, Off: off, Attempts: attempt, Err: err}
+		}
+		if attempt >= maxAttempts {
+			return &OpError{Op: op, Off: off, Attempts: attempt, Err: err}
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return &OpError{Op: op, Off: off, Attempts: attempt,
+				Err: fmt.Errorf("op deadline %v exceeded: %w", s.retry.OpDeadline, err)}
+		}
+		time.Sleep(s.backoff(attempt))
+		s.retries++
+	}
 }
 
 // throttle blocks until the operation of n bytes would have completed on
@@ -55,10 +203,17 @@ func (s *Store) throttle(n int, actual time.Duration) time.Duration {
 func (s *Store) Append(p []byte) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.f == nil {
+		return 0, &OpError{Op: "write", Off: s.off, Attempts: 0, Err: ErrClosed}
+	}
 	start := time.Now()
 	off := s.off
-	if _, err := s.f.WriteAt(p, off); err != nil {
-		return 0, fmt.Errorf("diskio: write: %w", err)
+	err := s.withRetry("write", off, func() error {
+		_, werr := s.f.WriteAt(p, off)
+		return werr
+	})
+	if err != nil {
+		return 0, err
 	}
 	s.off += int64(len(p))
 	s.ioTime += s.throttle(len(p), time.Since(start))
@@ -66,13 +221,21 @@ func (s *Store) Append(p []byte) (int64, error) {
 	return off, nil
 }
 
-// ReadAt fills p from the given offset.
+// ReadAt fills p from the given offset. A short read (EOF before len(p)
+// bytes) is an error, like io.ReaderAt demands.
 func (s *Store) ReadAt(p []byte, off int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.f == nil {
+		return &OpError{Op: "read", Off: off, Attempts: 0, Err: ErrClosed}
+	}
 	start := time.Now()
-	if _, err := s.f.ReadAt(p, off); err != nil {
-		return fmt.Errorf("diskio: read: %w", err)
+	err := s.withRetry("read", off, func() error {
+		_, rerr := s.f.ReadAt(p, off)
+		return rerr
+	})
+	if err != nil {
+		return err
 	}
 	s.ioTime += s.throttle(len(p), time.Since(start))
 	s.ioBytes += int64(len(p))
@@ -93,7 +256,9 @@ func (s *Store) IOTime() time.Duration {
 	return s.ioTime
 }
 
-// Close closes and removes the spill file.
+// Close closes and removes the spill file. It is idempotent: the second and
+// later calls return nil, and the temp file is removed exactly once even
+// when the underlying close fails.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -101,7 +266,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	err := s.f.Close()
-	if rmErr := os.Remove(s.f.Name()); err == nil {
+	if rmErr := os.Remove(s.path); err == nil && !os.IsNotExist(rmErr) {
 		err = rmErr
 	}
 	s.f = nil

@@ -1,0 +1,240 @@
+package diskio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"masc/internal/faultinject"
+)
+
+func fastPolicy(attempts int) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: attempts,
+		BaseDelay:   10 * time.Microsecond,
+		MaxDelay:    100 * time.Microsecond,
+		OpDeadline:  time.Second,
+	}
+}
+
+// scanSpills returns the masc spill files currently present in dir.
+func scanSpills(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spills []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "masc-spill-") {
+			spills = append(spills, filepath.Join(dir, e.Name()))
+		}
+	}
+	return spills
+}
+
+func TestRetryAbsorbsTransientFaults(t *testing.T) {
+	s, err := Create(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetRetryPolicy(fastPolicy(4))
+	// Every 3rd attempt fails once: a single retry always recovers it.
+	s.SetFault(faultinject.New(faultinject.Profile{Seed: 1, FailOpEvery: 3}))
+
+	data := []byte("twelve bytes")
+	var offs []int64
+	for i := 0; i < 30; i++ {
+		off, err := s.Append(data)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		offs = append(offs, off)
+	}
+	buf := make([]byte, len(data))
+	for i, off := range offs {
+		if err := s.ReadAt(buf, off); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if s.Retries() == 0 {
+		t.Fatal("injector fired but no retries were recorded")
+	}
+}
+
+func TestHardBurstExhaustsRetriesWithTypedError(t *testing.T) {
+	s, err := Create(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetRetryPolicy(fastPolicy(3))
+	// A burst longer than the retry budget: the device stays broken.
+	s.SetFault(faultinject.New(faultinject.Profile{Seed: 1, FailOpEvery: 1, FailOpBurst: 10}))
+
+	_, err = s.Append([]byte("x"))
+	var oe *OpError
+	if !errors.As(err, &oe) {
+		t.Fatalf("want *OpError, got %T: %v", err, err)
+	}
+	if oe.Op != "write" || oe.Attempts != 3 {
+		t.Fatalf("OpError = %+v, want write after 3 attempts", oe)
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("underlying cause lost: %v", err)
+	}
+}
+
+func TestShortReadIsNotRetried(t *testing.T) {
+	s, err := Create(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetRetryPolicy(fastPolicy(4))
+	if _, err := s.Append([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	err = s.ReadAt(make([]byte, 64), 0)
+	var oe *OpError
+	if !errors.As(err, &oe) {
+		t.Fatalf("want *OpError, got %T: %v", err, err)
+	}
+	if oe.Attempts != 1 {
+		t.Fatalf("EOF was retried %d times; it is deterministic and must not be", oe.Attempts)
+	}
+	if s.Retries() != 0 {
+		t.Fatalf("retries = %d, want 0", s.Retries())
+	}
+}
+
+func TestOpsAfterCloseReturnErrClosed(t *testing.T) {
+	s, err := Create(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close: %v, want ErrClosed", err)
+	}
+	if err := s.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ReadAt after Close: %v, want ErrClosed", err)
+	}
+	// Close stays idempotent after failed ops.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpDeadlineBoundsRetries(t *testing.T) {
+	s, err := Create(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetRetryPolicy(RetryPolicy{
+		MaxAttempts: 1000,
+		BaseDelay:   5 * time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		OpDeadline:  20 * time.Millisecond,
+	})
+	s.SetFault(faultinject.New(faultinject.Profile{Seed: 1, FailOpEvery: 1, FailOpBurst: 1 << 30}))
+	start := time.Now()
+	_, err = s.Append([]byte("x"))
+	if err == nil {
+		t.Fatal("permanently broken device must fail")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline did not bound the op (took %v)", elapsed)
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) || oe.Attempts >= 1000 {
+		t.Fatalf("expected deadline to cut attempts short: %v", err)
+	}
+}
+
+// TestNoSpillLeakOnErrorPaths scans the temp dir: however an op sequence
+// ends — clean, failed write, double close — no spill file may remain.
+func TestNoSpillLeakOnErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+
+	// Clean lifecycle.
+	s, err := Create(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Failing lifecycle: writes die on a stuck device, then Close.
+	s, err = Create(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRetryPolicy(fastPolicy(2))
+	s.SetFault(faultinject.New(faultinject.Profile{Seed: 9, FailOpEvery: 1, FailOpBurst: 1 << 30}))
+	if _, err := s.Append([]byte("doomed")); err == nil {
+		t.Fatal("expected injected failure")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// File already gone before Close (e.g. the OS cleaned /tmp): Close must
+	// still succeed and stay idempotent.
+	s, err = Create(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(s.Path()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if left := scanSpills(t, dir); len(left) != 0 {
+		t.Fatalf("spill files leaked: %v", left)
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	delays := func() []time.Duration {
+		s, err := Create(t.TempDir(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		s.SetRetryPolicy(RetryPolicy{MaxAttempts: 8, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond})
+		var ds []time.Duration
+		for attempt := 1; attempt <= 8; attempt++ {
+			ds = append(ds, s.backoff(attempt))
+		}
+		return ds
+	}
+	d1, d2 := delays(), delays()
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("backoff not deterministic: %v vs %v", d1, d2)
+		}
+		if d1[i] > 4*time.Millisecond {
+			t.Fatalf("backoff %v exceeds MaxDelay", d1[i])
+		}
+		if d1[i] <= 0 {
+			t.Fatalf("backoff attempt %d not positive: %v", i+1, d1[i])
+		}
+	}
+}

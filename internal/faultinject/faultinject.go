@@ -1,0 +1,194 @@
+// Package faultinject is a deterministic, seeded fault injector for the
+// Jacobian storage pipeline. It simulates the failure modes a multi-hour
+// production run actually meets — a flipped bit in a stored blob, a
+// truncated record, a transient (or stuck) EIO from the spill device, an
+// async compression worker that panics mid-run — so the chaos suite can
+// prove the degradation machinery either recovers bit-exactly or fails
+// loudly with a typed, step-attributed error.
+//
+// All methods are safe on a nil *Injector and cost one pointer comparison,
+// so production code hooks the injector unconditionally; a nil injector is
+// the (default) fault-free configuration. Given the same Profile and the
+// same sequence of hook calls, an injector reproduces the same faults —
+// every decision comes from a seeded PRNG and per-hook counters, never
+// from time or scheduling.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// ErrInjected is the root of every injected I/O error; retry layers treat
+// it like any other transient device error.
+var ErrInjected = errors.New("faultinject: injected I/O error")
+
+// Profile declares which faults to inject and how often. The zero value
+// injects nothing.
+type Profile struct {
+	// Name labels the profile in reports ("bitflip", "eio", …).
+	Name string
+	// Seed drives every probabilistic decision; runs with equal seeds and
+	// equal call sequences inject identical faults.
+	Seed int64
+
+	// BitFlipOneIn flips one random bit in roughly 1-in-N stored blobs
+	// (checked at store time, detected by checksum at fetch time).
+	// 0 disables; 1 corrupts every blob.
+	BitFlipOneIn int
+	// TruncateOneIn chops a random tail off roughly 1-in-N stored blobs.
+	// 0 disables.
+	TruncateOneIn int
+
+	// FailOpEvery injects an error on every Nth disk operation (1-based
+	// count over the store's lifetime). 0 disables.
+	FailOpEvery int
+	// FailOpBurst is how many consecutive operations fail once triggered
+	// (default 1). A burst larger than the retry budget turns a transient
+	// EIO into a hard failure.
+	FailOpBurst int
+
+	// PanicAtStep makes the async compression worker panic when it
+	// compresses the given step. Values < 1 disable (step 0 — the DC
+	// point — cannot be targeted, which no chaos scenario needs).
+	PanicAtStep int
+}
+
+// Stats counts the faults an injector actually delivered.
+type Stats struct {
+	BlobsCorrupted int // bit flips + truncations of stored blobs
+	OpsFailed      int // injected disk-op errors
+	Panics         int // injected worker panics
+}
+
+// Any reports whether at least one fault was delivered.
+func (s Stats) Any() bool { return s.BlobsCorrupted+s.OpsFailed+s.Panics > 0 }
+
+// Injector delivers the faults a Profile declares. The zero value and the
+// nil pointer are inert.
+type Injector struct {
+	mu    sync.Mutex
+	p     Profile
+	rng   *rand.Rand
+	ops   int // disk operations seen
+	burst int // remaining consecutive op failures
+	st    Stats
+}
+
+// New builds an injector for the profile.
+func New(p Profile) *Injector {
+	return &Injector{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Profile returns the injector's configuration (zero Profile when nil).
+func (in *Injector) Profile() Profile {
+	if in == nil {
+		return Profile{}
+	}
+	return in.p
+}
+
+// Stats returns the faults delivered so far.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.st
+}
+
+// OpError decides whether the current disk operation fails, returning a
+// wrapped ErrInjected when it does. Consecutive failures within a burst
+// model a device that stays broken across retries.
+func (in *Injector) OpError(op string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.p.FailOpEvery <= 0 {
+		return nil
+	}
+	if in.burst > 0 {
+		in.burst--
+		in.st.OpsFailed++
+		return fmt.Errorf("%w: %s op (burst)", ErrInjected, op)
+	}
+	in.ops++
+	if in.ops%in.p.FailOpEvery != 0 {
+		return nil
+	}
+	burst := in.p.FailOpBurst
+	if burst < 1 {
+		burst = 1
+	}
+	in.burst = burst - 1
+	in.st.OpsFailed++
+	return fmt.Errorf("%w: %s op %d", ErrInjected, op, in.ops)
+}
+
+// MutateBlob possibly corrupts a stored blob: a single-bit flip, or a tail
+// truncation (returning a shortened alias of b). It reports whether the
+// blob was mutated. Call it after the blob's checksum has been computed so
+// the corruption is detectable, exactly like real at-rest bit rot.
+func (in *Injector) MutateBlob(step int, b []byte) ([]byte, bool) {
+	if in == nil || len(b) == 0 {
+		return b, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if n := in.p.BitFlipOneIn; n > 0 && in.rng.Intn(n) == 0 {
+		i := in.rng.Intn(len(b))
+		b[i] ^= 1 << uint(in.rng.Intn(8))
+		in.st.BlobsCorrupted++
+		return b, true
+	}
+	if n := in.p.TruncateOneIn; n > 0 && in.rng.Intn(n) == 0 {
+		cut := 1 + in.rng.Intn(len(b))
+		in.st.BlobsCorrupted++
+		return b[:len(b)-cut], true
+	}
+	return b, false
+}
+
+// MutateFloats possibly flips one bit of a raw in-memory tensor (the
+// uncompressed store's blob form), reporting whether it did. Call it after
+// the slice's checksum has been recorded.
+func (in *Injector) MutateFloats(step int, v []float64) bool {
+	if in == nil || len(v) == 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if n := in.p.BitFlipOneIn; n > 0 && in.rng.Intn(n) == 0 {
+		flipFloatBit(v, in.rng.Intn(len(v)), uint(in.rng.Intn(64)))
+		in.st.BlobsCorrupted++
+		return true
+	}
+	return false
+}
+
+// flipFloatBit flips one bit of v[i] through the float's bit pattern.
+func flipFloatBit(v []float64, i int, bit uint) {
+	v[i] = math.Float64frombits(math.Float64bits(v[i]) ^ (1 << (bit & 63)))
+}
+
+// PanicNow reports whether the compression worker should panic at this
+// step; the caller performs the actual panic so the stack names its own
+// code path.
+func (in *Injector) PanicNow(step int) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.p.PanicAtStep >= 1 && step == in.p.PanicAtStep {
+		in.st.Panics++
+		return true
+	}
+	return false
+}

@@ -1,0 +1,124 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.OpError("write"); err != nil {
+		t.Fatal(err)
+	}
+	b := []byte{1, 2, 3}
+	if _, mutated := in.MutateBlob(0, b); mutated {
+		t.Fatal("nil injector mutated a blob")
+	}
+	if in.MutateFloats(0, []float64{1}) {
+		t.Fatal("nil injector mutated floats")
+	}
+	if in.PanicNow(3) {
+		t.Fatal("nil injector requested a panic")
+	}
+	if in.Stats().Any() {
+		t.Fatal("nil injector reported stats")
+	}
+}
+
+func TestOpErrorCadenceAndBurst(t *testing.T) {
+	in := New(Profile{Seed: 1, FailOpEvery: 3, FailOpBurst: 2})
+	var pattern []bool
+	for i := 0; i < 10; i++ {
+		err := in.OpError("write")
+		pattern = append(pattern, err != nil)
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("injected error not ErrInjected: %v", err)
+		}
+	}
+	// Ops 1,2 ok; op 3 fails and opens a burst of 1 more; then the counter
+	// resumes: 4,5 ok (ops 4,5), op 6 fails + burst, …
+	want := []bool{false, false, true, true, false, false, true, true, false, false}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("op %d: failed=%v, want %v (pattern %v)", i+1, pattern[i], want[i], pattern)
+		}
+	}
+	if got := in.Stats().OpsFailed; got != 4 {
+		t.Fatalf("OpsFailed = %d, want 4", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() ([]byte, Stats) {
+		in := New(Profile{Seed: 42, BitFlipOneIn: 2, TruncateOneIn: 3})
+		var log []byte
+		for step := 0; step < 200; step++ {
+			b := bytes.Repeat([]byte{0x5A}, 32)
+			nb, mutated := in.MutateBlob(step, b)
+			if mutated {
+				log = append(log, byte(step), byte(len(nb)))
+				log = append(log, nb...)
+			}
+		}
+		return log, in.Stats()
+	}
+	l1, s1 := run()
+	l2, s2 := run()
+	if !bytes.Equal(l1, l2) || s1 != s2 {
+		t.Fatal("same seed + same call sequence produced different faults")
+	}
+	if s1.BlobsCorrupted == 0 {
+		t.Fatal("aggressive profile corrupted nothing in 200 blobs")
+	}
+}
+
+func TestMutateBlobChangesBytesOrLength(t *testing.T) {
+	in := New(Profile{Seed: 7, BitFlipOneIn: 1})
+	orig := bytes.Repeat([]byte{0xFF}, 16)
+	b := append([]byte(nil), orig...)
+	nb, mutated := in.MutateBlob(0, b)
+	if !mutated || bytes.Equal(nb, orig) {
+		t.Fatal("BitFlipOneIn=1 must flip a bit in every blob")
+	}
+	tr := New(Profile{Seed: 7, TruncateOneIn: 1})
+	nb, mutated = tr.MutateBlob(0, append([]byte(nil), orig...))
+	if !mutated || len(nb) >= len(orig) {
+		t.Fatalf("TruncateOneIn=1 must shorten the blob (len %d of %d)", len(nb), len(orig))
+	}
+}
+
+func TestMutateFloats(t *testing.T) {
+	in := New(Profile{Seed: 3, BitFlipOneIn: 1})
+	v := []float64{1, 2, 4, 8}
+	orig := append([]float64(nil), v...)
+	if !in.MutateFloats(0, v) {
+		t.Fatal("BitFlipOneIn=1 must flip")
+	}
+	diff := 0
+	for i := range v {
+		if math.Float64bits(v[i]) != math.Float64bits(orig[i]) {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d values changed, want exactly 1", diff)
+	}
+}
+
+func TestPanicAtStep(t *testing.T) {
+	in := New(Profile{Seed: 1, PanicAtStep: 5})
+	for step := 0; step < 10; step++ {
+		if got, want := in.PanicNow(step), step == 5; got != want {
+			t.Fatalf("step %d: PanicNow = %v, want %v", step, got, want)
+		}
+	}
+	if in.Stats().Panics != 1 {
+		t.Fatalf("Panics = %d, want 1", in.Stats().Panics)
+	}
+	off := New(Profile{Seed: 1})
+	if off.PanicNow(0) || off.PanicNow(1) {
+		t.Fatal("disabled profile panicked")
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"sync"
 	"time"
 
+	"masc/internal/blobframe"
 	"masc/internal/compress"
 	"masc/internal/compress/varint"
+	"masc/internal/faultinject"
 	"masc/internal/obs"
 	"masc/internal/sparse"
 )
@@ -30,6 +32,7 @@ type CompressedStore struct {
 	jBlobs, cBlobs [][]byte
 	lastJ, lastC   []float64 // plaintext of the highest Put step
 	jLen, cLen     int       // per-step value counts
+	hintJ, hintC   int       // last sealed blob sizes, sizing the next dst
 	n              int       // highest step put; -1 before first Put
 	forwardDone    bool
 
@@ -54,7 +57,9 @@ type CompressedStore struct {
 
 	pf *prefetch // at most one in-flight reverse prefetch
 
-	ob storeObs // telemetry handles; zero value = disabled
+	quarantined map[int]bool          // steps whose blobs failed verification
+	fault       *faultinject.Injector // nil = fault-free
+	ob          storeObs              // telemetry handles; zero value = disabled
 }
 
 // fwdJob asks the worker to compress step t-1 (cur) against step t (ref).
@@ -79,9 +84,10 @@ type prefetch struct {
 func NewCompressedStore(jc, cc compress.Compressor, jPat, cPat *sparse.Pattern) *CompressedStore {
 	s := &CompressedStore{
 		jc: jc, cc: cc,
-		n:      -1,
-		plainJ: map[int][]float64{},
-		plainC: map[int][]float64{},
+		n:           -1,
+		plainJ:      map[int][]float64{},
+		plainC:      map[int][]float64{},
+		quarantined: map[int]bool{},
 	}
 	if jPat != nil {
 		s.stats.StoredBytes += int64(len(varint.EncodeCSRIndices(jPat.RowPtr, jPat.ColIdx)))
@@ -113,6 +119,52 @@ func NewCompressedStoreAsync(jc, cc compress.Compressor, jPat, cPat *sparse.Patt
 // Async reports whether the store runs the pipelined (background
 // compression) mode.
 func (s *CompressedStore) Async() bool { return s.async }
+
+// SetFault installs a fault injector: blob corruption applies after frames
+// are sealed (at-rest rot, caught by the CRC at fetch time) and worker
+// panics fire when the async pipeline compresses the configured step. Call
+// it before the first Put.
+func (s *CompressedStore) SetFault(in *faultinject.Injector) { s.fault = in }
+
+// frameDst returns the dst prefix a Compress call appends its payload to:
+// HeaderSize reserved bytes that Seal later fills in place. Capacity is
+// sized from the previous blob of the same tensor (blob sizes are stable
+// across steps), so the compressor's appends stay within one allocation —
+// the same count as the unframed path. hint is only touched on the
+// compression path, which is serialized per store (the caller in sync
+// mode, the single worker in async mode, EndForward after the drain).
+func frameDst(hint int) []byte {
+	return make([]byte, blobframe.HeaderSize, blobframe.HeaderSize+hint+hint/8+64)
+}
+
+// sealBlob seals the frame around the compressor's appended payload,
+// records the blob size as the next frameDst hint, and applies any
+// injected at-rest corruption.
+func (s *CompressedStore) sealBlob(frame []byte, kind byte, step int) []byte {
+	blobframe.Seal(frame, kind, step)
+	if kind == 'J' {
+		s.hintJ = len(frame)
+	} else {
+		s.hintC = len(frame)
+	}
+	frame, _ = s.fault.MutateBlob(step, frame)
+	return frame
+}
+
+// openBlob verifies a stored frame and returns its payload; failures
+// quarantine the step (mu must not be held).
+func (s *CompressedStore) openBlob(frame []byte, kind byte, step int, tensor string) ([]byte, error) {
+	payload, err := blobframe.Open(frame, kind, step)
+	if err == nil {
+		return payload, nil
+	}
+	s.mu.Lock()
+	s.quarantined[step] = true
+	s.stats.CorruptBlobs++
+	s.mu.Unlock()
+	s.ob.corrupt.Inc()
+	return nil, corruptErr(step, "fetch", tensor, err)
+}
 
 // bumpResident adjusts the resident-byte model; callers in async mode must
 // hold mu.
@@ -151,9 +203,13 @@ func (s *CompressedStore) worker() {
 func (s *CompressedStore) runJob(job fwdJob) {
 	defer func() {
 		if r := recover(); r != nil {
+			// A worker panic is recorded as a typed error naming the step
+			// and surfaces from the next Put, EndForward, Fetch, or Close —
+			// never swallowed.
 			s.mu.Lock()
 			if s.ferr == nil {
-				s.ferr = fmt.Errorf("jactensor: async compress: %v", r)
+				s.ferr = &StepError{Step: job.step, Op: "compress",
+					Err: fmt.Errorf("async worker panic: %v", r)}
 			}
 			s.mu.Unlock()
 		}
@@ -165,9 +221,12 @@ func (s *CompressedStore) runJob(job fwdJob) {
 		s.recycle(job.curJ, job.curC)
 		return
 	}
+	if s.fault.PanicNow(job.step) {
+		panic(fmt.Sprintf("injected worker panic at step %d", job.step))
+	}
 	start := time.Now()
-	jb := s.jc.Compress(nil, job.curJ, job.refJ)
-	cb := s.cc.Compress(nil, job.curC, job.refC)
+	jb := s.sealBlob(s.jc.Compress(frameDst(s.hintJ), job.curJ, job.refJ), 'J', job.step)
+	cb := s.sealBlob(s.cc.Compress(frameDst(s.hintC), job.curC, job.refC), 'C', job.step)
 	elapsed := time.Since(start)
 	s.mu.Lock()
 	s.jBlobs = append(s.jBlobs, jb)
@@ -221,8 +280,8 @@ func (s *CompressedStore) Put(step int, jVals, cVals []float64) error {
 	start := time.Now()
 	if step > 0 {
 		// Compress M_{t-1} with M_t as the prediction reference.
-		jb := s.jc.Compress(nil, s.lastJ, jVals)
-		cb := s.cc.Compress(nil, s.lastC, cVals)
+		jb := s.sealBlob(s.jc.Compress(frameDst(s.hintJ), s.lastJ, jVals), 'J', step-1)
+		cb := s.sealBlob(s.cc.Compress(frameDst(s.hintC), s.lastC, cVals), 'C', step-1)
 		s.jBlobs = append(s.jBlobs, jb)
 		s.cBlobs = append(s.cBlobs, cb)
 		s.stats.StoredBytes += int64(len(jb) + len(cb))
@@ -333,8 +392,8 @@ func (s *CompressedStore) EndForward() error {
 		return fmt.Errorf("jactensor: EndForward with no steps")
 	}
 	start := time.Now()
-	jb := s.jc.Compress(nil, s.lastJ, nil)
-	cb := s.cc.Compress(nil, s.lastC, nil)
+	jb := s.sealBlob(s.jc.Compress(frameDst(s.hintJ), s.lastJ, nil), 'J', s.n)
+	cb := s.sealBlob(s.cc.Compress(frameDst(s.hintC), s.lastC, nil), 'C', s.n)
 	s.jBlobs = append(s.jBlobs, jb)
 	s.cBlobs = append(s.cBlobs, cb)
 	s.stats.StoredBytes += int64(len(jb) + len(cb))
@@ -373,8 +432,8 @@ func (s *CompressedStore) endForwardAsync() error {
 		return s.ferr
 	}
 	start := time.Now()
-	jb := s.jc.Compress(nil, s.lastJ, nil)
-	cb := s.cc.Compress(nil, s.lastC, nil)
+	jb := s.sealBlob(s.jc.Compress(frameDst(s.hintJ), s.lastJ, nil), 'J', s.n)
+	cb := s.sealBlob(s.cc.Compress(frameDst(s.hintC), s.lastC, nil), 'C', s.n)
 	s.jBlobs = append(s.jBlobs, jb)
 	s.cBlobs = append(s.cBlobs, cb)
 	s.stats.StoredBytes += int64(len(jb) + len(cb))
@@ -394,16 +453,28 @@ func (s *CompressedStore) endForwardAsync() error {
 // background).
 func (s *CompressedStore) decompressStep(step int, refJ, refC []float64, phase string) ([]float64, []float64, error) {
 	s.mu.Lock()
+	if s.quarantined[step] {
+		s.mu.Unlock()
+		return nil, nil, corruptErr(step, "fetch", "", errAlreadyQuarantined)
+	}
 	jv := takeBuf(&s.poolJ, s.jLen)
 	cv := takeBuf(&s.poolC, s.cLen)
 	jBlob, cBlob := s.jBlobs[step], s.cBlobs[step]
 	s.mu.Unlock()
-	start := time.Now()
-	if err := s.jc.Decompress(jv, jBlob, refJ); err != nil {
-		return nil, nil, fmt.Errorf("jactensor: step %d J: %w", step, err)
+	jPayload, err := s.openBlob(jBlob, 'J', step, "J")
+	if err != nil {
+		return nil, nil, err
 	}
-	if err := s.cc.Decompress(cv, cBlob, refC); err != nil {
-		return nil, nil, fmt.Errorf("jactensor: step %d C: %w", step, err)
+	cPayload, err := s.openBlob(cBlob, 'C', step, "C")
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	if err := s.jc.Decompress(jv, jPayload, refJ); err != nil {
+		return nil, nil, s.decodeFailed(step, "J", err)
+	}
+	if err := s.cc.Decompress(cv, cPayload, refC); err != nil {
+		return nil, nil, s.decodeFailed(step, "C", err)
 	}
 	elapsed := time.Since(start)
 	s.mu.Lock()
@@ -415,6 +486,19 @@ func (s *CompressedStore) decompressStep(step int, refJ, refC []float64, phase s
 			Key: "bytes", N: int64(len(jBlob) + len(cBlob))})
 	}
 	return jv, cv, nil
+}
+
+var errAlreadyQuarantined = fmt.Errorf("step is quarantined")
+
+// decodeFailed records a decode failure (the frame verified, but the codec
+// rejected the payload) as a quarantined, degradable corruption.
+func (s *CompressedStore) decodeFailed(step int, tensor string, err error) error {
+	s.mu.Lock()
+	s.quarantined[step] = true
+	s.stats.CorruptBlobs++
+	s.mu.Unlock()
+	s.ob.corrupt.Inc()
+	return corruptErr(step, "fetch", tensor, err)
 }
 
 // maybePrefetch schedules a background decompression of step-1 using
@@ -433,7 +517,10 @@ func (s *CompressedStore) maybePrefetch(step int) {
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
-				pf.err = fmt.Errorf("jactensor: prefetch step %d: %v", pf.step, r)
+				// A prefetch panic becomes a typed error the owning Fetch
+				// reports, naming the step.
+				pf.err = &StepError{Step: pf.step, Op: "prefetch",
+					Err: fmt.Errorf("panic: %v", r)}
 			}
 			close(pf.done)
 		}()
@@ -493,14 +580,25 @@ func (s *CompressedStore) Fetch(step int) ([]float64, []float64, error) {
 		}
 		refC = s.plainC[step+1]
 	}
+	if s.quarantined[step] {
+		return nil, nil, corruptErr(step, "fetch", "", errAlreadyQuarantined)
+	}
+	jPayload, err := s.openBlob(s.jBlobs[step], 'J', step, "J")
+	if err != nil {
+		return nil, nil, err
+	}
+	cPayload, err := s.openBlob(s.cBlobs[step], 'C', step, "C")
+	if err != nil {
+		return nil, nil, err
+	}
 	start := time.Now()
 	jv := make([]float64, s.jLen)
 	cv := make([]float64, s.cLen)
-	if err := s.jc.Decompress(jv, s.jBlobs[step], refJ); err != nil {
-		return nil, nil, fmt.Errorf("jactensor: step %d J: %w", step, err)
+	if err := s.jc.Decompress(jv, jPayload, refJ); err != nil {
+		return nil, nil, s.decodeFailed(step, "J", err)
 	}
-	if err := s.cc.Decompress(cv, s.cBlobs[step], refC); err != nil {
-		return nil, nil, fmt.Errorf("jactensor: step %d C: %w", step, err)
+	if err := s.cc.Decompress(cv, cPayload, refC); err != nil {
+		return nil, nil, s.decodeFailed(step, "C", err)
 	}
 	elapsed := time.Since(start)
 	s.stats.DecompressTime += elapsed
@@ -518,6 +616,10 @@ func (s *CompressedStore) Fetch(step int) ([]float64, []float64, error) {
 
 func (s *CompressedStore) fetchAsync(step int) ([]float64, []float64, error) {
 	s.mu.Lock()
+	if err := s.ferr; err != nil {
+		s.mu.Unlock()
+		return nil, nil, err
+	}
 	if !s.forwardDone || !s.drained {
 		s.mu.Unlock()
 		return nil, nil, fmt.Errorf("jactensor: Fetch before EndForward")
@@ -574,6 +676,32 @@ func (s *CompressedStore) fetchAsync(step int) ([]float64, []float64, error) {
 	s.maybePrefetch(step)
 	s.mu.Unlock()
 	return jv, cv, nil
+}
+
+// Repair implements Repairer: it installs recomputed plaintext for a
+// quarantined step, which both serves later fetches of the step and — the
+// part that keeps the chained store alive — restores the decompression
+// reference step-1 needs.
+func (s *CompressedStore) Repair(step int, jVals, cVals []float64) {
+	if s.async {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	var jv, cv []float64
+	if s.async {
+		jv = takeBuf(&s.poolJ, len(jVals))
+		cv = takeBuf(&s.poolC, len(cVals))
+	} else {
+		jv = make([]float64, len(jVals))
+		cv = make([]float64, len(cVals))
+	}
+	copy(jv, jVals)
+	copy(cv, cVals)
+	s.plainJ[step] = jv
+	s.plainC[step] = cv
+	s.bumpResident(int64(8 * (len(jv) + len(cv))))
+	delete(s.quarantined, step)
+	s.stats.Repairs++
 }
 
 // Release implements Store.

@@ -2,25 +2,35 @@ package jactensor
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"time"
 
+	"masc/internal/blobframe"
 	"masc/internal/diskio"
+	"masc/internal/faultinject"
 	"masc/internal/obs"
 )
 
 // DiskStore spills every step to a (bandwidth-throttled) spill file — the
 // "save Jacobians to disk" strategy the paper's Figure 7 shows losing to
-// in-memory compression by ~6×.
+// in-memory compression by ~6×. Each tensor is written as a blobframe
+// record (versioned header + CRC32C), so a flipped bit on the device, a
+// truncated write, or a read at the wrong offset surfaces as a typed,
+// degradable corruption error at fetch time instead of silently wrong
+// sensitivities.
 type DiskStore struct {
 	spill        *diskio.Store
 	jOffs, cOffs []int64
 	jLen, cLen   int
 	forwardDone  bool
+	quarantined  map[int]bool
+	repJ, repC   map[int][]float64 // repaired plaintext, keyed by step
 	stats        Stats
 	scratch      []byte
 	jBuf, cBuf   []float64
+	fault        *faultinject.Injector
 	ob           storeObs
 }
 
@@ -43,25 +53,46 @@ func NewDiskStore(dir string, bytesPerSec float64) (*DiskStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DiskStore{spill: sp}, nil
+	return &DiskStore{
+		spill:       sp,
+		quarantined: map[int]bool{},
+		repJ:        map[int][]float64{},
+		repC:        map[int][]float64{},
+	}, nil
 }
 
-func (s *DiskStore) encode(vals []float64) []byte {
-	need := 8 * len(vals)
+// SetFault installs a fault injector. Blob corruption applies to framed
+// records after sealing (modelling at-rest rot); op faults apply to the
+// underlying spill device, where the retry policy fights them first.
+func (s *DiskStore) SetFault(in *faultinject.Injector) {
+	s.fault = in
+	s.spill.SetFault(in)
+}
+
+// SetRetryPolicy forwards to the spill device.
+func (s *DiskStore) SetRetryPolicy(p diskio.RetryPolicy) { s.spill.SetRetryPolicy(p) }
+
+// SpillPath exposes the spill file location for tests that damage it.
+func (s *DiskStore) SpillPath() string { return s.spill.Path() }
+
+// encode frames vals as a sealed blobframe record in the scratch buffer.
+func (s *DiskStore) encode(vals []float64, kind byte, step int) []byte {
+	need := blobframe.HeaderSize + 8*len(vals)
 	if cap(s.scratch) < need {
 		s.scratch = make([]byte, need)
 	}
 	buf := s.scratch[:need]
 	for i, v := range vals {
-		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		binary.LittleEndian.PutUint64(buf[blobframe.HeaderSize+8*i:], math.Float64bits(v))
 	}
+	blobframe.Seal(buf, kind, step)
 	return buf
 }
 
 // Put implements Store.
 func (s *DiskStore) Put(step int, jVals, cVals []float64) error {
 	if s.forwardDone {
-		return fmt.Errorf("jactensor: Put after EndForward")
+		return &StepError{Step: step, Op: "put", Err: errors.New("Put after EndForward")}
 	}
 	if step != len(s.jOffs) {
 		return fmt.Errorf("jactensor: put step %d out of order (expected %d)", step, len(s.jOffs))
@@ -70,12 +101,21 @@ func (s *DiskStore) Put(step int, jVals, cVals []float64) error {
 		s.jLen, s.cLen = len(jVals), len(cVals)
 	}
 	start := time.Now()
-	off, err := s.spill.Append(s.encode(jVals))
+	write := func(vals []float64, kind byte, tensor string) (int64, error) {
+		rec := s.encode(vals, kind, step)
+		rec, _ = s.fault.MutateBlob(step, rec)
+		off, err := s.spill.Append(rec)
+		if err != nil {
+			return 0, &StepError{Step: step, Op: "put", Tensor: tensor, Err: err}
+		}
+		return off, nil
+	}
+	off, err := write(jVals, 'J', "J")
 	if err != nil {
 		return err
 	}
 	s.jOffs = append(s.jOffs, off)
-	off, err = s.spill.Append(s.encode(cVals))
+	off, err = write(cVals, 'C', "C")
 	if err != nil {
 		return err
 	}
@@ -103,34 +143,58 @@ func (s *DiskStore) EndForward() error {
 	return nil
 }
 
-// Fetch implements Store.
+// Fetch implements Store. Every record is verified against its frame
+// (magic, kind, step, length, CRC32C) before decoding; verification or
+// read failures quarantine the step and return a degradable *StepError.
 func (s *DiskStore) Fetch(step int) ([]float64, []float64, error) {
+	if !s.forwardDone {
+		return nil, nil, &StepError{Step: step, Op: "fetch", Err: errors.New("Fetch before EndForward")}
+	}
 	if step < 0 || step >= len(s.jOffs) {
 		return nil, nil, fmt.Errorf("jactensor: fetch step %d of %d", step, len(s.jOffs))
+	}
+	if j, ok := s.repJ[step]; ok {
+		s.ob.fetches.Inc()
+		return j, s.repC[step], nil
+	}
+	if s.quarantined[step] {
+		return nil, nil, corruptErr(step, "fetch", "", errors.New("step is quarantined"))
 	}
 	start := time.Now()
 	if len(s.jBuf) != s.jLen {
 		s.jBuf = make([]float64, s.jLen)
 		s.cBuf = make([]float64, s.cLen)
 	}
-	read := func(dst []float64, off int64) error {
-		need := 8 * len(dst)
+	read := func(dst []float64, off int64, kind byte, tensor string) error {
+		need := blobframe.HeaderSize + 8*len(dst)
 		if cap(s.scratch) < need {
 			s.scratch = make([]byte, need)
 		}
 		raw := s.scratch[:need]
 		if err := s.spill.ReadAt(raw, off); err != nil {
-			return err
+			// A read failure here (after retries) means the record cannot
+			// be produced — degradable, like corruption.
+			s.quarantined[step] = true
+			s.stats.CorruptBlobs++
+			s.ob.corrupt.Inc()
+			return &StepError{Step: step, Op: "fetch", Tensor: tensor, Degradable: true, Err: err}
+		}
+		payload, err := blobframe.Open(raw, kind, step)
+		if err != nil {
+			s.quarantined[step] = true
+			s.stats.CorruptBlobs++
+			s.ob.corrupt.Inc()
+			return corruptErr(step, "fetch", tensor, err)
 		}
 		for i := range dst {
-			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
 		}
 		return nil
 	}
-	if err := read(s.jBuf, s.jOffs[step]); err != nil {
+	if err := read(s.jBuf, s.jOffs[step], 'J', "J"); err != nil {
 		return nil, nil, err
 	}
-	if err := read(s.cBuf, s.cOffs[step]); err != nil {
+	if err := read(s.cBuf, s.cOffs[step], 'C', "C"); err != nil {
 		return nil, nil, err
 	}
 	d := time.Since(start)
@@ -145,15 +209,33 @@ func (s *DiskStore) Fetch(step int) ([]float64, []float64, error) {
 	return s.jBuf, s.cBuf, nil
 }
 
-// Release implements Store; the disk store reuses one fetch buffer.
-func (s *DiskStore) Release(int) {}
+// Repair implements Repairer: the recomputed plaintext shadows the damaged
+// on-disk record for any later fetch of the step.
+func (s *DiskStore) Repair(step int, jVals, cVals []float64) {
+	if step < 0 || step >= len(s.jOffs) {
+		return
+	}
+	s.repJ[step] = append([]float64(nil), jVals...)
+	s.repC[step] = append([]float64(nil), cVals...)
+	delete(s.quarantined, step)
+	s.stats.Repairs++
+}
+
+// Release implements Store; the disk store reuses one fetch buffer, and
+// drops any repaired plaintext for the step.
+func (s *DiskStore) Release(step int) {
+	delete(s.repJ, step)
+	delete(s.repC, step)
+}
 
 // Stats implements Store.
 func (s *DiskStore) Stats() Stats {
 	st := s.stats
 	st.IOTime = s.spill.IOTime()
+	st.DiskRetries = s.spill.Retries()
 	return st
 }
 
-// Close implements Store, removing the spill file.
+// Close implements Store, removing the spill file. Idempotent, like the
+// spill store underneath.
 func (s *DiskStore) Close() error { return s.spill.Close() }

@@ -2,6 +2,7 @@ package jactensor
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -170,8 +171,12 @@ func TestAsyncWorkerErrorEveryPosition(t *testing.T) {
 		if err == nil {
 			err = st.EndForward()
 		}
-		if err == nil || !strings.Contains(err.Error(), "async compress") {
-			t.Fatalf("k=%d: injected worker failure did not surface: %v", k, err)
+		var se *StepError
+		if err == nil || !errors.As(err, &se) {
+			t.Fatalf("k=%d: injected worker failure did not surface as *StepError: %v", k, err)
+		}
+		if se.Step != k-1 || !strings.Contains(se.Error(), "panic") {
+			t.Fatalf("k=%d: failure does not name the poisoned step: %v", k, err)
 		}
 		if cerr := st.Close(); cerr == nil {
 			t.Fatalf("k=%d: Close must report the recorded failure", k)

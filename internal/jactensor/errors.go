@@ -1,0 +1,59 @@
+package jactensor
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt classifies integrity failures: a stored blob whose checksum,
+// frame header, or decode no longer matches what was written. Match with
+// errors.Is(err, ErrCorrupt).
+var ErrCorrupt = errors.New("jactensor: stored blob failed integrity verification")
+
+// StepError is a storage failure attributed to one step of the tensor, so a
+// multi-hour run that dies (or degrades) names exactly which step went bad.
+type StepError struct {
+	Step   int
+	Op     string // "put", "fetch", "compress", "prefetch"
+	Tensor string // "J", "C", or "" when not tensor-specific
+	// Corrupt marks an integrity failure (errors.Is(err, ErrCorrupt)).
+	Corrupt bool
+	// Degradable marks errors the reverse sweep may recover from by
+	// recomputing the step (fetch-side corruption or read failures).
+	// Put-side failures are not degradable: the forward pass must abort.
+	Degradable bool
+	Err        error
+}
+
+func (e *StepError) Error() string {
+	tensor := ""
+	if e.Tensor != "" {
+		tensor = " tensor " + e.Tensor
+	}
+	return fmt.Sprintf("jactensor: %s step %d%s: %v", e.Op, e.Step, tensor, e.Err)
+}
+
+func (e *StepError) Unwrap() error { return e.Err }
+
+// Is lets errors.Is(err, ErrCorrupt) match corruption without a sentinel in
+// the wrap chain.
+func (e *StepError) Is(target error) bool { return target == ErrCorrupt && e.Corrupt }
+
+// FailedStep returns the step the failure is attributed to; the chaos
+// harness uses it (via an interface) to assert that every loud failure is
+// diagnosable.
+func (e *StepError) FailedStep() int { return e.Step }
+
+// corruptErr builds the degradable integrity-failure form of StepError.
+func corruptErr(step int, op, tensor string, err error) *StepError {
+	return &StepError{Step: step, Op: op, Tensor: tensor, Corrupt: true, Degradable: true, Err: err}
+}
+
+// Repairer is the optional store capability the adjoint sweep uses after
+// recomputing a damaged step: Repair installs known-good plaintext for the
+// step so later fetches (and, for the chained compressed store, step-1's
+// decompression reference) come from the repaired values instead of the
+// quarantined blob.
+type Repairer interface {
+	Repair(step int, jVals, cVals []float64)
+}

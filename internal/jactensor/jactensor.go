@@ -9,6 +9,9 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"masc/internal/blobframe"
+	"masc/internal/faultinject"
 )
 
 // ErrOutOfOrder reports a Fetch that violates the reverse-sequential
@@ -28,6 +31,14 @@ type Stats struct {
 	// compression queue (async stores only): the residue of compression
 	// cost that the pipeline failed to hide behind the solve.
 	StallTime time.Duration
+	// CorruptBlobs counts fetches that failed integrity verification and
+	// were quarantined; Repairs counts quarantined steps later healed with
+	// recomputed plaintext.
+	CorruptBlobs int
+	Repairs      int
+	// DiskRetries counts transient spill-I/O attempts absorbed by the
+	// retry policy (disk store only).
+	DiskRetries int64
 }
 
 // Store retains per-step (J values, C values) pairs written forward and
@@ -50,16 +61,27 @@ type Store interface {
 }
 
 // MemStore keeps every step uncompressed in memory — the fastest and most
-// memory-hungry strategy (the paper's Figure 1 overhead).
+// memory-hungry strategy (the paper's Figure 1 overhead). Each stored slice
+// carries a CRC32C sidecar computed at Put and verified at Fetch, so in-RAM
+// bit rot (or a fault injector standing in for it) is detected instead of
+// silently propagated into the sensitivities.
 type MemStore struct {
-	j, c     [][]float64
-	stats    Stats
-	resident int64
-	ob       storeObs
+	j, c         [][]float64
+	jSums, cSums []uint32
+	forwardDone  bool
+	quarantined  map[int]bool
+	stats        Stats
+	resident     int64
+	fault        *faultinject.Injector
+	ob           storeObs
 }
 
 // NewMemStore returns an empty in-memory store.
-func NewMemStore() *MemStore { return &MemStore{} }
+func NewMemStore() *MemStore { return &MemStore{quarantined: map[int]bool{}} }
+
+// SetFault installs a fault injector that corrupts stored tensors after
+// their checksums are recorded. nil injects nothing.
+func (s *MemStore) SetFault(in *faultinject.Injector) { s.fault = in }
 
 // bumpResident adjusts the resident-byte model and its running peak —
 // the same accounting CompressedStore and DiskStore use, so PeakResident
@@ -74,11 +96,22 @@ func (s *MemStore) bumpResident(delta int64) {
 
 // Put implements Store.
 func (s *MemStore) Put(step int, jVals, cVals []float64) error {
+	if s.forwardDone {
+		return &StepError{Step: step, Op: "put", Err: errors.New("Put after EndForward")}
+	}
 	if step != len(s.j) {
 		return fmt.Errorf("jactensor: put step %d out of order (have %d)", step, len(s.j))
 	}
-	s.j = append(s.j, append([]float64(nil), jVals...))
-	s.c = append(s.c, append([]float64(nil), cVals...))
+	jCopy := append([]float64(nil), jVals...)
+	cCopy := append([]float64(nil), cVals...)
+	s.jSums = append(s.jSums, blobframe.ChecksumFloat64(jCopy))
+	s.cSums = append(s.cSums, blobframe.ChecksumFloat64(cCopy))
+	// Fault injection models bit rot that happens after the checksum was
+	// recorded — exactly the window the sidecar exists to cover.
+	s.fault.MutateFloats(step, jCopy)
+	s.fault.MutateFloats(step, cCopy)
+	s.j = append(s.j, jCopy)
+	s.c = append(s.c, cCopy)
 	s.stats.Steps++
 	s.stats.RawBytes += int64(8 * (len(jVals) + len(cVals)))
 	s.bumpResident(int64(8 * (len(jVals) + len(cVals))))
@@ -89,21 +122,59 @@ func (s *MemStore) Put(step int, jVals, cVals []float64) error {
 
 // EndForward implements Store.
 func (s *MemStore) EndForward() error {
+	s.forwardDone = true
 	s.stats.StoredBytes = s.stats.RawBytes
 	s.ob.storedBytes.Add(float64(s.stats.StoredBytes))
 	return nil
 }
 
-// Fetch implements Store.
+// Fetch implements Store. Each fetch re-verifies the step's CRC32C sidecar;
+// a mismatch quarantines the step and returns a degradable *StepError so
+// the adjoint sweep can fall back to recomputation.
 func (s *MemStore) Fetch(step int) ([]float64, []float64, error) {
+	if !s.forwardDone {
+		return nil, nil, &StepError{Step: step, Op: "fetch", Err: errors.New("Fetch before EndForward")}
+	}
 	if step < 0 || step >= len(s.j) {
 		return nil, nil, fmt.Errorf("jactensor: fetch step %d of %d", step, len(s.j))
 	}
 	if s.j[step] == nil {
 		return nil, nil, fmt.Errorf("jactensor: step %d already released", step)
 	}
+	if s.quarantined[step] {
+		return nil, nil, corruptErr(step, "fetch", "", errors.New("step is quarantined"))
+	}
+	if got := blobframe.ChecksumFloat64(s.j[step]); got != s.jSums[step] {
+		return nil, nil, s.quarantine(step, "J", got, s.jSums[step])
+	}
+	if got := blobframe.ChecksumFloat64(s.c[step]); got != s.cSums[step] {
+		return nil, nil, s.quarantine(step, "C", got, s.cSums[step])
+	}
 	s.ob.fetches.Inc()
 	return s.j[step], s.c[step], nil
+}
+
+// quarantine marks a step corrupt, counts it, and builds the typed error.
+func (s *MemStore) quarantine(step int, tensor string, got, want uint32) error {
+	s.quarantined[step] = true
+	s.stats.CorruptBlobs++
+	s.ob.corrupt.Inc()
+	return corruptErr(step, "fetch", tensor,
+		fmt.Errorf("checksum %#08x, want %#08x", got, want))
+}
+
+// Repair implements Repairer: it installs recomputed plaintext for a
+// quarantined step and refreshes the sidecar.
+func (s *MemStore) Repair(step int, jVals, cVals []float64) {
+	if step < 0 || step >= len(s.j) {
+		return
+	}
+	s.j[step] = append([]float64(nil), jVals...)
+	s.c[step] = append([]float64(nil), cVals...)
+	s.jSums[step] = blobframe.ChecksumFloat64(s.j[step])
+	s.cSums[step] = blobframe.ChecksumFloat64(s.c[step])
+	delete(s.quarantined, step)
+	s.stats.Repairs++
 }
 
 // Release implements Store.

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"masc/internal/blobframe"
 	"masc/internal/compress"
 	"masc/internal/compress/chimpz"
 	"masc/internal/compress/gzipz"
@@ -408,8 +409,11 @@ func TestDiskStoreThrottleAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	stats := st.Stats()
-	if stats.StoredBytes != stats.RawBytes {
-		t.Fatalf("disk store stored %d, want raw %d", stats.StoredBytes, stats.RawBytes)
+	// Each step spills two blobframe records (J and C), each carrying a
+	// fixed header on top of the raw payload.
+	wantStored := stats.RawBytes + int64(stats.Steps*2*blobframe.HeaderSize)
+	if stats.StoredBytes != wantStored {
+		t.Fatalf("disk store stored %d, want raw+frames %d", stats.StoredBytes, wantStored)
 	}
 	wantMin := float64(stats.RawBytes) / 10e6
 	if stats.IOTime.Seconds() < wantMin*0.9 {

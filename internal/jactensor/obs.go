@@ -23,6 +23,7 @@ type storeObs struct {
 	stallSec      *obs.Counter
 	prefetchHits  *obs.Counter
 	prefetchMiss  *obs.Counter
+	corrupt       *obs.Counter
 	queueDepth    *obs.Gauge
 	resident      *obs.Gauge
 	peakResident  *obs.Gauge
@@ -48,6 +49,7 @@ func newStoreObs(o *obs.Observer, kind string) storeObs {
 		stallSec:      reg.Counter("masc_store_stall_seconds_total", "Solver-visible time Put blocked on a full compression queue.", lbl...),
 		prefetchHits:  reg.Counter("masc_store_prefetch_hits_total", "Reverse-sweep fetches served by the background prefetch.", lbl...),
 		prefetchMiss:  reg.Counter("masc_store_prefetch_misses_total", "Reverse-sweep fetches that decompressed in the foreground.", lbl...),
+		corrupt:       reg.Counter("masc_store_corrupt_total", "Fetches that failed blob integrity verification and were quarantined.", lbl...),
 		queueDepth:    reg.Gauge("masc_store_queue_depth", "Jobs waiting in the async compression queue.", lbl...),
 		resident:      reg.Gauge("masc_store_resident_bytes", "Modelled resident bytes held by the store right now.", lbl...),
 		peakResident:  reg.Gauge("masc_store_peak_resident_bytes", "Peak modelled resident bytes over the run.", lbl...),

@@ -1,0 +1,78 @@
+package transient
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"masc/internal/sparse"
+)
+
+// TestStopReturnsPartialResult pins the graceful-shutdown contract: a Stop
+// that fires after k accepted steps returns the partial trajectory (every
+// accepted step captured, none half-done) and an error wrapping
+// ErrInterrupted.
+func TestStopReturnsPartialResult(t *testing.T) {
+	ckt, _ := buildRC(t, 1e3, 1e-6)
+	for _, k := range []int{0, 1, 3} {
+		captured := 0
+		res, err := Run(ckt, Options{
+			TStop: 1e-4, TStep: 1e-5,
+			Stop: func() bool { return captured > k },
+			Capture: func(step int, _ float64, _ []float64, _, _ *sparse.Matrix) error {
+				captured++
+				return nil
+			},
+		})
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("k=%d: want ErrInterrupted, got %v", k, err)
+		}
+		if res == nil {
+			t.Fatalf("k=%d: partial result must be returned alongside ErrInterrupted", k)
+		}
+		// Every recorded step was captured; nothing was recorded past the stop.
+		if len(res.Times) != captured {
+			t.Fatalf("k=%d: recorded %d steps but captured %d", k, len(res.Times), captured)
+		}
+		if captured != k+1 {
+			t.Fatalf("k=%d: run did not stop at the step boundary: %d captures", k, captured)
+		}
+	}
+}
+
+// TestStopNeverFiringIsHarmless: a Stop hook that always returns false must
+// not perturb the run.
+func TestStopNeverFiringIsHarmless(t *testing.T) {
+	ckt, _ := buildRC(t, 1e3, 1e-6)
+	res, err := Run(ckt, Options{TStop: 1e-4, TStep: 1e-5, Stop: func() bool { return false }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps() != 10 {
+		t.Fatalf("steps = %d, want 10", res.Steps())
+	}
+}
+
+// TestCaptureErrorAbortsRun: a failing Capture (e.g. disk full in the
+// storage backend) must abort the run with a wrapped error naming the step.
+func TestCaptureErrorAbortsRun(t *testing.T) {
+	ckt, _ := buildRC(t, 1e3, 1e-6)
+	boom := errors.New("spill device gone")
+	for _, failAt := range []int{0, 2, 5} {
+		_, err := Run(ckt, Options{
+			TStop: 1e-4, TStep: 1e-5,
+			Capture: func(step int, _ float64, _ []float64, _, _ *sparse.Matrix) error {
+				if step == failAt {
+					return boom
+				}
+				return nil
+			},
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("failAt=%d: capture error not propagated: %v", failAt, err)
+		}
+		if !strings.Contains(err.Error(), "capture step") {
+			t.Fatalf("failAt=%d: error does not name the capture step: %v", failAt, err)
+		}
+	}
+}

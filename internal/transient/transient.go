@@ -52,8 +52,17 @@ type Options struct {
 	// Capture, if non-nil, is called after every accepted solution:
 	// step 0 is the DC operating point (J is the DC Jacobian, h=0), and
 	// step i ≥ 1 carries J = G + C/h at the converged state. The matrices
-	// are reused between calls — the callee must copy what it keeps.
-	Capture func(step int, t float64, x []float64, J, C *sparse.Matrix)
+	// are reused between calls — the callee must copy what it keeps. A
+	// non-nil error aborts the run: storage failures (disk full, a poisoned
+	// compression pipeline) surface here instead of panicking mid-solve.
+	Capture func(step int, t float64, x []float64, J, C *sparse.Matrix) error
+
+	// Stop, if non-nil, is polled at every step boundary. When it returns
+	// true the run halts cleanly: Run returns the partial trajectory
+	// accepted so far together with an error wrapping ErrInterrupted. This
+	// is the hook for SIGINT handling — the solver never observes a signal
+	// mid-Newton, only between steps.
+	Stop func() bool
 
 	// Obs, if non-nil, receives per-step telemetry: the
 	// masc_transient_* metric families and one trace event per solve
@@ -97,6 +106,11 @@ func (o *Options) withDefaults() Options {
 	}
 	return out
 }
+
+// ErrInterrupted is wrapped into Run's error when Options.Stop requests a
+// halt. The partial Result is still returned alongside it: every step
+// recorded in it was fully accepted and captured before the stop.
+var ErrInterrupted = errors.New("transient: interrupted")
 
 // Method is a numerical integration scheme.
 type Method string
@@ -373,7 +387,9 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 	ckt.AddGmin(s.J, opt.Gmin)
 	record(opt.TStart, 0, x)
 	if opt.Capture != nil {
-		opt.Capture(0, opt.TStart, x, s.J, s.ev.C)
+		if err := opt.Capture(0, opt.TStart, x, s.J, s.ev.C); err != nil {
+			return nil, fmt.Errorf("transient: capture step 0: %w", err)
+		}
 	}
 	qPrev := append([]float64(nil), s.ev.Q...)
 	// The trapezoidal residual needs the previous step's static currents.
@@ -387,6 +403,10 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 	xPrev := append([]float64(nil), x...)
 	hPrev := 0.0
 	for step := 1; t < opt.TStop-1e-12*opt.TStop; {
+		if opt.Stop != nil && opt.Stop() {
+			return res, fmt.Errorf("transient: stopped at t=%g after %d accepted steps: %w",
+				t, res.Stats.StepsAccepted, ErrInterrupted)
+		}
 		if t+h > opt.TStop {
 			h = opt.TStop - t
 		}
@@ -483,7 +503,9 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 				Key: "iters", N: int64(iters)})
 		}
 		if opt.Capture != nil {
-			opt.Capture(step, tNext, x, s.J, s.ev.C)
+			if err := opt.Capture(step, tNext, x, s.J, s.ev.C); err != nil {
+				return nil, fmt.Errorf("transient: capture step %d: %w", step, err)
+			}
 		}
 		copy(qPrev, s.ev.Q)
 		copy(fPrev, s.ev.F)

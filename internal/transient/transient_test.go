@@ -179,13 +179,14 @@ func TestCaptureHook(t *testing.T) {
 	var hGot float64
 	res, err := Run(ckt, Options{
 		TStop: 1e-4, TStep: 1e-5,
-		Capture: func(step int, tm float64, x []float64, J, C *sparse.Matrix) {
+		Capture: func(step int, tm float64, x []float64, J, C *sparse.Matrix) error {
 			steps = append(steps, step)
 			if step == 3 {
 				lastJ = J.Clone()
 				lastC = C.Clone()
 			}
 			hGot = 1e-5
+			return nil
 		},
 	})
 	if err != nil {

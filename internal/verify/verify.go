@@ -299,12 +299,13 @@ func verifyStores(c *Case, opt Options, rep *CaseReport) {
 	topt := bt.SimBase.Transient
 	topt.TStep = bt.SimBase.TStep
 	topt.TStop = bt.SimBase.TStop
-	topt.Capture = func(step int, tm float64, x []float64, J, C *sparse.Matrix) {
+	topt.Capture = func(step int, tm float64, x []float64, J, C *sparse.Matrix) error {
 		for _, s := range stores {
 			if err := s.st.Put(step, J.Val, C.Val); err != nil {
-				panic(fmt.Sprintf("capture into %s: %v", s.name, err))
+				return fmt.Errorf("capture into %s: %w", s.name, err)
 			}
 		}
+		return nil
 	}
 	tr, err := transient.Run(ckt, topt)
 	if err != nil {

@@ -111,10 +111,11 @@ func Build(name string, scale float64) (*Dataset, error) {
 // tensor capture wired into store.
 func (d *Dataset) CaptureInto(store jactensor.Store) transient.Options {
 	opt := d.Tran
-	opt.Capture = func(step int, _ float64, _ []float64, J, C *sparse.Matrix) {
+	opt.Capture = func(step int, _ float64, _ []float64, J, C *sparse.Matrix) error {
 		if err := store.Put(step, J.Val, C.Val); err != nil {
-			panic(fmt.Sprintf("workload: tensor capture: %v", err))
+			return fmt.Errorf("workload: tensor capture: %w", err)
 		}
+		return nil
 	}
 	return opt
 }

@@ -33,6 +33,7 @@ import (
 	"masc/internal/circuit"
 	"masc/internal/compress/masczip"
 	"masc/internal/device"
+	"masc/internal/faultinject"
 	"masc/internal/jactensor"
 	"masc/internal/netlist"
 	"masc/internal/obs"
@@ -86,7 +87,20 @@ type (
 	// CodecStats is the predictor-selection statistics of one masczip
 	// encoder (J or C), available via SimOptions.CollectCodecStats.
 	CodecStats = masczip.Stats
+
+	// FaultInjector deterministically corrupts blobs and fails I/O for
+	// robustness testing (SimOptions.Fault). A nil injector is inert.
+	FaultInjector = faultinject.Injector
+	// FaultProfile configures what a FaultInjector breaks and how often.
+	FaultProfile = faultinject.Profile
 )
+
+// NewFaultInjector builds a deterministic fault injector from a profile.
+func NewFaultInjector(p FaultProfile) *FaultInjector { return faultinject.New(p) }
+
+// ErrInterrupted is wrapped into Simulate/RunTransient errors when
+// TransientOptions.Stop requested a halt (e.g. on SIGINT).
+var ErrInterrupted = transient.ErrInterrupted
 
 // Integration schemes (set SimOptions.Transient.Method).
 const (
@@ -166,6 +180,13 @@ type SimOptions struct {
 	// statistics (Run.CodecStatsJ/C); MASC storage strategies only.
 	// Adds one branch plus a few counter increments per element.
 	CollectCodecStats bool
+	// Fault, if non-nil, wires a deterministic fault injector into the
+	// selected storage backend: blob bit rot, spill I/O errors, pipeline
+	// worker panics. Testing/chaos use only; nil costs nothing.
+	Fault *FaultInjector
+	// DisableDegrade turns off the reverse sweep's recompute-on-corruption
+	// fallback: a corrupt blob then fails the run instead of degrading.
+	DisableDegrade bool
 }
 
 // Run bundles everything a sensitivity simulation produces.
@@ -238,17 +259,25 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 			so.SetObserver(opt.Obs)
 		}
 	}
+	if store != nil && opt.Fault != nil {
+		if sf, ok := store.(interface{ SetFault(*faultinject.Injector) }); ok {
+			sf.SetFault(opt.Fault)
+		}
+	}
 	topt.Obs = opt.Obs
 
 	if store != nil {
 		prev := topt.Capture
-		topt.Capture = func(step int, tm float64, x []float64, J, C *sparse.Matrix) {
+		topt.Capture = func(step int, tm float64, x []float64, J, C *sparse.Matrix) error {
 			if prev != nil {
-				prev(step, tm, x, J, C)
+				if err := prev(step, tm, x, J, C); err != nil {
+					return err
+				}
 			}
 			if err := store.Put(step, J.Val, C.Val); err != nil {
-				panic(fmt.Sprintf("masc: tensor capture: %v", err))
+				return fmt.Errorf("masc: tensor capture: %w", err)
 			}
+			return nil
 		}
 	}
 
@@ -271,7 +300,8 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 	} else {
 		src = adjoint.NewRecomputeSource(ckt, tr)
 	}
-	sens, err := adjoint.Sensitivities(ckt, tr, src, objectives, adjoint.Options{Params: params, Obs: opt.Obs})
+	sens, err := adjoint.Sensitivities(ckt, tr, src, objectives,
+		adjoint.Options{Params: params, Obs: opt.Obs, DisableDegrade: opt.DisableDegrade})
 	if err != nil {
 		if store != nil {
 			store.Close()
