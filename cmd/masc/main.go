@@ -34,6 +34,7 @@ import (
 type cli struct {
 	path, storage       string
 	workers, depth, top int
+	adjWorkers          int
 	async               bool
 	diskBps             float64
 	csvPath             string
@@ -47,6 +48,7 @@ func main() {
 	flag.StringVar(&c.path, "netlist", "", "netlist file (required)")
 	flag.StringVar(&c.storage, "storage", "masc", "jacobian storage: recompute|memory|disk|masc|masc+markov")
 	flag.IntVar(&c.workers, "workers", 1, "parallel compressor workers")
+	flag.IntVar(&c.adjWorkers, "adjoint-workers", 1, "reverse-sweep workers (shards dF/dp + overlaps fetches; results are bit-identical for any count)")
 	flag.BoolVar(&c.async, "async", false, "pipeline MASC compression on a background worker (overlaps with the solve)")
 	flag.IntVar(&c.depth, "pipeline-depth", 2, "async mode: max timesteps the solver may run ahead of the compressor")
 	flag.Float64Var(&c.diskBps, "disk-bps", 0, "simulated disk bandwidth in bytes/s (0 = unthrottled)")
@@ -133,6 +135,7 @@ func run(c cli) error {
 		TStop:             deck.Tran.TStop,
 		Storage:           masc.Storage(c.storage),
 		Workers:           c.workers,
+		AdjointWorkers:    c.adjWorkers,
 		Async:             c.async,
 		PipelineDepth:     c.depth,
 		DiskBytesPerSec:   c.diskBps,
@@ -240,6 +243,7 @@ func writeManifest(c cli, deck *masc.Deck, run *masc.Run, reg *masc.Registry, st
 		Set("status", status).
 		Set("storage", c.storage).
 		Set("workers", c.workers).
+		Set("adjoint_workers", c.adjWorkers).
 		Set("async", c.async).
 		Set("pipeline_depth", c.depth).
 		Set("disk_bps", c.diskBps).

@@ -20,13 +20,11 @@
 package adjoint
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
 	"masc/internal/circuit"
 	"masc/internal/device"
-	"masc/internal/jactensor"
 	"masc/internal/lu"
 	"masc/internal/obs"
 	"masc/internal/sparse"
@@ -97,6 +95,19 @@ type Options struct {
 	// degradable fetch error aborts the sweep instead. Used by tests and
 	// by callers that prefer fail-fast over degraded completion.
 	DisableDegrade bool
+
+	// Workers bounds the reverse sweep's parallelism. 0 and 1 both mean
+	// fully serial (single goroutine, serial store-access order); W > 1
+	// shards the parameter-gradient loop and the per-objective RHS builds
+	// across W workers and overlaps the next step's Jacobian fetch with
+	// the current step's compute. Results are bit-identical for every
+	// value of Workers.
+	Workers int
+
+	// SingleRHS forces one triangular solve per objective instead of the
+	// blocked multi-RHS kernel. Results are bit-identical either way; the
+	// knob exists so benchmarks can isolate the multi-RHS win.
+	SingleRHS bool
 }
 
 // DegradeError reports a step that could be neither fetched nor
@@ -121,13 +132,17 @@ func (e *DegradeError) FailedStep() int { return e.Step }
 // sweepObs is the resolved telemetry bundle of one reverse sweep; the
 // zero value is a no-op.
 type sweepObs struct {
-	on       bool
-	tr       *obs.Tracer
-	steps    *obs.Counter
-	fetchSec *obs.Counter
-	solveSec *obs.Counter
-	paramSec *obs.Counter
-	degraded *obs.Counter
+	on        bool
+	tr        *obs.Tracer
+	steps     *obs.Counter
+	fetchSec  *obs.Counter
+	waitSec   *obs.Counter
+	hiddenSec *obs.Counter
+	solveSec  *obs.Counter
+	paramSec  *obs.Counter
+	degraded  *obs.Counter
+	shards    *obs.Counter
+	workers   *obs.Gauge
 }
 
 func newSweepObs(o *obs.Observer) sweepObs {
@@ -136,20 +151,29 @@ func newSweepObs(o *obs.Observer) sweepObs {
 	}
 	reg := o.Registry()
 	return sweepObs{
-		on:       true,
-		tr:       o.Tracer(),
-		steps:    reg.Counter("masc_adjoint_steps_total", "Reverse-sweep steps completed."),
-		fetchSec: reg.Counter("masc_adjoint_fetch_seconds_total", "Jacobian acquisition time (recompute/decompress/IO)."),
-		solveSec: reg.Counter("masc_adjoint_solve_seconds_total", "LU factorization and adjoint solve time."),
-		paramSec: reg.Counter("masc_adjoint_param_seconds_total", "Parameter sensitivity (dF/dp) accumulation time."),
-		degraded: reg.Counter("masc_store_degraded_total", "Reverse-sweep steps recovered by per-step recomputation after a storage failure."),
+		on:        true,
+		tr:        o.Tracer(),
+		steps:     reg.Counter("masc_adjoint_steps_total", "Reverse-sweep steps completed."),
+		fetchSec:  reg.Counter("masc_adjoint_fetch_seconds_total", "Jacobian acquisition time (recompute/decompress/IO)."),
+		waitSec:   reg.Counter("masc_adjoint_fetch_wait_seconds_total", "Solver-visible fetch wait (time the sweep blocked on Jacobian acquisition)."),
+		hiddenSec: reg.Counter("masc_adjoint_fetch_hidden_seconds_total", "Fetch time hidden behind compute by the fetch/solve overlap."),
+		solveSec:  reg.Counter("masc_adjoint_solve_seconds_total", "LU factorization and adjoint solve time."),
+		paramSec:  reg.Counter("masc_adjoint_param_seconds_total", "Parameter sensitivity (dF/dp) accumulation time."),
+		degraded:  reg.Counter("masc_store_degraded_total", "Reverse-sweep steps recovered by per-step recomputation after a storage failure."),
+		shards:    reg.Counter("masc_adjoint_param_shards_total", "Parameter-gradient shard tasks executed."),
+		workers:   reg.Gauge("masc_adjoint_workers", "Worker count of the most recent adjoint sweep."),
 	}
 }
 
 // Timing is the wall-clock split of a sensitivity run.
 type Timing struct {
-	Total       time.Duration
-	Fetch       time.Duration // Jacobian acquisition (recompute/decompress/IO)
+	Total time.Duration
+	// Fetch is the solver-visible Jacobian acquisition time. With
+	// Workers ≤ 1 that is the full recompute/decompress/IO cost; with the
+	// fetch/solve overlap it is only the time the sweep actually blocked
+	// waiting for a step (the hidden remainder is reported through the
+	// masc_adjoint_fetch_* metrics).
+	Fetch       time.Duration
 	FactorSolve time.Duration // LU factorizations and adjoint solves
 	ParamEval   time.Duration // ∂F/∂p accumulation
 }
@@ -168,9 +192,11 @@ type Result struct {
 }
 
 // Sensitivities runs the adjoint reverse sweep over the trajectory tr.
+// opt.Workers > 1 shards the per-step work across a bounded pool and
+// overlaps Jacobian fetches with compute; results are bit-identical for
+// every worker count (see parallel.go for the engine and the argument).
 func Sensitivities(ckt *circuit.Circuit, tr *transient.Result, src JacobianSource, objs []Objective, opt Options) (*Result, error) {
-	n := tr.Steps()
-	if n < 1 {
+	if tr.Steps() < 1 {
 		return nil, fmt.Errorf("adjoint: trajectory has no integration steps")
 	}
 	if len(objs) == 0 {
@@ -183,224 +209,11 @@ func Sensitivities(ckt *circuit.Circuit, tr *transient.Result, src JacobianSourc
 			params[i] = i
 		}
 	}
-	t0 := time.Now()
-	res := &Result{
-		DOdp:   make([][]float64, len(objs)),
-		Params: params,
-	}
-	for o := range res.DOdp {
-		res.DOdp[o] = make([]float64, len(params))
-	}
-
-	N := ckt.N
-	ev := circuit.NewEval(ckt)
-	var fact *lu.LU
-	perm := lu.RCM(ckt.JPat)
-
 	trap, err := isTrap(tr)
 	if err != nil {
 		return nil, err
 	}
-	lam := make([][]float64, len(objs))     // λ_i per objective
-	lamNext := make([][]float64, len(objs)) // λ_{i+1}
-	pendQ := make([][]float64, len(objs))   // λ_{i+1}/h_{i+1} (dqdp regroup)
-	pendF := make([][]float64, len(objs))   // ½λ_{i+1} (trapezoidal dfdp regroup)
-	for o := range objs {
-		lam[o] = make([]float64, N)
-		lamNext[o] = make([]float64, N)
-		pendQ[o] = make([]float64, N)
-		if trap {
-			pendF[o] = make([]float64, N)
-		}
-	}
-	tmp := make([]float64, N)
-	acc := device.NewSensAccum(N)
-	so := newSweepObs(opt.Obs)
-
-	factorize := func(j *sparse.Matrix) error {
-		if fact != nil {
-			if err := fact.Refactor(j); err == nil {
-				return nil
-			}
-		}
-		f, err := lu.Factor(j, lu.Options{ColPerm: perm})
-		if err != nil {
-			return err
-		}
-		fact = f
-		return nil
-	}
-
-	var rec *RecomputeSource // lazy recompute fallback for degraded steps
-	for i := n; i >= 0; i-- {
-		tFetch := time.Now()
-		jv, cv, err := src.Fetch(i)
-		if err != nil {
-			// Degradation ladder: a fetch-side integrity or read failure is
-			// recoverable — the trajectory is still in memory, so the step's
-			// Jacobians can be rebuilt bit-exactly from the converged state
-			// (the Xyce-style recompute baseline, scoped to just this step).
-			// Anything else, or a failed recomputation, aborts loudly.
-			var se *jactensor.StepError
-			if opt.DisableDegrade || !errors.As(err, &se) || !se.Degradable {
-				return nil, fmt.Errorf("adjoint: fetch step %d: %w", i, err)
-			}
-			if rec == nil {
-				rec = NewRecomputeSource(ckt, tr)
-			}
-			rj, rc, rerr := rec.Fetch(i)
-			if rerr != nil {
-				return nil, &DegradeError{Step: i, Fetch: err, Recompute: rerr}
-			}
-			// Hand the recomputed plaintext back to the store: it heals the
-			// quarantined step and, for the chained compressed store,
-			// restores the reference step i-1 decompresses against.
-			if rp, ok := src.(jactensor.Repairer); ok {
-				rp.Repair(i, rj, rc)
-				if jv2, cv2, ferr := src.Fetch(i); ferr == nil {
-					rj, rc = jv2, cv2
-				}
-			}
-			jv, cv = rj, rc
-			res.DegradedSteps = append(res.DegradedSteps, i)
-			if so.on {
-				so.degraded.Inc()
-				so.tr.Emit(obs.Event{Step: i, Phase: "degrade", Dur: time.Since(tFetch)})
-			}
-		}
-		if so.on {
-			d := time.Since(tFetch)
-			res.Timing.Fetch += d
-			so.fetchSec.AddDuration(d)
-			so.tr.Emit(obs.Event{Step: i, Phase: "adjoint_fetch", Dur: d})
-		} else {
-			res.Timing.Fetch += time.Since(tFetch)
-		}
-		// Step i+1 is no longer needed once step i has materialized —
-		// mirroring Algorithm 2's "decompress M_{n-1} using M_n, then
-		// free M_n". Releasing earlier would drop the decompression
-		// reference chain of a compressed store.
-		if i < n {
-			src.Release(i + 1)
-		}
-		J := &sparse.Matrix{P: ckt.JPat, Val: jv}
-		C := &sparse.Matrix{P: ckt.CPat, Val: cv}
-
-		tSolve := time.Now()
-		if err := factorize(J); err != nil {
-			return nil, fmt.Errorf("adjoint: factor step %d: %w", i, err)
-		}
-		for o := range objs {
-			if i == n {
-				for k := range lam[o] {
-					lam[o][k] = 0
-				}
-			} else if !trap {
-				// Backward Euler: rhs = (1/h_{i+1}) C_iᵀ λ_{i+1}.
-				C.MulVecT(lamNext[o], lam[o])
-				invH := 1 / tr.Hs[i+1]
-				for k := range lam[o] {
-					lam[o][k] *= invH
-				}
-			} else {
-				// Trapezoidal: ∂F_{i+1}/∂x_i = −C_i/h_{i+1} + ½G_i, with
-				// ½G_i = J_i − C_i/h_i for i ≥ 1 and ½G_0 = ½J_0 at the
-				// DC step. rhs = −(∂F_{i+1}/∂x_i)ᵀ λ_{i+1}.
-				C.MulVecT(lamNext[o], lam[o])
-				J.MulVecT(lamNext[o], tmp)
-				if i >= 1 {
-					coef := 1/tr.Hs[i+1] + 1/tr.Hs[i]
-					for k := range lam[o] {
-						lam[o][k] = coef*lam[o][k] - tmp[k]
-					}
-				} else {
-					coef := 1 / tr.Hs[1]
-					for k := range lam[o] {
-						lam[o][k] = coef*lam[o][k] - 0.5*tmp[k]
-					}
-				}
-			}
-			// The objective's ∂O/∂x_i source enters at its own step(s).
-			if w := objs[o].sourceAt(i, n, tr.Hs[i]); w != 0 {
-				lam[o][objs[o].Node] += w
-			}
-			fact.SolveT(lam[o])
-		}
-		if so.on {
-			d := time.Since(tSolve)
-			res.Timing.FactorSolve += d
-			so.solveSec.AddDuration(d)
-			so.tr.Emit(obs.Event{Step: i, Phase: "adjoint_solve", Dur: d})
-		} else {
-			res.Timing.FactorSolve += time.Since(tSolve)
-		}
-
-		// Accumulate dO/dp contributions of step i. The sparse accumulator
-		// keeps this O(device terminals), not O(N), per parameter.
-		tPar := time.Now()
-		xi, ti := tr.States[i], tr.Times[i]
-		for pk, p := range params {
-			acc.Reset()
-			ev.ParamSens(p, xi, ti, acc)
-			for o := range objs {
-				contrib := 0.0
-				if i >= 1 {
-					invH := 1 / tr.Hs[i]
-					for _, k := range acc.Touched {
-						// dfdp_i weight: λ_i for BE, ½λ_i + ½λ_{i+1}
-						// for the trapezoidal rule.
-						fw := lam[o][k]
-						if trap {
-							fw = 0.5*lam[o][k] + pendF[o][k]
-						}
-						// dqdp_i weight: λ_i/h_i − λ_{i+1}/h_{i+1}.
-						contrib += fw*acc.DFdp[k] +
-							(invH*lam[o][k]-pendQ[o][k])*acc.DQdp[k]
-					}
-				} else {
-					// At i=0 F_0 = f(x_0): full λ_0 weight on dfdp, plus
-					// the carries from F_1.
-					for _, k := range acc.Touched {
-						fw := lam[o][k]
-						if trap {
-							fw += pendF[o][k]
-						}
-						contrib += fw*acc.DFdp[k] - pendQ[o][k]*acc.DQdp[k]
-					}
-				}
-				// With the Lagrangian L = O − Σ λᵀF and the adjoint
-				// equations satisfied, dO/dp = −Σ λ_iᵀ ∂F_i/∂p.
-				res.DOdp[o][pk] -= contrib
-			}
-		}
-		if so.on {
-			d := time.Since(tPar)
-			res.Timing.ParamEval += d
-			so.paramSec.AddDuration(d)
-			so.tr.Emit(obs.Event{Step: i, Phase: "param_eval", Dur: d})
-			so.steps.Inc()
-		} else {
-			res.Timing.ParamEval += time.Since(tPar)
-		}
-
-		for o := range objs {
-			if i >= 1 {
-				invH := 1 / tr.Hs[i]
-				for k, v := range lam[o] {
-					pendQ[o][k] = invH * v
-				}
-				if trap {
-					for k, v := range lam[o] {
-						pendF[o][k] = 0.5 * v
-					}
-				}
-			}
-			lamNext[o], lam[o] = lam[o], lamNext[o]
-		}
-	}
-	src.Release(0)
-	res.Timing.Total = time.Since(t0)
-	return res, nil
+	return newSweep(ckt, tr, src, objs, params, trap, opt).run()
 }
 
 // isTrap resolves the trajectory's integration method (an empty Method is
@@ -419,7 +232,11 @@ func isTrap(tr *transient.Result) (bool, error) {
 // DirectSensitivities computes the same dO/dp with the forward (direct)
 // method: one sensitivity state s = ∂x/∂p propagated per parameter. It is
 // O(#params) solves per step versus the adjoint's O(#objectives) and serves
-// as an independent cross-check.
+// as an independent cross-check. The per-parameter right-hand-side builds
+// shard across opt.Workers and all per-step solves share one blocked
+// multi-RHS kernel; as in the adjoint sweep, results are bit-identical for
+// every worker count (each parameter's value stream is param-local, so
+// reordering builds across parameters changes no per-parameter operation).
 func DirectSensitivities(ckt *circuit.Circuit, tr *transient.Result, objs []Objective, opt Options) (*Result, error) {
 	n := tr.Steps()
 	if n < 1 {
@@ -438,10 +255,19 @@ func DirectSensitivities(ckt *circuit.Circuit, tr *transient.Result, objs []Obje
 	}
 	t0 := time.Now()
 	N := ckt.N
+	W := opt.Workers
+	if W < 1 {
+		W = 1
+	}
+	if W > len(params) && len(params) > 0 {
+		W = len(params)
+	}
+	pool := newWorkerPool(W)
+	defer pool.close()
 	ev := circuit.NewEval(ckt)
 	J := sparse.NewMatrix(ckt.JPat)
 	var fact *lu.LU
-	perm := lu.RCM(ckt.JPat)
+	perm := ckt.JPerm()
 
 	factorize := func() error {
 		if fact != nil {
@@ -457,11 +283,34 @@ func DirectSensitivities(ckt *circuit.Circuit, tr *transient.Result, objs []Obje
 		return nil
 	}
 
-	s := make([][]float64, len(params)) // s_i per parameter
+	// solveAll solves every system in rhsAll in place on the current
+	// factorization: one blocked traversal unless SingleRHS pins the
+	// one-at-a-time baseline.
+	solveAll := func(rhsAll [][]float64) {
+		if opt.SingleRHS {
+			for _, r := range rhsAll {
+				fact.Solve(r)
+			}
+		} else {
+			fact.SolveMulti(rhsAll)
+		}
+	}
+
+	s := make([][]float64, len(params))      // s_i per parameter
+	rhsAll := make([][]float64, len(params)) // per-parameter right-hand sides
 	for k := range s {
 		s[k] = make([]float64, N)
+		rhsAll[k] = make([]float64, N)
 	}
-	acc := device.NewSensAccum(N)
+	// Per-worker scratch: sparse accumulator and G_{i-1}·s workspace.
+	// ParamSens itself is stateless (reads only the bound device tree), so
+	// one Eval is shared read-only across workers.
+	accs := make([]*device.SensAccum, W)
+	gss := make([][]float64, W)
+	for w := 0; w < W; w++ {
+		accs[w] = device.NewSensAccum(N)
+		gss[w] = make([]float64, N)
+	}
 	// prevQ holds the previous step's sparse ∂q/∂p pairs per parameter.
 	type kv struct {
 		k int32
@@ -469,8 +318,6 @@ func DirectSensitivities(ckt *circuit.Circuit, tr *transient.Result, objs []Obje
 	}
 	prevQ := make([][]kv, len(params))
 	prevF := make([][]kv, len(params)) // trapezoidal dfdp_{i-1} carry
-	rhs := make([]float64, N)
-	gs := make([]float64, N) // G_{i-1}·s scratch (trapezoidal)
 	cPrev := sparse.NewMatrix(ckt.CPat)
 	gPrev := sparse.NewMatrix(ckt.GPat)
 
@@ -481,21 +328,28 @@ func DirectSensitivities(ckt *circuit.Circuit, tr *transient.Result, objs []Obje
 	if err := factorize(); err != nil {
 		return nil, fmt.Errorf("adjoint: direct DC factor: %w", err)
 	}
-	for pk, p := range params {
-		acc.Reset()
-		ev.ParamSens(p, tr.States[0], tr.Times[0], acc)
-		for k := range rhs {
-			rhs[k] = 0
-		}
-		for _, k := range acc.Touched {
-			rhs[k] = -acc.DFdp[k]
-			prevQ[pk] = append(prevQ[pk], kv{k, acc.DQdp[k]})
-			if trap {
-				prevF[pk] = append(prevF[pk], kv{k, acc.DFdp[k]})
+	pool.run(func(w int) {
+		lo, hi := shard(w, W, len(params))
+		acc := accs[w]
+		for pk := lo; pk < hi; pk++ {
+			acc.Reset()
+			ev.ParamSens(params[pk], tr.States[0], tr.Times[0], acc)
+			rhs := rhsAll[pk]
+			for k := range rhs {
+				rhs[k] = 0
+			}
+			for _, k := range acc.Touched {
+				rhs[k] = -acc.DFdp[k]
+				prevQ[pk] = append(prevQ[pk], kv{k, acc.DQdp[k]})
+				if trap {
+					prevF[pk] = append(prevF[pk], kv{k, acc.DFdp[k]})
+				}
 			}
 		}
-		fact.Solve(rhs)
-		copy(s[pk], rhs)
+	})
+	solveAll(rhsAll)
+	for pk := range params {
+		s[pk], rhsAll[pk] = rhsAll[pk], s[pk]
 	}
 	copy(cPrev.Val, ev.C.Val)
 	copy(gPrev.Val, ev.G.Val)
@@ -519,45 +373,52 @@ func DirectSensitivities(ckt *circuit.Circuit, tr *transient.Result, objs []Obje
 		if err := factorize(); err != nil {
 			return nil, fmt.Errorf("adjoint: direct factor step %d: %w", i, err)
 		}
-		for pk, p := range params {
-			acc.Reset()
-			ev.ParamSens(p, tr.States[i], tr.Times[i], acc)
-			// BE:   rhs = C_{i-1}s/h − (dqdp_i − dqdp_{i-1})/h − dfdp_i.
-			// Trap: rhs = C_{i-1}s/h − ½G_{i-1}s − (dqdp_i − dqdp_{i-1})/h
-			//             − ½(dfdp_i + dfdp_{i-1}).
-			cPrev.MulVec(s[pk], rhs)
-			for k := range rhs {
-				rhs[k] *= invH
-			}
-			if trap {
-				gPrev.MulVec(s[pk], gs)
+		pool.run(func(w int) {
+			lo, hi := shard(w, W, len(params))
+			acc, gs := accs[w], gss[w]
+			for pk := lo; pk < hi; pk++ {
+				acc.Reset()
+				ev.ParamSens(params[pk], tr.States[i], tr.Times[i], acc)
+				// BE:   rhs = C_{i-1}s/h − (dqdp_i − dqdp_{i-1})/h − dfdp_i.
+				// Trap: rhs = C_{i-1}s/h − ½G_{i-1}s − (dqdp_i − dqdp_{i-1})/h
+				//             − ½(dfdp_i + dfdp_{i-1}).
+				rhs := rhsAll[pk]
+				cPrev.MulVec(s[pk], rhs)
 				for k := range rhs {
-					rhs[k] -= 0.5 * gs[k]
+					rhs[k] *= invH
 				}
+				if trap {
+					gPrev.MulVec(s[pk], gs)
+					for k := range rhs {
+						rhs[k] -= 0.5 * gs[k]
+					}
+					for _, k := range acc.Touched {
+						rhs[k] -= invH*acc.DQdp[k] + 0.5*acc.DFdp[k]
+					}
+					for _, e := range prevF[pk] {
+						rhs[e.k] -= 0.5 * e.v
+					}
+					prevF[pk] = prevF[pk][:0]
+					for _, k := range acc.Touched {
+						prevF[pk] = append(prevF[pk], kv{k, acc.DFdp[k]})
+					}
+				} else {
+					for _, k := range acc.Touched {
+						rhs[k] -= invH*acc.DQdp[k] + acc.DFdp[k]
+					}
+				}
+				for _, e := range prevQ[pk] {
+					rhs[e.k] += invH * e.v
+				}
+				prevQ[pk] = prevQ[pk][:0]
 				for _, k := range acc.Touched {
-					rhs[k] -= invH*acc.DQdp[k] + 0.5*acc.DFdp[k]
-				}
-				for _, e := range prevF[pk] {
-					rhs[e.k] -= 0.5 * e.v
-				}
-				prevF[pk] = prevF[pk][:0]
-				for _, k := range acc.Touched {
-					prevF[pk] = append(prevF[pk], kv{k, acc.DFdp[k]})
-				}
-			} else {
-				for _, k := range acc.Touched {
-					rhs[k] -= invH*acc.DQdp[k] + acc.DFdp[k]
+					prevQ[pk] = append(prevQ[pk], kv{k, acc.DQdp[k]})
 				}
 			}
-			for _, e := range prevQ[pk] {
-				rhs[e.k] += invH * e.v
-			}
-			prevQ[pk] = prevQ[pk][:0]
-			for _, k := range acc.Touched {
-				prevQ[pk] = append(prevQ[pk], kv{k, acc.DQdp[k]})
-			}
-			fact.Solve(rhs)
-			copy(s[pk], rhs)
+		})
+		solveAll(rhsAll)
+		for pk := range params {
+			s[pk], rhsAll[pk] = rhsAll[pk], s[pk]
 		}
 		copy(cPrev.Val, ev.C.Val)
 		if trap {

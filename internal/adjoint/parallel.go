@@ -1,0 +1,587 @@
+package adjoint
+
+// The parallel adjoint engine. Three independent levers, all preserving
+// bit-identical results relative to the serial sweep:
+//
+//  1. Multi-RHS solves: all K objective systems J_iᵀλ = rhs share one
+//     factorization, so lu.SolveTMulti traverses the factor columns once
+//     and streams the K right-hand sides through each entry.
+//  2. Worker sharding: the per-step parameter-gradient loop (and the
+//     per-objective RHS builds feeding the solve) are split into disjoint
+//     contiguous shards across a bounded pool. Each (objective, param)
+//     cell is touched by exactly one worker with exactly the serial
+//     operation sequence, and a per-step barrier keeps the cross-step
+//     accumulation order identical to the serial sweep.
+//  3. Fetch/solve overlap: a dedicated fetcher goroutine owns every
+//     JacobianSource call and runs one step ahead of the solver, so
+//     decompression / disk reads / recomputation hide behind the
+//     factor+solve+accumulate of the previous step. The PR-4 degradation
+//     ladder (quarantine → recompute → repair → refetch) runs unchanged
+//     on the fetcher.
+//
+// Determinism notes. Shards are pure functions of (worker count, length),
+// each worker writes only its own res.DOdp[o][pk] cells and lam rows, and
+// floating-point accumulation never crosses a shard boundary — so results
+// are bit-identical for every worker count, including 1. The fetcher copies
+// fetched values into private rotating buffers before touching the next
+// step, because sources (RecomputeSource in particular) may alias internal
+// scratch that the next Fetch overwrites.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"masc/internal/circuit"
+	"masc/internal/device"
+	"masc/internal/jactensor"
+	"masc/internal/lu"
+	"masc/internal/obs"
+	"masc/internal/sparse"
+	"masc/internal/transient"
+)
+
+// shard returns the half-open range [lo, hi) of items worker w owns out of
+// total, for a pool of the given size. Shards are contiguous, disjoint, and
+// cover [0, total); they depend only on (w, workers, total).
+func shard(w, workers, total int) (lo, hi int) {
+	return w * total / workers, (w + 1) * total / workers
+}
+
+// workerPool runs identical closures on w workers: w-1 persistent
+// background goroutines plus the calling goroutine as worker 0. With w = 1
+// it degenerates to a plain function call — no goroutines, no channels.
+type workerPool struct {
+	w    int
+	jobs []chan func()
+	done chan struct{}
+}
+
+func newWorkerPool(w int) *workerPool {
+	if w < 1 {
+		w = 1
+	}
+	p := &workerPool{w: w}
+	if w > 1 {
+		p.done = make(chan struct{}, w-1)
+		p.jobs = make([]chan func(), w-1)
+		for i := range p.jobs {
+			ch := make(chan func(), 1)
+			p.jobs[i] = ch
+			go func() {
+				for fn := range ch {
+					fn()
+					p.done <- struct{}{}
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// run executes fn(w) for every worker and returns after all complete (a
+// barrier). Worker 0 is the calling goroutine.
+func (p *workerPool) run(fn func(w int)) {
+	for i, ch := range p.jobs {
+		w := i + 1
+		ch <- func() { fn(w) }
+	}
+	fn(0)
+	for range p.jobs {
+		<-p.done
+	}
+}
+
+// spawn hands fn to background worker w (1-based); the caller must pair it
+// with a later drain of p.done via wait. Used to overlap main-thread work
+// (factorization) with background shards (RHS builds).
+func (p *workerPool) spawn(w int, fn func()) { p.jobs[w-1] <- fn }
+
+// wait drains n completions issued via spawn.
+func (p *workerPool) wait(n int) {
+	for i := 0; i < n; i++ {
+		<-p.done
+	}
+}
+
+func (p *workerPool) close() {
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+}
+
+// fetchBuf is one slot of the fetch pipeline: a private copy of a step's
+// Jacobian tensors plus the fetcher-side bookkeeping for that step.
+type fetchBuf struct {
+	step     int
+	jv, cv   []float64
+	degraded bool
+	dur      time.Duration // fetcher-side acquisition time (incl. ladder)
+}
+
+// sweep is one adjoint reverse sweep in flight.
+type sweep struct {
+	ckt    *circuit.Circuit
+	tr     *transient.Result
+	src    JacobianSource
+	objs   []Objective
+	opt    Options
+	params []int
+	trap   bool
+	n      int
+
+	workers int
+	pool    *workerPool
+
+	fact *lu.LU
+	perm []int32
+
+	lam     [][]float64 // λ_i per objective
+	lamNext [][]float64 // λ_{i+1}
+	pendQ   [][]float64 // λ_{i+1}/h_{i+1} (dqdp regroup)
+	pendF   [][]float64 // ½λ_{i+1} (trapezoidal dfdp regroup)
+
+	evs  []*circuit.Eval    // per-worker parameter-sensitivity evaluators
+	accs []*device.SensAccum
+	tmps [][]float64 // per-worker Jᵀλ scratch (trapezoidal RHS builds)
+
+	rec *RecomputeSource // lazy recompute fallback for degraded steps
+	res *Result
+	so  sweepObs
+}
+
+func newSweep(ckt *circuit.Circuit, tr *transient.Result, src JacobianSource, objs []Objective, params []int, trap bool, opt Options) *sweep {
+	w := opt.Workers
+	if w < 1 {
+		w = 1
+	}
+	s := &sweep{
+		ckt:     ckt,
+		tr:      tr,
+		src:     src,
+		objs:    objs,
+		opt:     opt,
+		params:  params,
+		trap:    trap,
+		n:       tr.Steps(),
+		workers: w,
+		pool:    newWorkerPool(w),
+		perm:    ckt.JPerm(),
+		so:      newSweepObs(opt.Obs),
+	}
+	N := ckt.N
+	s.lam = make([][]float64, len(objs))
+	s.lamNext = make([][]float64, len(objs))
+	s.pendQ = make([][]float64, len(objs))
+	s.pendF = make([][]float64, len(objs))
+	for o := range objs {
+		s.lam[o] = make([]float64, N)
+		s.lamNext[o] = make([]float64, N)
+		s.pendQ[o] = make([]float64, N)
+		if trap {
+			s.pendF[o] = make([]float64, N)
+		}
+	}
+	s.evs = make([]*circuit.Eval, w)
+	s.accs = make([]*device.SensAccum, w)
+	s.tmps = make([][]float64, w)
+	for i := 0; i < w; i++ {
+		s.evs[i] = circuit.NewEval(ckt)
+		s.accs[i] = device.NewSensAccum(N)
+		s.tmps[i] = make([]float64, N)
+	}
+	s.res = &Result{
+		DOdp:   make([][]float64, len(objs)),
+		Params: params,
+	}
+	for o := range s.res.DOdp {
+		s.res.DOdp[o] = make([]float64, len(params))
+	}
+	if s.so.on {
+		s.so.workers.Set(float64(w))
+	}
+	return s
+}
+
+// run drives the sweep to completion. Workers ≤ 1 keeps everything on the
+// calling goroutine (and in the serial store-access order); workers > 1
+// additionally overlaps the next step's fetch with the current step's
+// compute.
+func (s *sweep) run() (*Result, error) {
+	defer s.pool.close()
+	var err error
+	if s.workers > 1 {
+		err = s.runOverlapped()
+	} else {
+		err = s.runSerialFetch()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.res, nil
+}
+
+// acquire materializes step i's Jacobian tensors, running the degradation
+// ladder on any recoverable fetch failure: recompute the step bit-exactly
+// from the in-memory trajectory, hand the plaintext back to the store
+// (healing the quarantined step and the compressed reference chain), and
+// prefer the healed store copy. The returned slices may alias source
+// internals and are only valid until the next acquire/Release.
+func (s *sweep) acquire(i int) (jv, cv []float64, degraded bool, err error) {
+	jv, cv, err = s.src.Fetch(i)
+	if err == nil {
+		return jv, cv, false, nil
+	}
+	var se *jactensor.StepError
+	if s.opt.DisableDegrade || !errors.As(err, &se) || !se.Degradable {
+		return nil, nil, false, fmt.Errorf("adjoint: fetch step %d: %w", i, err)
+	}
+	if s.rec == nil {
+		s.rec = NewRecomputeSource(s.ckt, s.tr)
+	}
+	rj, rc, rerr := s.rec.Fetch(i)
+	if rerr != nil {
+		return nil, nil, false, &DegradeError{Step: i, Fetch: err, Recompute: rerr}
+	}
+	if rp, ok := s.src.(jactensor.Repairer); ok {
+		rp.Repair(i, rj, rc)
+		if jv2, cv2, ferr := s.src.Fetch(i); ferr == nil {
+			rj, rc = jv2, cv2
+		}
+	}
+	return rj, rc, true, nil
+}
+
+// runSerialFetch is the workers ≤ 1 path: fetch, compute, and store
+// bookkeeping all interleave on the calling goroutine exactly as in the
+// original serial sweep.
+func (s *sweep) runSerialFetch() error {
+	t0 := time.Now()
+	for i := s.n; i >= 0; i-- {
+		tFetch := time.Now()
+		jv, cv, degraded, err := s.acquire(i)
+		if err != nil {
+			return err
+		}
+		d := time.Since(tFetch)
+		s.noteFetch(i, d, d, degraded)
+		// Step i+1 is no longer needed once step i has materialized —
+		// mirroring Algorithm 2's "decompress M_{n-1} using M_n, then free
+		// M_n". Releasing earlier would drop the decompression reference
+		// chain of a compressed store.
+		if i < s.n {
+			s.src.Release(i + 1)
+		}
+		if err := s.processStep(i, jv, cv); err != nil {
+			return err
+		}
+	}
+	s.src.Release(0)
+	s.res.Timing.Total = time.Since(t0)
+	return nil
+}
+
+// runOverlapped is the workers > 1 path: a fetcher goroutine owns every
+// JacobianSource call (Fetch, the degradation ladder, Release) and keeps
+// one step of lookahead in two rotating buffers, so acquisition cost hides
+// behind the previous step's factor+solve+accumulate.
+func (s *sweep) runOverlapped() error {
+	t0 := time.Now()
+	free := make(chan *fetchBuf, 2)
+	results := make(chan *fetchBuf, 2)
+	errCh := make(chan error, 1)
+	stop := make(chan struct{})
+	free <- &fetchBuf{}
+	free <- &fetchBuf{}
+
+	go func() {
+		defer close(results)
+		for i := s.n; i >= 0; i-- {
+			var buf *fetchBuf
+			select {
+			case buf = <-free:
+			case <-stop:
+				return
+			}
+			t := time.Now()
+			jv, cv, degraded, err := s.acquire(i)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			// Copy before the next Fetch/Release: the source may reuse the
+			// returned backing arrays (RecomputeSource always does).
+			buf.jv = append(buf.jv[:0], jv...)
+			buf.cv = append(buf.cv[:0], cv...)
+			if i < s.n {
+				s.src.Release(i + 1)
+			}
+			buf.step = i
+			buf.degraded = degraded
+			buf.dur = time.Since(t)
+			select {
+			case results <- buf:
+			case <-stop:
+				return
+			}
+		}
+		s.src.Release(0)
+	}()
+
+	// halt tears the pipeline down on an error: signal the fetcher, then
+	// drain until it has closed results, so no goroutine touches the store
+	// after run returns.
+	halt := func() {
+		close(stop)
+		for range results {
+		}
+	}
+
+	for i := s.n; i >= 0; i-- {
+		tWait := time.Now()
+		buf, ok := <-results
+		wait := time.Since(tWait)
+		if !ok {
+			select {
+			case err := <-errCh:
+				return err
+			default:
+				return fmt.Errorf("adjoint: fetch pipeline stopped before step %d", i)
+			}
+		}
+		if buf.step != i {
+			halt()
+			return fmt.Errorf("adjoint: fetch pipeline delivered step %d, want %d", buf.step, i)
+		}
+		// Timing.Fetch is the solver-visible blocked wait; the true
+		// fetcher-side acquisition time (buf.dur) and the portion hidden
+		// behind compute go to the metrics registry.
+		s.noteFetch(i, wait, buf.dur, buf.degraded)
+		err := s.processStep(i, buf.jv, buf.cv)
+		select {
+		case free <- buf:
+		default: // fetcher already gone; buffer no longer needed
+		}
+		if err != nil {
+			halt()
+			return err
+		}
+	}
+	// The fetcher still owes Release(0); wait for it to finish and close
+	// results so the store is quiescent when we return.
+	if _, ok := <-results; ok {
+		return fmt.Errorf("adjoint: fetch pipeline produced an extra step")
+	}
+	s.res.Timing.Total = time.Since(t0)
+	return nil
+}
+
+// noteFetch records the acquisition of step i. wait is the solver-visible
+// duration (== acq when fetching inline), acq the true acquisition time.
+func (s *sweep) noteFetch(i int, wait, acq time.Duration, degraded bool) {
+	s.res.Timing.Fetch += wait
+	if degraded {
+		s.res.DegradedSteps = append(s.res.DegradedSteps, i)
+	}
+	if !s.so.on {
+		return
+	}
+	s.so.fetchSec.AddDuration(acq)
+	s.so.waitSec.AddDuration(wait)
+	if hidden := acq - wait; hidden > 0 {
+		s.so.hiddenSec.AddDuration(hidden)
+	}
+	if degraded {
+		s.so.degraded.Inc()
+		s.so.tr.Emit(obs.Event{Step: i, Phase: "degrade", Dur: acq})
+	}
+	s.so.tr.Emit(obs.Event{Step: i, Phase: "adjoint_fetch", Dur: wait})
+}
+
+// factorize reuses the recorded symbolic structure when the numeric
+// refactorization succeeds and falls back to a fresh pivoting factorization
+// when it does not.
+func (s *sweep) factorize(j *sparse.Matrix) error {
+	if s.fact != nil {
+		if err := s.fact.Refactor(j); err == nil {
+			return nil
+		}
+	}
+	f, err := lu.Factor(j, lu.Options{ColPerm: s.perm})
+	if err != nil {
+		return err
+	}
+	s.fact = f
+	return nil
+}
+
+// buildRHS forms the adjoint right-hand side of objective o at step i in
+// s.lam[o] (including the objective's own ∂O/∂x source), using tmp as Jᵀλ
+// scratch. Reads J/C values and s.lamNext only — safe to run concurrently
+// across objectives, and concurrently with factorization (which reads J and
+// writes only factor internals).
+func (s *sweep) buildRHS(o, i int, J, C *sparse.Matrix, tmp []float64) {
+	lam, lamNext := s.lam[o], s.lamNext[o]
+	if i == s.n {
+		for k := range lam {
+			lam[k] = 0
+		}
+	} else if !s.trap {
+		// Backward Euler: rhs = (1/h_{i+1}) C_iᵀ λ_{i+1}.
+		C.MulVecT(lamNext, lam)
+		invH := 1 / s.tr.Hs[i+1]
+		for k := range lam {
+			lam[k] *= invH
+		}
+	} else {
+		// Trapezoidal: ∂F_{i+1}/∂x_i = −C_i/h_{i+1} + ½G_i, with
+		// ½G_i = J_i − C_i/h_i for i ≥ 1 and ½G_0 = ½J_0 at the DC step.
+		// rhs = −(∂F_{i+1}/∂x_i)ᵀ λ_{i+1}.
+		C.MulVecT(lamNext, lam)
+		J.MulVecT(lamNext, tmp)
+		if i >= 1 {
+			coef := 1/s.tr.Hs[i+1] + 1/s.tr.Hs[i]
+			for k := range lam {
+				lam[k] = coef*lam[k] - tmp[k]
+			}
+		} else {
+			coef := 1 / s.tr.Hs[1]
+			for k := range lam {
+				lam[k] = coef*lam[k] - 0.5*tmp[k]
+			}
+		}
+	}
+	// The objective's ∂O/∂x_i source enters at its own step(s).
+	if w := s.objs[o].sourceAt(i, s.n, s.tr.Hs[i]); w != 0 {
+		lam[s.objs[o].Node] += w
+	}
+}
+
+// processStep consumes step i's Jacobian tensors: factorize, build and
+// solve the K adjoint systems, accumulate the parameter gradients, and
+// update the pend carries.
+func (s *sweep) processStep(i int, jv, cv []float64) error {
+	J := &sparse.Matrix{P: s.ckt.JPat, Val: jv}
+	C := &sparse.Matrix{P: s.ckt.CPat, Val: cv}
+
+	tSolve := time.Now()
+	var factErr error
+	if s.workers > 1 && len(s.objs) > 1 {
+		// Background workers build their RHS shards while the calling
+		// goroutine factorizes, then it builds shard 0 and joins.
+		for w := 1; w < s.workers; w++ {
+			w := w
+			s.pool.spawn(w, func() {
+				lo, hi := shard(w, s.workers, len(s.objs))
+				for o := lo; o < hi; o++ {
+					s.buildRHS(o, i, J, C, s.tmps[w])
+				}
+			})
+		}
+		factErr = s.factorize(J)
+		lo, hi := shard(0, s.workers, len(s.objs))
+		for o := lo; o < hi; o++ {
+			s.buildRHS(o, i, J, C, s.tmps[0])
+		}
+		s.pool.wait(s.workers - 1)
+	} else {
+		factErr = s.factorize(J)
+		for o := range s.objs {
+			s.buildRHS(o, i, J, C, s.tmps[0])
+		}
+	}
+	if factErr != nil {
+		return fmt.Errorf("adjoint: factor step %d: %w", i, factErr)
+	}
+	if s.opt.SingleRHS {
+		for o := range s.objs {
+			s.fact.SolveT(s.lam[o])
+		}
+	} else {
+		s.fact.SolveTMulti(s.lam)
+	}
+	if s.so.on {
+		d := time.Since(tSolve)
+		s.res.Timing.FactorSolve += d
+		s.so.solveSec.AddDuration(d)
+		s.so.tr.Emit(obs.Event{Step: i, Phase: "adjoint_solve", Dur: d})
+	} else {
+		s.res.Timing.FactorSolve += time.Since(tSolve)
+	}
+
+	// Accumulate dO/dp contributions of step i, sharded over parameters.
+	// Each worker owns a disjoint contiguous pk range and its own
+	// evaluator/accumulator scratch; the per-cell operation sequence is
+	// exactly the serial one, and the barrier below keeps the cross-step
+	// accumulation order serial too — so the merge is deterministic and the
+	// result bit-identical for every worker count.
+	tPar := time.Now()
+	xi, ti := s.tr.States[i], s.tr.Times[i]
+	s.pool.run(func(w int) {
+		lo, hi := shard(w, s.workers, len(s.params))
+		if lo >= hi {
+			return
+		}
+		ev, acc := s.evs[w], s.accs[w]
+		for pk := lo; pk < hi; pk++ {
+			acc.Reset()
+			ev.ParamSens(s.params[pk], xi, ti, acc)
+			for o := range s.objs {
+				contrib := 0.0
+				if i >= 1 {
+					invH := 1 / s.tr.Hs[i]
+					for _, k := range acc.Touched {
+						// dfdp_i weight: λ_i for BE, ½λ_i + ½λ_{i+1} for
+						// the trapezoidal rule.
+						fw := s.lam[o][k]
+						if s.trap {
+							fw = 0.5*s.lam[o][k] + s.pendF[o][k]
+						}
+						// dqdp_i weight: λ_i/h_i − λ_{i+1}/h_{i+1}.
+						contrib += fw*acc.DFdp[k] +
+							(invH*s.lam[o][k]-s.pendQ[o][k])*acc.DQdp[k]
+					}
+				} else {
+					// At i=0 F_0 = f(x_0): full λ_0 weight on dfdp, plus
+					// the carries from F_1.
+					for _, k := range acc.Touched {
+						fw := s.lam[o][k]
+						if s.trap {
+							fw += s.pendF[o][k]
+						}
+						contrib += fw*acc.DFdp[k] - s.pendQ[o][k]*acc.DQdp[k]
+					}
+				}
+				// With the Lagrangian L = O − Σ λᵀF and the adjoint
+				// equations satisfied, dO/dp = −Σ λ_iᵀ ∂F_i/∂p.
+				s.res.DOdp[o][pk] -= contrib
+			}
+		}
+	})
+	if s.so.on {
+		d := time.Since(tPar)
+		s.res.Timing.ParamEval += d
+		s.so.paramSec.AddDuration(d)
+		s.so.shards.Add(float64(s.workers))
+		s.so.tr.Emit(obs.Event{Step: i, Phase: "param_eval", Dur: d})
+		s.so.steps.Inc()
+	} else {
+		s.res.Timing.ParamEval += time.Since(tPar)
+	}
+
+	for o := range s.objs {
+		if i >= 1 {
+			invH := 1 / s.tr.Hs[i]
+			for k, v := range s.lam[o] {
+				s.pendQ[o][k] = invH * v
+			}
+			if s.trap {
+				for k, v := range s.lam[o] {
+					s.pendF[o][k] = 0.5 * v
+				}
+			}
+		}
+		s.lamNext[o], s.lam[o] = s.lam[o], s.lamNext[o]
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package adjoint
+
+import (
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"masc/internal/compress/masczip"
+	"masc/internal/faultinject"
+	"masc/internal/jactensor"
+	"masc/internal/sparse"
+	"masc/internal/transient"
+)
+
+// workerCounts is the property-test sweep: serial, small, the machine
+// width, and oversubscribed. MASC_ADJOINT_WORKERS=a,b,c extends the list.
+func workerCounts(tb testing.TB) []int {
+	ws := []int{1, 2, runtime.NumCPU(), runtime.NumCPU() + 3}
+	if env := os.Getenv("MASC_ADJOINT_WORKERS"); env != "" {
+		for _, f := range strings.Split(env, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				tb.Fatalf("MASC_ADJOINT_WORKERS: bad entry %q", f)
+			}
+			ws = append(ws, n)
+		}
+	}
+	return ws
+}
+
+// requireBitIdentical asserts two DOdp matrices match bit for bit.
+func requireBitIdentical(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if len(want.DOdp) != len(got.DOdp) {
+		t.Fatalf("%s: objective count %d != %d", label, len(got.DOdp), len(want.DOdp))
+	}
+	for o := range want.DOdp {
+		for k := range want.DOdp[o] {
+			if math.Float64bits(want.DOdp[o][k]) != math.Float64bits(got.DOdp[o][k]) {
+				t.Fatalf("%s: obj %d param %d: %g != serial %g (not bit-identical)",
+					label, o, k, got.DOdp[o][k], want.DOdp[o][k])
+			}
+		}
+	}
+}
+
+// TestParallelSweepBitIdentical is the tentpole property test: for every
+// circuit family, integrator, objective mix, and worker count (including
+// oversubscription), the parallel sweep must reproduce the serial
+// single-RHS sweep's bits exactly, with and without the blocked multi-RHS
+// kernel.
+func TestParallelSweepBitIdentical(t *testing.T) {
+	type fixture struct {
+		name string
+		tc   testCase
+		trap bool
+	}
+	fixtures := []fixture{
+		{"rc_ladder_be", cases()[0], false},
+		{"diode_rectifier_be", cases()[1], false},
+		{"bjt_amp_trap", cases()[2], true},
+		{"mos_inverter_be", cases()[3], false},
+		{"rlc_tank_trap", cases()[4], true},
+	}
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			ckt, b := fx.tc.build(t)
+			opt := fx.tc.opt
+			if fx.trap {
+				opt.Method = transient.MethodTrap
+			}
+			store := jactensor.NewMemStore()
+			res, err := transient.Run(ckt, captureInto(opt, store))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := store.EndForward(); err != nil {
+				t.Fatal(err)
+			}
+			node, err := b.NodeIndex(fx.tc.obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Final-step, interior-step, and integral objectives: solving
+			// several systems per step exercises the blocked kernel with
+			// k > 1, and the interior anchors exercise sourceAt off the
+			// final step.
+			objs := []Objective{
+				{Name: "final", Node: node, Weight: 1},
+				{Name: "mid", Node: node, Weight: 0.5, Step: res.Steps() / 2},
+				{Name: "integral", Node: node, Weight: 2, Integral: true},
+				{Name: "quarter", Node: node, Weight: -1, Step: res.Steps() / 4},
+			}
+			src := keepAll{store}
+			want, err := Sensitivities(ckt, res, src, objs, Options{Workers: 1, SingleRHS: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerCounts(t) {
+				for _, single := range []bool{false, true} {
+					got, err := Sensitivities(ckt, res, src, objs, Options{Workers: w, SingleRHS: single})
+					if err != nil {
+						t.Fatalf("workers=%d singleRHS=%v: %v", w, single, err)
+					}
+					label := "workers=" + strconv.Itoa(w)
+					if single {
+						label += ",singleRHS"
+					}
+					requireBitIdentical(t, label, want, got)
+				}
+			}
+		})
+	}
+}
+
+// degradedRun builds a fresh fault-injected fixture and sweeps it with the
+// given worker count, returning the clean serial reference and the
+// degraded run. Fresh stores per call: the degradation ladder repairs the
+// store it walks, so reuse would stop exercising it.
+func degradedRun(t *testing.T, workers int, compressed bool) (*Result, *Result) {
+	t.Helper()
+	ckt, b := rcLadder(t)
+	node, err := b.NodeIndex("n6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := faultinject.New(faultinject.Profile{Seed: 11, BitFlipOneIn: 10})
+	var faulty jactensor.Store
+	if compressed {
+		st := jactensor.NewCompressedStore(
+			masczip.New(ckt.JPat, masczip.Options{}), masczip.New(ckt.CPat, masczip.Options{}),
+			ckt.JPat, ckt.CPat)
+		st.SetFault(in)
+		faulty = st
+	} else {
+		st := jactensor.NewMemStore()
+		st.SetFault(in)
+		faulty = st
+	}
+	clean := jactensor.NewMemStore()
+	opt := transient.Options{TStop: 2e-4, TStep: 2e-6}
+	opt.Capture = func(step int, _ float64, _ []float64, J, C *sparse.Matrix) error {
+		if err := clean.Put(step, J.Val, C.Val); err != nil {
+			return err
+		}
+		return faulty.Put(step, J.Val, C.Val)
+	}
+	res, err := transient.Run(ckt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	if err := faulty.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	objs := []Objective{
+		{Node: node, Weight: 1},
+		{Node: node, Weight: 1, Integral: true},
+	}
+	want, err := Sensitivities(ckt, res, clean, objs, Options{Workers: 1, SingleRHS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Sensitivities(ckt, res, faulty, objs, Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("degraded sweep (workers=%d) failed: %v", workers, err)
+	}
+	if !in.Stats().Any() {
+		t.Fatal("injector delivered no faults; test proves nothing")
+	}
+	if len(got.DegradedSteps) == 0 {
+		t.Fatal("faults were injected but no step degraded")
+	}
+	return want, got
+}
+
+// TestParallelDegradedBitIdentical composes the engine with the PR-4 fault
+// tolerance: with bit flips injected into the store, the parallel sweep
+// must still walk the degradation ladder (now on the fetcher goroutine)
+// and finish bit-identical to the fault-free serial run.
+func TestParallelDegradedBitIdentical(t *testing.T) {
+	for _, compressed := range []bool{false, true} {
+		name := "mem"
+		if compressed {
+			name = "compressed"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, w := range workerCounts(t) {
+				want, got := degradedRun(t, w, compressed)
+				requireBitIdentical(t, "workers="+strconv.Itoa(w), want, got)
+			}
+		})
+	}
+}
+
+// TestDirectParallelBitIdentical pins the same property for the forward
+// method: sharded RHS builds plus the blocked SolveMulti must match the
+// serial single-RHS baseline bit for bit.
+func TestDirectParallelBitIdentical(t *testing.T) {
+	for _, trap := range []bool{false, true} {
+		name := "be"
+		if trap {
+			name = "trap"
+		}
+		t.Run(name, func(t *testing.T) {
+			ckt, b := bjtAmp(t)
+			opt := transient.Options{TStop: 5e-5, TStep: 1e-6}
+			if trap {
+				opt.Method = transient.MethodTrap
+			}
+			res, err := transient.Run(ckt, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			node, err := b.NodeIndex("col")
+			if err != nil {
+				t.Fatal(err)
+			}
+			objs := []Objective{
+				{Node: node, Weight: 1},
+				{Node: node, Weight: 1, Integral: true},
+			}
+			want, err := DirectSensitivities(ckt, res, objs, Options{Workers: 1, SingleRHS: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerCounts(t) {
+				got, err := DirectSensitivities(ckt, res, objs, Options{Workers: w})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				requireBitIdentical(t, "workers="+strconv.Itoa(w), want, got)
+			}
+		})
+	}
+}
+
+// TestSweepErrorTeardown pins the overlap path's failure mode: a
+// non-degradable fetch error must surface as an error (not a hang or a
+// panic), with the fetcher goroutine fully drained.
+func TestSweepErrorTeardown(t *testing.T) {
+	ckt, b := rcLadder(t)
+	node, _ := b.NodeIndex("n6")
+	store := jactensor.NewMemStore()
+	res, err := transient.Run(ckt, captureInto(transient.Options{TStop: 2e-4, TStep: 2e-6}, store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	// Sweep once to exhaustion: every step is released, so a second sweep
+	// fails its very first (non-degradable) fetch.
+	objs := []Objective{{Node: node, Weight: 1}}
+	if _, err := Sensitivities(ckt, res, store, objs, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sensitivities(ckt, res, store, objs, Options{Workers: 4, DisableDegrade: true}); err == nil {
+		t.Fatal("second sweep over a released store should fail")
+	}
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"testing"
+
+	"masc/internal/adjoint"
+	"masc/internal/jactensor"
+	"masc/internal/transient"
+	"masc/internal/workload"
+)
+
+// adjointFixture captures one forward trajectory of a multi-objective
+// dataset into a memory store wrapped to ignore releases, so every
+// benchmark iteration sweeps the same tensor.
+func adjointFixture(b *testing.B, name string, scale float64) (*workload.Dataset, *transient.Result, adjoint.JacobianSource) {
+	b.Helper()
+	ds, err := workload.Build(name, scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := jactensor.NewMemStore()
+	tr, err := ds.RunForward(store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, tr, retainAll{store}
+}
+
+// BenchmarkSensitivities sweeps the reverse-sweep engine configurations on
+// a multi-objective workload: the pre-engine baseline (workers=1, one
+// triangular solve per objective), the blocked multi-RHS kernel alone, and
+// the sharded/overlapped engine at increasing worker counts.
+func BenchmarkSensitivities(b *testing.B) {
+	ds, tr, src := adjointFixture(b, "add20", 0.1)
+	for _, cfg := range []struct {
+		name    string
+		workers int
+		single  bool
+	}{
+		{"serial-singleRHS", 1, true},
+		{"serial-multiRHS", 1, false},
+		{"workers2", 2, false},
+		{"workers4", 4, false},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := adjoint.Sensitivities(ds.Ckt, tr, src, ds.Objectives,
+					adjoint.Options{Params: ds.Params, Workers: cfg.workers, SingleRHS: cfg.single})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDirectSensitivities does the same for the forward method, where
+// the multi-RHS batch spans parameters instead of objectives.
+func BenchmarkDirectSensitivities(b *testing.B) {
+	ds, tr, _ := adjointFixture(b, "add20", 0.1)
+	for _, cfg := range []struct {
+		name    string
+		workers int
+		single  bool
+	}{
+		{"serial-singleRHS", 1, true},
+		{"serial-multiRHS", 1, false},
+		{"workers4", 4, false},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := adjoint.DirectSensitivities(ds.Ckt, tr, ds.Objectives,
+					adjoint.Options{Params: ds.Params, Workers: cfg.workers, SingleRHS: cfg.single})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestRunAdjoint gates the experiment itself: it must run at a tiny scale
+// and keep its bit-identity promise (divergence returns an error).
+func TestRunAdjoint(t *testing.T) {
+	rows, err := RunAdjoint([]string{"add20"}, 0.02, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows (baseline + 3 worker counts), got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Sec <= 0 || r.Speedup <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+	}
+	s := FormatAdjoint(rows)
+	if len(s) == 0 {
+		t.Fatal("empty rendering")
+	}
+	t.Log("\n" + s)
+}

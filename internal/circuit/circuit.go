@@ -11,8 +11,10 @@ package circuit
 
 import (
 	"fmt"
+	"sync"
 
 	"masc/internal/device"
+	"masc/internal/lu"
 	"masc/internal/sparse"
 )
 
@@ -31,6 +33,18 @@ type Circuit struct {
 	gToJ, cToJ       []int32
 
 	params []Param
+
+	jPermOnce sync.Once
+	jPerm     []int32
+}
+
+// JPerm returns the fill-reducing RCM column ordering of the union Jacobian
+// pattern, computed once per circuit and shared by every factorization
+// (transient solves, adjoint sweeps, direct sensitivities). Callers must
+// not modify the returned slice.
+func (c *Circuit) JPerm() []int32 {
+	c.jPermOnce.Do(func() { c.jPerm = lu.RCM(c.JPat) })
+	return c.jPerm
 }
 
 // Param is one adjustable parameter of the assembled circuit.

@@ -78,6 +78,11 @@ type LU struct {
 	tick int32
 	stk  []int32 // DFS stack
 	post []int32 // topological order buffer
+
+	// Stride-k workspaces of the multi-RHS solves, grown on demand and
+	// reused so repeated SolveMulti/SolveTMulti calls allocate nothing.
+	mw []float64 // pivot-step-indexed (y / z)
+	mb []float64 // original-row-indexed (permuted b)
 }
 
 // N returns the matrix dimension.

@@ -1,0 +1,142 @@
+package lu
+
+// Blocked multi-right-hand-side solves. The cost of a sparse triangular
+// solve is dominated by pointer-chasing through the factor columns (lp/lrow,
+// up/uk); when the adjoint sweep solves the same factorization for many
+// objectives, traversing those columns once and streaming k right-hand sides
+// through each visited entry amortizes that cost k ways. The k values of one
+// node live contiguously (stride-k layout), so the inner loop over
+// right-hand sides is a dense, cache-friendly sweep.
+//
+// Both kernels are bit-identical to k independent Solve/SolveT calls: every
+// right-hand side sees exactly the same floating-point operations in exactly
+// the same order — the interleaving only reorders operations between
+// independent solves, never within one.
+
+// multiScratch returns the two stride-k workspaces, growing the backing
+// arrays on demand. After the first call with a given k (or any larger
+// one), subsequent multi-solves allocate nothing.
+func (f *LU) multiScratch(k int) (zs, ws []float64) {
+	need := f.n * k
+	if cap(f.mw) < need {
+		f.mw = make([]float64, need)
+	}
+	if cap(f.mb) < need {
+		f.mb = make([]float64, need)
+	}
+	return f.mw[:need], f.mb[:need]
+}
+
+// SolveMulti solves A·x = b in place for every right-hand side in bs: on
+// return each bs[r] holds its solution. The factor columns are traversed
+// once for all len(bs) systems. Results are bit-identical to calling Solve
+// on each right-hand side individually. bs[r] must not alias each other.
+func (f *LU) SolveMulti(bs [][]float64) {
+	k := len(bs)
+	switch k {
+	case 0:
+		return
+	case 1:
+		f.Solve(bs[0])
+		return
+	}
+	n := f.n
+	zs, ws := f.multiScratch(k)
+	// Scatter the right-hand sides into the original-row-indexed workspace.
+	for r, b := range bs {
+		for i := 0; i < n; i++ {
+			ws[i*k+r] = b[i]
+		}
+	}
+	// Forward solve L̂ y = P b, processing pivot steps in order. ws plays
+	// the role of the in-place-updated b; zs holds y.
+	for kk := 0; kk < n; kk++ {
+		base := kk * k
+		copy(zs[base:base+k], ws[int(f.prow[kk])*k:int(f.prow[kk])*k+k])
+		for p := f.lp[kk]; p < f.lp[kk+1]; p++ {
+			l := f.lx[p]
+			wb := int(f.lrow[p]) * k
+			for r := 0; r < k; r++ {
+				ws[wb+r] -= zs[base+r] * l
+			}
+		}
+	}
+	// Back solve Û x̂ = y.
+	for j := n - 1; j >= 0; j-- {
+		base := j * k
+		d := f.ud[j]
+		for r := 0; r < k; r++ {
+			zs[base+r] /= d
+		}
+		for p := f.up[j]; p < f.up[j+1]; p++ {
+			u := f.ux[p]
+			ub := int(f.uk[p]) * k
+			for r := 0; r < k; r++ {
+				zs[ub+r] -= zs[base+r] * u
+			}
+		}
+	}
+	// Un-permute: x[q[j]] = x̂[j].
+	for j := 0; j < n; j++ {
+		base := j * k
+		qj := f.q[j]
+		for r, b := range bs {
+			b[qj] = zs[base+r]
+		}
+	}
+}
+
+// SolveTMulti solves Aᵀ·x = b in place for every right-hand side in bs,
+// traversing the factor columns once for all len(bs) systems — the adjoint
+// sweep's one-factorization-many-objectives kernel. Results are
+// bit-identical to calling SolveT on each right-hand side individually.
+// bs[r] must not alias each other.
+func (f *LU) SolveTMulti(bs [][]float64) {
+	k := len(bs)
+	switch k {
+	case 0:
+		return
+	case 1:
+		f.SolveT(bs[0])
+		return
+	}
+	n := f.n
+	zs, _ := f.multiScratch(k)
+	// Forward solve Ûᵀ z = ĉ with ĉ[j] = b[q[j]].
+	for j := 0; j < n; j++ {
+		base := j * k
+		qj := f.q[j]
+		for r, b := range bs {
+			zs[base+r] = b[qj]
+		}
+		for p := f.up[j]; p < f.up[j+1]; p++ {
+			u := f.ux[p]
+			ub := int(f.uk[p]) * k
+			for r := 0; r < k; r++ {
+				zs[base+r] -= u * zs[ub+r]
+			}
+		}
+		d := f.ud[j]
+		for r := 0; r < k; r++ {
+			zs[base+r] /= d
+		}
+	}
+	// Back solve L̂ᵀ ŷ = z; x[prow[kk]] = ŷ[kk].
+	for kk := n - 1; kk >= 0; kk-- {
+		base := kk * k
+		for p := f.lp[kk]; p < f.lp[kk+1]; p++ {
+			l := f.lx[p]
+			sb := int(f.pinv[f.lrow[p]]) * k
+			for r := 0; r < k; r++ {
+				zs[base+r] -= l * zs[sb+r]
+			}
+		}
+	}
+	for kk := 0; kk < n; kk++ {
+		base := kk * k
+		row := f.prow[kk]
+		for r, b := range bs {
+			b[row] = zs[base+r]
+		}
+	}
+}

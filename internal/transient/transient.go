@@ -195,7 +195,7 @@ func newSolver(ckt *circuit.Circuit, opt Options, st *Stats) *solver {
 		ev:   circuit.NewEval(ckt),
 		opt:  opt,
 		J:    sparse.NewMatrix(ckt.JPat),
-		perm: lu.RCM(ckt.JPat),
+		perm: ckt.JPerm(),
 		res:  make([]float64, ckt.N),
 		st:   st,
 	}

@@ -155,6 +155,12 @@ type SimOptions struct {
 	Storage Storage
 	// Workers bounds the parallel compressor (default 1).
 	Workers int
+	// AdjointWorkers bounds the reverse sweep's parallelism: values > 1
+	// shard the parameter-gradient loop and the per-objective RHS builds
+	// across that many workers and overlap Jacobian fetches with the
+	// adjoint compute. 0 and 1 both mean fully serial. Sensitivities are
+	// bit-identical for every value.
+	AdjointWorkers int
 	// Async pipelines the compressed store: compression runs on a
 	// background worker so the transient loop proceeds to step t+1 while
 	// step t-1 compresses, and the reverse sweep prefetches the next step
@@ -301,7 +307,8 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 		src = adjoint.NewRecomputeSource(ckt, tr)
 	}
 	sens, err := adjoint.Sensitivities(ckt, tr, src, objectives,
-		adjoint.Options{Params: params, Obs: opt.Obs, DisableDegrade: opt.DisableDegrade})
+		adjoint.Options{Params: params, Obs: opt.Obs, DisableDegrade: opt.DisableDegrade,
+			Workers: opt.AdjointWorkers})
 	if err != nil {
 		if store != nil {
 			store.Close()

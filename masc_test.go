@@ -132,3 +132,40 @@ func TestDirectMatchesAdjointFacade(t *testing.T) {
 		}
 	}
 }
+
+// TestSimulateAdjointWorkersBitIdentical pins the facade contract of
+// SimOptions.AdjointWorkers: the parallel reverse sweep (sharded dF/dp,
+// multi-RHS solves, fetch/solve overlap) must reproduce the serial sweep's
+// sensitivities bit for bit, on both raw and compressed storage.
+func TestSimulateAdjointWorkersBitIdentical(t *testing.T) {
+	ckt, b, obj := buildTestCircuit(t)
+	mid, err := b.NodeIndex("mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := []Objective{obj, {Name: "int_v(mid)", Node: mid, Weight: 1, Integral: true}}
+	for _, st := range []Storage{StorageMemory, StorageMASC} {
+		serial, err := Simulate(ckt, SimOptions{
+			TStep: 2e-6, TStop: 4e-4, Storage: st,
+		}, objs, nil)
+		if err != nil {
+			t.Fatalf("%s serial: %v", st, err)
+		}
+		for _, w := range []int{2, 5} {
+			par, err := Simulate(ckt, SimOptions{
+				TStep: 2e-6, TStop: 4e-4, Storage: st, AdjointWorkers: w,
+			}, objs, nil)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", st, w, err)
+			}
+			for o := range serial.Sens.DOdp {
+				for k := range serial.Sens.DOdp[o] {
+					a, bv := serial.Sens.DOdp[o][k], par.Sens.DOdp[o][k]
+					if math.Float64bits(a) != math.Float64bits(bv) {
+						t.Fatalf("%s workers=%d: obj %d sens %d diverges: %g vs %g", st, w, o, k, bv, a)
+					}
+				}
+			}
+		}
+	}
+}
