@@ -5,8 +5,8 @@
 //	masc-bench -experiment all -scale 0.25
 //
 // Experiments: table1, fig1, table2, table3, fig5b, fig6, fig7, parallel,
-// pipeline, adjoint, memory, ablation, all. Scale 1 is the benchmark size
-// (minutes); use smaller scales for a quick look.
+// pipeline, adjoint, windows, memory, ablation, all. Scale 1 is the
+// benchmark size (minutes); use smaller scales for a quick look.
 package main
 
 import (
@@ -22,22 +22,23 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("experiment", "all", "table1|fig1|table2|table3|fig5b|fig6|fig7|parallel|pipeline|adjoint|memory|ablation|all")
+		exp        = flag.String("experiment", "all", "table1|fig1|table2|table3|fig5b|fig6|fig7|parallel|pipeline|adjoint|windows|memory|ablation|all")
 		scale      = flag.Float64("scale", 1.0, "workload scale (1 = benchmark size)")
 		workers    = flag.Int("workers", runtime.NumCPU(), "parallel compressor workers")
 		adjWorkers = flag.Int("adjoint-workers", 0, "adjoint experiment: extra reverse-sweep worker count to measure (0 = just the built-in 1/2/4 sweep)")
+		adjWindows = flag.Int("adjoint-windows", 0, "windows experiment: extra window count to measure (0 = just the built-in 2/4/NumCPU sweep)")
 		depth      = flag.Int("pipeline-depth", 2, "async pipeline depth for the pipeline experiment")
 		diskBps    = flag.Float64("disk-bps", bench.DefaultDiskBps, "simulated disk bandwidth (bytes/s)")
 		statsJSON  = flag.String("stats-json", "", "write every experiment's raw rows as one JSON document")
 	)
 	flag.Parse()
-	if err := run(strings.ToLower(*exp), *scale, *workers, *adjWorkers, *depth, *diskBps, *statsJSON); err != nil {
+	if err := run(strings.ToLower(*exp), *scale, *workers, *adjWorkers, *adjWindows, *depth, *diskBps, *statsJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "masc-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale float64, workers, adjWorkers, depth int, diskBps float64, statsJSON string) error {
+func run(exp string, scale float64, workers, adjWorkers, adjWindows, depth int, diskBps float64, statsJSON string) error {
 	all := exp == "all"
 	did := false
 	// The manifest mirrors every experiment's raw rows, so a -stats-json
@@ -140,6 +141,19 @@ func run(exp string, scale float64, workers, adjWorkers, depth int, diskBps floa
 		}
 		fmt.Print(bench.FormatAdjoint(rows))
 		man.Section("adjoint", rows)
+	}
+	if all || exp == "windows" {
+		section("Parallel-in-time windowed adjoint — concurrent sweeps over window slices")
+		ws := []int{2, 4, runtime.NumCPU()}
+		if adjWindows > 1 {
+			ws = append(ws, adjWindows)
+		}
+		rows, err := bench.RunWindows(nil, scale, ws)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatWindows(rows))
+		man.Section("windows", rows)
 	}
 	if all || exp == "memory" {
 		section("Memory footprint by storage strategy (measured)")

@@ -38,6 +38,7 @@ func main() {
 		dirTol  = flag.Float64("direct-tol", 1e-4, "adjoint-vs-direct relative tolerance")
 		workers = flag.Int("workers", 1, "masczip compression workers")
 		depth   = flag.Int("pipeline-depth", 2, "async store queue depth")
+		windows = flag.Int("adjoint-windows", 0, "chaos mode: parallel-in-time window sweeps for the reverse pass (0/1 = one sweep)")
 		verbose = flag.Bool("v", false, "log every case")
 
 		chaos      = flag.Bool("chaos", false, "run the fault-injection gauntlet instead of the differential matrix")
@@ -63,11 +64,12 @@ func main() {
 	}
 
 	opt := verify.Options{
-		Workers:       *workers,
-		PipelineDepth: *depth,
-		FDChecks:      *fd,
-		FDTol:         *fdTol,
-		DirectTol:     *dirTol,
+		Workers:        *workers,
+		PipelineDepth:  *depth,
+		AdjointWindows: *windows,
+		FDChecks:       *fd,
+		FDTol:          *fdTol,
+		DirectTol:      *dirTol,
 	}
 	if *verbose {
 		opt.Logf = func(format string, args ...interface{}) {

@@ -35,6 +35,7 @@ type cli struct {
 	path, storage       string
 	workers, depth, top int
 	adjWorkers          int
+	adjWindows          int
 	async               bool
 	diskBps             float64
 	csvPath             string
@@ -49,6 +50,7 @@ func main() {
 	flag.StringVar(&c.storage, "storage", "masc", "jacobian storage: recompute|memory|disk|masc|masc+markov")
 	flag.IntVar(&c.workers, "workers", 1, "parallel compressor workers")
 	flag.IntVar(&c.adjWorkers, "adjoint-workers", 1, "reverse-sweep workers (shards dF/dp + overlaps fetches; results are bit-identical for any count)")
+	flag.IntVar(&c.adjWindows, "adjoint-windows", 0, "parallel-in-time window sweeps: N>1 concurrent windows, -1 auto-sizes from CPUs and step count, 0/1 one sweep (results are bit-identical for any value)")
 	flag.BoolVar(&c.async, "async", false, "pipeline MASC compression on a background worker (overlaps with the solve)")
 	flag.IntVar(&c.depth, "pipeline-depth", 2, "async mode: max timesteps the solver may run ahead of the compressor")
 	flag.Float64Var(&c.diskBps, "disk-bps", 0, "simulated disk bandwidth in bytes/s (0 = unthrottled)")
@@ -136,6 +138,7 @@ func run(c cli) error {
 		Storage:           masc.Storage(c.storage),
 		Workers:           c.workers,
 		AdjointWorkers:    c.adjWorkers,
+		AdjointWindows:    c.adjWindows,
 		Async:             c.async,
 		PipelineDepth:     c.depth,
 		DiskBytesPerSec:   c.diskBps,
@@ -244,6 +247,7 @@ func writeManifest(c cli, deck *masc.Deck, run *masc.Run, reg *masc.Registry, st
 		Set("storage", c.storage).
 		Set("workers", c.workers).
 		Set("adjoint_workers", c.adjWorkers).
+		Set("adjoint_windows", c.adjWindows).
 		Set("async", c.async).
 		Set("pipeline_depth", c.depth).
 		Set("disk_bps", c.diskBps).
@@ -253,6 +257,7 @@ func writeManifest(c cli, deck *masc.Deck, run *masc.Run, reg *masc.Registry, st
 		man.Set("storage", string(run.Storage))
 		man.Section("transient", run.Tran.Stats)
 		man.Section("sensitivity_timing", run.Sens.Timing)
+		man.Set("adjoint_windows_ran", run.Sens.Windows)
 		if run.Storage != masc.StorageRecompute {
 			man.Section("tensor", run.TensorStats)
 		}

@@ -108,6 +108,15 @@ type Options struct {
 	// blocked multi-RHS kernel. Results are bit-identical either way; the
 	// knob exists so benchmarks can isolate the multi-RHS win.
 	SingleRHS bool
+
+	// Windows splits the reverse sweep in time: the trajectory is cut into
+	// W windows whose reverse sweeps run concurrently, each seeded with
+	// the adjoint state at its top boundary by a parameter-free seeding
+	// sweep (see windowed.go). 0 and 1 mean the plain single-sweep engine;
+	// results are bit-identical for every value of Windows, including
+	// degraded (recompute-on-corruption) runs. Composes with Workers: each
+	// window sweep gets its own worker pool of opt.Workers.
+	Windows int
 }
 
 // DegradeError reports a step that could be neither fetched nor
@@ -143,6 +152,8 @@ type sweepObs struct {
 	degraded  *obs.Counter
 	shards    *obs.Counter
 	workers   *obs.Gauge
+	windows   *obs.Gauge
+	winSweep  *obs.Histogram
 }
 
 func newSweepObs(o *obs.Observer) sweepObs {
@@ -162,6 +173,8 @@ func newSweepObs(o *obs.Observer) sweepObs {
 		degraded:  reg.Counter("masc_store_degraded_total", "Reverse-sweep steps recovered by per-step recomputation after a storage failure."),
 		shards:    reg.Counter("masc_adjoint_param_shards_total", "Parameter-gradient shard tasks executed."),
 		workers:   reg.Gauge("masc_adjoint_workers", "Worker count of the most recent adjoint sweep."),
+		windows:   reg.Gauge("masc_adjoint_windows", "Window count of the most recent adjoint sweep (1 = serial)."),
+		winSweep:  reg.Histogram("masc_adjoint_window_sweep_seconds", "Per-window reverse-sweep wall time.", obs.TimingBuckets()),
 	}
 }
 
@@ -189,6 +202,15 @@ type Result struct {
 	// stored Jacobians could not be fetched and were recomputed instead.
 	// Empty on a healthy run.
 	DegradedSteps []int
+
+	// Windows is the window count the sweep actually ran with: 1 for the
+	// plain single-sweep engine, including Windows > 1 requests that fell
+	// back for lack of usable boundaries. WindowSweepSec[j] is window j's
+	// reverse-sweep wall time in ascending window order; the last entry is
+	// the seeding sweep, which doubles as the topmost window. Empty for
+	// single-sweep runs.
+	Windows        int
+	WindowSweepSec []float64
 }
 
 // Sensitivities runs the adjoint reverse sweep over the trajectory tr.
@@ -212,6 +234,14 @@ func Sensitivities(ckt *circuit.Circuit, tr *transient.Result, src JacobianSourc
 	trap, err := isTrap(tr)
 	if err != nil {
 		return nil, err
+	}
+	if opt.Windows > 1 {
+		if res, handled, werr := runWindowed(ckt, tr, src, objs, params, trap, opt); handled {
+			return res, werr
+		}
+		// No usable window boundaries (short trajectory, un-anchored
+		// compressed store, …): the serial sweep is the W=1 degenerate
+		// case, so fall through to it.
 	}
 	return newSweep(ckt, tr, src, objs, params, trap, opt).run()
 }

@@ -128,7 +128,35 @@ type sweep struct {
 	opt    Options
 	params []int
 	trap   bool
-	n      int
+	n      int // last step of the trajectory (global, even for windows)
+
+	// Window-local sweep range [loStep, hiStep]; newSweep initializes the
+	// full [0, n] and the windowed engine narrows it. The recurrence at
+	// hiStep < n starts from a seed captured by the seeding sweep instead
+	// of the terminal condition.
+	hiStep, loStep int
+	seed           *windowSeed
+
+	// stepContrib redirects the per-step dO/dp contributions into
+	// per-step buffers (indexed [i-loStep][o*len(params)+pk]) instead of
+	// accumulating into res.DOdp. The windowed engine folds the buffers in
+	// global descending-step order afterwards, reproducing the serial
+	// accumulation sequence bit for bit. (Per-window partial sums would
+	// not: float addition is not associative.)
+	stepContrib [][]float64
+
+	// skipParamsAtOrBelow suppresses the parameter-gradient accumulation
+	// for steps i <= the bound (-1 disables nothing): the seeding sweep
+	// still fetches, factorizes, solves, and updates the λ carries —
+	// exactly the state future windows seed from — without paying the
+	// ParamEval its windows will perform.
+	skipParamsAtOrBelow int
+
+	// stop, when non-nil, aborts the sweep cooperatively at the next step
+	// boundary (the windowed engine's shared teardown signal). afterStep
+	// runs at the end of every processStep — the seed-capture hook.
+	stop      <-chan struct{}
+	afterStep func(i int)
 
 	workers int
 	pool    *workerPool
@@ -168,7 +196,10 @@ func newSweep(ckt *circuit.Circuit, tr *transient.Result, src JacobianSource, ob
 		pool:    newWorkerPool(w),
 		perm:    ckt.JPerm(),
 		so:      newSweepObs(opt.Obs),
+
+		skipParamsAtOrBelow: -1,
 	}
+	s.hiStep, s.loStep = s.n, 0
 	N := ckt.N
 	s.lam = make([][]float64, len(objs))
 	s.lamNext = make([][]float64, len(objs))
@@ -191,8 +222,9 @@ func newSweep(ckt *circuit.Circuit, tr *transient.Result, src JacobianSource, ob
 		s.tmps[i] = make([]float64, N)
 	}
 	s.res = &Result{
-		DOdp:   make([][]float64, len(objs)),
-		Params: params,
+		DOdp:    make([][]float64, len(objs)),
+		Params:  params,
+		Windows: 1,
 	}
 	for o := range s.res.DOdp {
 		s.res.DOdp[o] = make([]float64, len(params))
@@ -257,7 +289,10 @@ func (s *sweep) acquire(i int) (jv, cv []float64, degraded bool, err error) {
 // original serial sweep.
 func (s *sweep) runSerialFetch() error {
 	t0 := time.Now()
-	for i := s.n; i >= 0; i-- {
+	for i := s.hiStep; i >= s.loStep; i-- {
+		if err := s.checkStop(); err != nil {
+			return err
+		}
 		tFetch := time.Now()
 		jv, cv, degraded, err := s.acquire(i)
 		if err != nil {
@@ -269,16 +304,34 @@ func (s *sweep) runSerialFetch() error {
 		// mirroring Algorithm 2's "decompress M_{n-1} using M_n, then free
 		// M_n". Releasing earlier would drop the decompression reference
 		// chain of a compressed store.
-		if i < s.n {
+		if i < s.hiStep {
 			s.src.Release(i + 1)
 		}
 		if err := s.processStep(i, jv, cv); err != nil {
 			return err
 		}
 	}
-	s.src.Release(0)
+	s.src.Release(s.loStep)
 	s.res.Timing.Total = time.Since(t0)
 	return nil
+}
+
+// errSweepStopped is the cooperative-abort sentinel: a window sweep that saw
+// the shared stop signal (because a sibling failed) returns it so the
+// orchestrator can distinguish casualties from the root cause.
+var errSweepStopped = errors.New("adjoint: sweep aborted")
+
+// checkStop polls the windowed engine's shared teardown signal.
+func (s *sweep) checkStop() error {
+	if s.stop == nil {
+		return nil
+	}
+	select {
+	case <-s.stop:
+		return errSweepStopped
+	default:
+		return nil
+	}
 }
 
 // runOverlapped is the workers > 1 path: a fetcher goroutine owns every
@@ -296,7 +349,10 @@ func (s *sweep) runOverlapped() error {
 
 	go func() {
 		defer close(results)
-		for i := s.n; i >= 0; i-- {
+		for i := s.hiStep; i >= s.loStep; i-- {
+			if s.checkStop() != nil {
+				return
+			}
 			var buf *fetchBuf
 			select {
 			case buf = <-free:
@@ -313,7 +369,7 @@ func (s *sweep) runOverlapped() error {
 			// returned backing arrays (RecomputeSource always does).
 			buf.jv = append(buf.jv[:0], jv...)
 			buf.cv = append(buf.cv[:0], cv...)
-			if i < s.n {
+			if i < s.hiStep {
 				s.src.Release(i + 1)
 			}
 			buf.step = i
@@ -325,7 +381,7 @@ func (s *sweep) runOverlapped() error {
 				return
 			}
 		}
-		s.src.Release(0)
+		s.src.Release(s.loStep)
 	}()
 
 	// halt tears the pipeline down on an error: signal the fetcher, then
@@ -337,7 +393,11 @@ func (s *sweep) runOverlapped() error {
 		}
 	}
 
-	for i := s.n; i >= 0; i-- {
+	for i := s.hiStep; i >= s.loStep; i-- {
+		if err := s.checkStop(); err != nil {
+			halt()
+			return err
+		}
 		tWait := time.Now()
 		buf, ok := <-results
 		wait := time.Since(tWait)
@@ -346,6 +406,9 @@ func (s *sweep) runOverlapped() error {
 			case err := <-errCh:
 				return err
 			default:
+				if s.checkStop() != nil {
+					return errSweepStopped
+				}
 				return fmt.Errorf("adjoint: fetch pipeline stopped before step %d", i)
 			}
 		}
@@ -514,59 +577,73 @@ func (s *sweep) processStep(i int, jv, cv []float64) error {
 	// evaluator/accumulator scratch; the per-cell operation sequence is
 	// exactly the serial one, and the barrier below keeps the cross-step
 	// accumulation order serial too — so the merge is deterministic and the
-	// result bit-identical for every worker count.
-	tPar := time.Now()
-	xi, ti := s.tr.States[i], s.tr.Times[i]
-	s.pool.run(func(w int) {
-		lo, hi := shard(w, s.workers, len(s.params))
-		if lo >= hi {
-			return
+	// result bit-identical for every worker count. A seeding sweep skips
+	// this block below its bound (a window owns those steps); λ carries and
+	// the swap below still run, because seeds depend on them.
+	if i > s.skipParamsAtOrBelow {
+		tPar := time.Now()
+		xi, ti := s.tr.States[i], s.tr.Times[i]
+		var row []float64
+		if s.stepContrib != nil {
+			row = s.stepContrib[i-s.loStep]
 		}
-		ev, acc := s.evs[w], s.accs[w]
-		for pk := lo; pk < hi; pk++ {
-			acc.Reset()
-			ev.ParamSens(s.params[pk], xi, ti, acc)
-			for o := range s.objs {
-				contrib := 0.0
-				if i >= 1 {
-					invH := 1 / s.tr.Hs[i]
-					for _, k := range acc.Touched {
-						// dfdp_i weight: λ_i for BE, ½λ_i + ½λ_{i+1} for
-						// the trapezoidal rule.
-						fw := s.lam[o][k]
-						if s.trap {
-							fw = 0.5*s.lam[o][k] + s.pendF[o][k]
+		s.pool.run(func(w int) {
+			lo, hi := shard(w, s.workers, len(s.params))
+			if lo >= hi {
+				return
+			}
+			ev, acc := s.evs[w], s.accs[w]
+			for pk := lo; pk < hi; pk++ {
+				acc.Reset()
+				ev.ParamSens(s.params[pk], xi, ti, acc)
+				for o := range s.objs {
+					contrib := 0.0
+					if i >= 1 {
+						invH := 1 / s.tr.Hs[i]
+						for _, k := range acc.Touched {
+							// dfdp_i weight: λ_i for BE, ½λ_i + ½λ_{i+1} for
+							// the trapezoidal rule.
+							fw := s.lam[o][k]
+							if s.trap {
+								fw = 0.5*s.lam[o][k] + s.pendF[o][k]
+							}
+							// dqdp_i weight: λ_i/h_i − λ_{i+1}/h_{i+1}.
+							contrib += fw*acc.DFdp[k] +
+								(invH*s.lam[o][k]-s.pendQ[o][k])*acc.DQdp[k]
 						}
-						// dqdp_i weight: λ_i/h_i − λ_{i+1}/h_{i+1}.
-						contrib += fw*acc.DFdp[k] +
-							(invH*s.lam[o][k]-s.pendQ[o][k])*acc.DQdp[k]
+					} else {
+						// At i=0 F_0 = f(x_0): full λ_0 weight on dfdp, plus
+						// the carries from F_1.
+						for _, k := range acc.Touched {
+							fw := s.lam[o][k]
+							if s.trap {
+								fw += s.pendF[o][k]
+							}
+							contrib += fw*acc.DFdp[k] - s.pendQ[o][k]*acc.DQdp[k]
+						}
 					}
-				} else {
-					// At i=0 F_0 = f(x_0): full λ_0 weight on dfdp, plus
-					// the carries from F_1.
-					for _, k := range acc.Touched {
-						fw := s.lam[o][k]
-						if s.trap {
-							fw += s.pendF[o][k]
-						}
-						contrib += fw*acc.DFdp[k] - s.pendQ[o][k]*acc.DQdp[k]
+					if row != nil {
+						// Windowed mode: park the contribution; the fold
+						// applies them in the serial accumulation order.
+						row[o*len(s.params)+pk] = contrib
+					} else {
+						// With the Lagrangian L = O − Σ λᵀF and the adjoint
+						// equations satisfied, dO/dp = −Σ λ_iᵀ ∂F_i/∂p.
+						s.res.DOdp[o][pk] -= contrib
 					}
 				}
-				// With the Lagrangian L = O − Σ λᵀF and the adjoint
-				// equations satisfied, dO/dp = −Σ λ_iᵀ ∂F_i/∂p.
-				s.res.DOdp[o][pk] -= contrib
 			}
+		})
+		if s.so.on {
+			d := time.Since(tPar)
+			s.res.Timing.ParamEval += d
+			s.so.paramSec.AddDuration(d)
+			s.so.shards.Add(float64(s.workers))
+			s.so.tr.Emit(obs.Event{Step: i, Phase: "param_eval", Dur: d})
+			s.so.steps.Inc()
+		} else {
+			s.res.Timing.ParamEval += time.Since(tPar)
 		}
-	})
-	if s.so.on {
-		d := time.Since(tPar)
-		s.res.Timing.ParamEval += d
-		s.so.paramSec.AddDuration(d)
-		s.so.shards.Add(float64(s.workers))
-		s.so.tr.Emit(obs.Event{Step: i, Phase: "param_eval", Dur: d})
-		s.so.steps.Inc()
-	} else {
-		s.res.Timing.ParamEval += time.Since(tPar)
 	}
 
 	for o := range s.objs {
@@ -582,6 +659,9 @@ func (s *sweep) processStep(i int, jv, cv []float64) error {
 			}
 		}
 		s.lamNext[o], s.lam[o] = s.lam[o], s.lamNext[o]
+	}
+	if s.afterStep != nil {
+		s.afterStep(i)
 	}
 	return nil
 }

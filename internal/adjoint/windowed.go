@@ -1,0 +1,402 @@
+package adjoint
+
+// Parallel-in-time windowed reverse sweeps. The trajectory [0, n] is cut
+// into W windows at ascending "top" boundaries t_0 < t_1 < … < t_{W-1} = n
+// (window j owns steps [t_{j-1}+1, t_j]; window 0 owns [0, t_0]) and the W
+// window-local reverse sweeps run concurrently.
+//
+// The adjoint recurrence is sequential in time, so windows below the top
+// cannot start cold: a *seeding sweep* descends from n performing only the
+// fetch + factorize + solve chain (no parameter-gradient accumulation below
+// its own window) and, as it crosses each boundary, hands the window a seed
+// — deep copies of λ_{t_j+1} and the pend carries, plus a clone of the LU
+// factorization state — which is exactly the serial sweep's state at that
+// point. The seeding sweep doubles as the topmost window (it accumulates
+// parameter gradients for steps above t_{W-2}), so its fetch/factor/solve
+// work is never duplicated there.
+//
+// Bit identity for every W (the tentpole contract) rests on three pillars:
+//
+//  1. Seeds are bit-exact serial state: the seeding sweep executes the
+//     identical per-step operation sequence the serial engine would, and
+//     lu.Clone copies the numeric factorization state verbatim, so each
+//     window's first Refactor sees exactly what the serial sweep's would.
+//  2. Parameter-gradient contributions are parked per (step, objective,
+//     parameter) in flat buffers and folded into DOdp afterwards in global
+//     descending-step order — the serial accumulation sequence. (Summing
+//     per window and merging would reorder float additions.)
+//  3. Each window fetches through its own view of the store — a StoreSlice
+//     with forked decoders for anchored compressed stores, a copy-on-fetch
+//     sharedSource for random-access sources — so concurrent sweeps decode
+//     the same bytes the serial sweep would, independently.
+//
+// Degraded runs stay bit-identical too: recomputation is a pure function of
+// the trajectory, and the ladder heals each corrupt step with the same
+// plaintext regardless of which sweep hits it first.
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"masc/internal/circuit"
+	"masc/internal/jactensor"
+	"masc/internal/lu"
+	"masc/internal/transient"
+)
+
+// windowSeed is the adjoint state a window sweep starts from: the state the
+// serial sweep would have after processing step t_j+1, captured by the
+// seeding sweep as it crosses the boundary.
+type windowSeed struct {
+	lamNext [][]float64 // λ_{t_j+1} per objective
+	pendQ   [][]float64
+	pendF   [][]float64
+	fact    *lu.LU // factorization state entering step t_j
+}
+
+// captureSeed deep-copies the sweep's boundary state. Must run between
+// processStep calls (the windowed engine calls it from afterStep).
+func captureSeed(s *sweep) *windowSeed {
+	seed := &windowSeed{
+		lamNext: make([][]float64, len(s.objs)),
+		pendQ:   make([][]float64, len(s.objs)),
+		pendF:   make([][]float64, len(s.objs)),
+	}
+	for o := range s.objs {
+		seed.lamNext[o] = append([]float64(nil), s.lamNext[o]...)
+		seed.pendQ[o] = append([]float64(nil), s.pendQ[o]...)
+		if s.trap {
+			seed.pendF[o] = append([]float64(nil), s.pendF[o]...)
+		}
+	}
+	if s.fact != nil {
+		seed.fact = s.fact.Clone()
+	}
+	return seed
+}
+
+// applySeed installs a boundary seed into a freshly constructed sweep.
+func (s *sweep) applySeed(seed *windowSeed) {
+	s.seed = seed
+	for o := range s.objs {
+		copy(s.lamNext[o], seed.lamNext[o])
+		copy(s.pendQ[o], seed.pendQ[o])
+		if s.trap {
+			copy(s.pendF[o], seed.pendF[o])
+		}
+	}
+	s.fact = seed.fact
+}
+
+// sliceableSource is a JacobianSource that supports independent concurrent
+// window views: anchored jactensor.CompressedStores. AnchorSteps doubles as
+// the boundary menu — every anchor is a self-contained restart point of the
+// compressed prediction chain.
+type sliceableSource interface {
+	AnchorSteps() []int
+	Slice(lo, hi int) (*jactensor.StoreSlice, error)
+}
+
+// windowBoundaries picks the ascending window tops for a W-way split of
+// [0, n]; the last top is always n. Anchored compressed stores constrain
+// boundaries to their anchor steps (a window top must be self-contained to
+// decode without the upper window's chain); random-access sources split
+// arithmetically. Returns nil when no usable split exists — the caller
+// falls back to the serial engine.
+func windowBoundaries(src JacobianSource, n, W int) []int {
+	if W > n+1 {
+		W = n + 1 // at most one step per window
+	}
+	if W < 2 {
+		return nil
+	}
+	if as, ok := src.(sliceableSource); ok {
+		anchors := as.AnchorSteps()
+		if len(anchors) == 0 {
+			return nil // forward pass not finished — cannot window
+		}
+		interior := anchors[:len(anchors)-1] // last entry is the head step n
+		tops := make([]int, 0, W)
+		if len(interior) <= W-1 {
+			// Fewer anchors than requested cuts: use them all (W shrinks).
+			tops = append(tops, interior...)
+		} else {
+			// Evenly spaced picks; strictly increasing because
+			// len(interior) >= W.
+			for k := 0; k < W-1; k++ {
+				tops = append(tops, interior[(k+1)*len(interior)/W])
+			}
+		}
+		tops = append(tops, n)
+		if len(tops) < 2 {
+			return nil
+		}
+		return tops
+	}
+	tops := make([]int, 0, W)
+	for j := 1; j <= W; j++ {
+		t := j*(n+1)/W - 1
+		if len(tops) == 0 || t > tops[len(tops)-1] {
+			tops = append(tops, t)
+		}
+	}
+	if len(tops) < 2 {
+		return nil
+	}
+	return tops
+}
+
+// sharedSource adapts a random-access JacobianSource (MemStore, DiskStore,
+// RecomputeSource) for concurrent window sweeps: every Fetch is serialized
+// under one mutex and copied into an owned buffer on first access (sources
+// may alias internal scratch, and MemStore frees on Release), after which
+// the base step is released immediately. Per-step refcounts — one per sweep
+// that will fetch the step — free the copy on the last Release, keeping the
+// resident footprint at the serial sweep's level plus the in-flight window
+// frontier.
+type sharedSource struct {
+	base JacobianSource
+	mu   sync.Mutex
+	refs []int
+	js   [][]float64
+	cs   [][]float64
+}
+
+// newSharedSource sizes the refcounts for the windowed fetch plan over the
+// given tops: the seeding sweep covers (t_0, n], window j covers its own
+// range, so steps in (t_0, t_{W-2}] are fetched twice and the rest once.
+func newSharedSource(base JacobianSource, tops []int) *sharedSource {
+	n := tops[len(tops)-1]
+	t0 := tops[0]
+	tPen := tops[len(tops)-2]
+	ss := &sharedSource{
+		base: base,
+		refs: make([]int, n+1),
+		js:   make([][]float64, n+1),
+		cs:   make([][]float64, n+1),
+	}
+	for i := 0; i <= n; i++ {
+		if i > t0 && i <= tPen {
+			ss.refs[i] = 2
+		} else {
+			ss.refs[i] = 1
+		}
+	}
+	return ss
+}
+
+func (ss *sharedSource) Fetch(i int) ([]float64, []float64, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.js[i] != nil {
+		return ss.js[i], ss.cs[i], nil
+	}
+	jv, cv, err := ss.base.Fetch(i)
+	if err != nil {
+		return nil, nil, err // not cached: the ladder may heal and refetch
+	}
+	ss.js[i] = append([]float64(nil), jv...)
+	ss.cs[i] = append([]float64(nil), cv...)
+	ss.base.Release(i)
+	return ss.js[i], ss.cs[i], nil
+}
+
+func (ss *sharedSource) Release(i int) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if i < 0 || i >= len(ss.refs) {
+		return
+	}
+	ss.refs[i]--
+	if ss.refs[i] <= 0 {
+		ss.js[i], ss.cs[i] = nil, nil
+	}
+}
+
+// Repair forwards healed plaintext to the base store so the degradation
+// accounting matches the serial engine's. (The failed step was never
+// cached, so there is nothing to invalidate here.)
+func (ss *sharedSource) Repair(i int, jVals, cVals []float64) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if rp, ok := ss.base.(jactensor.Repairer); ok {
+		rp.Repair(i, jVals, cVals)
+	}
+}
+
+// runWindowed executes the windowed reverse sweep. handled reports whether
+// the windowed engine ran at all; (nil, false, nil) means no usable
+// boundaries and the caller should fall back to the serial path.
+func runWindowed(ckt *circuit.Circuit, tr *transient.Result, src JacobianSource, objs []Objective, params []int, trap bool, opt Options) (res *Result, handled bool, err error) {
+	n := tr.Steps()
+	tops := windowBoundaries(src, n, opt.Windows)
+	if len(tops) < 2 {
+		return nil, false, nil
+	}
+	W := len(tops)
+
+	// Per-window store views. views[j] belongs to window j; the last is the
+	// seeding sweep's, spanning everything above window 0.
+	views := make([]JacobianSource, 0, W)
+	if sl, ok := src.(sliceableSource); ok {
+		lo := 0
+		for j := 0; j < W-1; j++ {
+			v, serr := sl.Slice(lo, tops[j])
+			if serr != nil {
+				return nil, false, nil
+			}
+			views = append(views, v)
+			lo = tops[j] + 1
+		}
+		sv, serr := sl.Slice(tops[0]+1, n)
+		if serr != nil {
+			return nil, false, nil
+		}
+		views = append(views, sv)
+	} else {
+		ss := newSharedSource(src, tops)
+		for j := 0; j < W; j++ {
+			views = append(views, ss)
+		}
+	}
+
+	// One flat contribution row per step: fold order, not compute order,
+	// determines the float accumulation sequence.
+	K, P := len(objs), len(params)
+	contribs := make([][]float64, n+1)
+	for i := range contribs {
+		contribs[i] = make([]float64, K*P)
+	}
+
+	tWall := time.Now()
+	stopCh := make(chan struct{})
+	var stopOnce sync.Once
+	abort := func() { stopOnce.Do(func() { close(stopCh) }) }
+
+	var mu sync.Mutex
+	var firstErr error
+	var degraded []int
+	var timing Timing
+	sweepSec := make([]float64, W)
+
+	finish := func(j int, ws *sweep, wall time.Duration, werr error) {
+		mu.Lock()
+		sweepSec[j] = wall.Seconds()
+		degraded = append(degraded, ws.res.DegradedSteps...)
+		timing.Fetch += ws.res.Timing.Fetch
+		timing.FactorSolve += ws.res.Timing.FactorSolve
+		timing.ParamEval += ws.res.Timing.ParamEval
+		if werr != nil && firstErr == nil && !errors.Is(werr, errSweepStopped) {
+			firstErr = werr
+		}
+		mu.Unlock()
+		if werr != nil {
+			abort()
+		}
+	}
+
+	var wg sync.WaitGroup
+	launch := func(j, lo, hi int, view JacobianSource, seed *windowSeed) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := newSweep(ckt, tr, view, objs, params, trap, opt)
+			defer ws.pool.close()
+			ws.hiStep, ws.loStep = hi, lo
+			ws.stepContrib = contribs[lo : hi+1]
+			ws.stop = stopCh
+			ws.applySeed(seed)
+			t := time.Now()
+			var werr error
+			if ws.workers > 1 {
+				werr = ws.runOverlapped()
+			} else {
+				werr = ws.runSerialFetch()
+			}
+			finish(j, ws, time.Since(t), werr)
+		}()
+	}
+
+	// The seeding sweep runs on the calling goroutine: full engine above
+	// t_{W-2} (it IS the topmost window), seed generation below.
+	seeder := newSweep(ckt, tr, views[W-1], objs, params, trap, opt)
+	defer seeder.pool.close()
+	seeder.hiStep, seeder.loStep = n, tops[0]+1
+	seeder.skipParamsAtOrBelow = tops[W-2]
+	seeder.stepContrib = contribs[tops[0]+1:]
+	seeder.stop = stopCh
+	windowAt := make(map[int]int, W-1) // step t_j+1 -> window index j
+	lows := make([]int, W-1)
+	lo := 0
+	for j := 0; j < W-1; j++ {
+		windowAt[tops[j]+1] = j
+		lows[j] = lo
+		lo = tops[j] + 1
+	}
+	seeder.afterStep = func(i int) {
+		j, ok := windowAt[i]
+		if !ok || seeder.checkStop() != nil {
+			return
+		}
+		launch(j, lows[j], tops[j], views[j], captureSeed(seeder))
+	}
+	tSeed := time.Now()
+	var serr error
+	if seeder.workers > 1 {
+		serr = seeder.runOverlapped()
+	} else {
+		serr = seeder.runSerialFetch()
+	}
+	finish(W-1, seeder, time.Since(tSeed), serr)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, true, firstErr
+	}
+
+	res = &Result{
+		DOdp:           make([][]float64, K),
+		Params:         params,
+		Timing:         timing,
+		Windows:        W,
+		WindowSweepSec: sweepSec,
+	}
+	// Fold: the global descending-step replay of the serial accumulation.
+	for o := 0; o < K; o++ {
+		res.DOdp[o] = make([]float64, P)
+	}
+	for i := n; i >= 0; i-- {
+		row := contribs[i]
+		for o := 0; o < K; o++ {
+			base := o * P
+			dst := res.DOdp[o]
+			for pk := 0; pk < P; pk++ {
+				dst[pk] -= row[base+pk]
+			}
+		}
+	}
+	// Degraded steps: windows may observe the same corrupt step the seeding
+	// sweep already healed (slice caches are private) — dedupe to the
+	// serial sweep's descending-order list.
+	if len(degraded) > 0 {
+		sort.Sort(sort.Reverse(sort.IntSlice(degraded)))
+		dd := degraded[:0]
+		for _, st := range degraded {
+			if len(dd) == 0 || dd[len(dd)-1] != st {
+				dd = append(dd, st)
+			}
+		}
+		res.DegradedSteps = dd
+	}
+	res.Timing.Total = time.Since(tWall)
+	so := newSweepObs(opt.Obs)
+	if so.on {
+		so.windows.Set(float64(W))
+		for _, sec := range sweepSec {
+			so.winSweep.Observe(sec)
+		}
+	}
+	return res, true, nil
+}

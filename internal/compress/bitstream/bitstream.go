@@ -4,7 +4,10 @@
 // a stream produced by Writer is consumed bit-for-bit by Reader.
 package bitstream
 
-import "errors"
+import (
+	"encoding/binary"
+	"errors"
+)
 
 // ErrOverrun is reported by Reader when a read extends past the end of the
 // underlying buffer.
@@ -34,11 +37,22 @@ func (w *Writer) Reset() {
 
 // WriteBit appends a single bit (the low bit of b).
 func (w *Writer) WriteBit(b uint64) {
-	w.WriteBits(b&1, 1)
+	w.total++
+	w.acc = w.acc<<1 | b&1
+	w.n++
+	if w.n == 8 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc = 0
+		w.n = 0
+	}
 }
 
 // WriteBits appends the low n bits of v, most significant first.
 // n must be in [0, 64].
+//
+// The hot path is word-parallel: after topping off any partial byte, whole
+// bytes of v are appended directly (a single 8-byte store for full-word
+// writes) instead of being threaded through the accumulator bit by bit.
 func (w *Writer) WriteBits(v uint64, n uint) {
 	if n == 0 {
 		return
@@ -47,24 +61,30 @@ func (w *Writer) WriteBits(v uint64, n uint) {
 		v &= (1 << n) - 1
 	}
 	w.total += int(n)
-	// Fill the accumulator; spill bytes as they complete.
-	for n > 0 {
+	if w.n != 0 {
 		space := 8 - w.n // bits until the current byte completes
 		if n < space {
 			w.acc = w.acc<<n | v
 			w.n += n
 			return
 		}
-		// Take the top `space` bits of v.
-		chunk := v >> (n - space)
-		w.acc = w.acc<<space | chunk
-		w.buf = append(w.buf, byte(w.acc))
+		n -= space
+		w.buf = append(w.buf, byte(w.acc<<space|v>>n))
 		w.acc = 0
 		w.n = 0
-		n -= space
-		if n < 64 && n > 0 {
-			v &= (1 << n) - 1
-		}
+	}
+	// Byte-aligned from here: spill whole bytes straight from v.
+	if n == 64 {
+		w.buf = binary.BigEndian.AppendUint64(w.buf, v)
+		return
+	}
+	for n >= 8 {
+		n -= 8
+		w.buf = append(w.buf, byte(v>>n))
+	}
+	if n > 0 {
+		w.acc = v & ((1 << n) - 1)
+		w.n = n
 	}
 }
 
@@ -105,7 +125,7 @@ type Reader struct {
 	buf   []byte
 	pos   int    // next byte index
 	acc   uint64 // buffered bits, right-aligned
-	n     uint   // number of buffered bits
+	n     uint   // number of buffered bits (0..7 between calls)
 	err   error
 	total int // bits consumed
 }
@@ -133,39 +153,73 @@ func (r *Reader) BitsRead() int { return r.total }
 
 // ReadBit reads a single bit, returning 0 or 1.
 func (r *Reader) ReadBit() uint64 {
-	return r.ReadBits(1)
+	r.total++
+	if r.n == 0 {
+		if r.pos >= len(r.buf) {
+			r.err = ErrOverrun
+			return 0
+		}
+		r.acc = uint64(r.buf[r.pos])
+		r.pos++
+		r.n = 8
+	}
+	r.n--
+	bit := r.acc >> r.n
+	r.acc &= (1 << r.n) - 1
+	return bit
 }
 
 // ReadBits reads n bits (n in [0,64]) MSB-first and returns them
 // right-aligned. On overrun it records ErrOverrun and returns the bits that
 // were available padded with zeros.
+//
+// Mirrors WriteBits: drain the partial accumulator, then consume whole
+// bytes (a single 8-byte load for aligned full-word reads).
 func (r *Reader) ReadBits(n uint) uint64 {
 	if n == 0 {
 		return 0
 	}
 	r.total += int(n)
 	var out uint64
-	need := n
-	for need > 0 {
-		if r.n == 0 {
-			if r.pos >= len(r.buf) {
-				r.err = ErrOverrun
-				return out << need // pad with zeros
-			}
-			r.acc = uint64(r.buf[r.pos])
-			r.pos++
-			r.n = 8
+	if r.n != 0 {
+		if n <= r.n {
+			shift := r.n - n
+			out = r.acc >> shift
+			r.n = shift
+			r.acc &= (1 << shift) - 1
+			return out
 		}
-		take := need
-		if take > r.n {
-			take = r.n
+		out = r.acc
+		n -= r.n
+		r.acc = 0
+		r.n = 0
+	}
+	// Byte-aligned from here. n == 64 implies the accumulator was empty on
+	// entry (n never exceeds 64), so out is still zero.
+	if n == 64 && r.pos+8 <= len(r.buf) {
+		out = binary.BigEndian.Uint64(r.buf[r.pos:])
+		r.pos += 8
+		return out
+	}
+	for n >= 8 {
+		if r.pos >= len(r.buf) {
+			r.err = ErrOverrun
+			return out << n // pad with zeros
 		}
-		shift := r.n - take
-		bits := (r.acc >> shift) & ((1 << take) - 1)
-		out = out<<take | bits
-		r.n -= take
-		r.acc &= (1 << r.n) - 1
-		need -= take
+		out = out<<8 | uint64(r.buf[r.pos])
+		r.pos++
+		n -= 8
+	}
+	if n > 0 {
+		if r.pos >= len(r.buf) {
+			r.err = ErrOverrun
+			return out << n
+		}
+		b := uint64(r.buf[r.pos])
+		r.pos++
+		out = out<<n | b>>(8-n)
+		r.n = 8 - n
+		r.acc = b & ((1 << r.n) - 1)
 	}
 	return out
 }

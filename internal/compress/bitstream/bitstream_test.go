@@ -169,3 +169,66 @@ func BenchmarkReadBits(b *testing.B) {
 		r.ReadBits(uint(i%64) + 1)
 	}
 }
+
+// TestAllocsPinnedZero pins the hot paths at zero allocations per op (with
+// the writer's buffer pre-grown): the codec compresses thousands of
+// matrices through one Writer/Reader pair, so any per-call allocation is a
+// regression.
+func TestAllocsPinnedZero(t *testing.T) {
+	w := NewWriter(1 << 16)
+	if avg := testing.AllocsPerRun(1000, func() {
+		w.Reset()
+		for i := 0; i < 64; i++ {
+			w.WriteBit(uint64(i) & 1)
+			w.WriteBits(uint64(i)*0x9E3779B97F4A7C15, uint(i%64)+1)
+		}
+	}); avg != 0 {
+		t.Fatalf("Writer hot path allocates %.1f per run, want 0", avg)
+	}
+	data := w.Bytes()
+	r := NewReader(data)
+	if avg := testing.AllocsPerRun(1000, func() {
+		r.Reset(data)
+		for i := 0; i < 64; i++ {
+			r.ReadBit()
+			r.ReadBits(uint(i%64) + 1)
+		}
+	}); avg != 0 {
+		t.Fatalf("Reader hot path allocates %.1f per run, want 0", avg)
+	}
+}
+
+// BenchmarkWriteBitsWord measures the whole-word residual path (64-bit
+// writes, arbitrary starting alignment) that dominates poorly-predicted
+// chunks.
+func BenchmarkWriteBitsWord(b *testing.B) {
+	w := NewWriter(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%100000 == 0 {
+			w.Reset()
+			w.WriteBits(0, 3) // misalign
+		}
+		w.WriteBits(uint64(i)*0x9E3779B97F4A7C15, 64)
+	}
+}
+
+// BenchmarkReadBitsWord mirrors BenchmarkWriteBitsWord on the decode side.
+func BenchmarkReadBitsWord(b *testing.B) {
+	w := NewWriter(1 << 20)
+	w.WriteBits(0, 3)
+	for i := 0; i < 100000; i++ {
+		w.WriteBits(uint64(i)*0x9E3779B97F4A7C15, 64)
+	}
+	data := w.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	r := NewReader(data)
+	for i := 0; i < b.N; i++ {
+		if i%100000 == 0 {
+			r.Reset(data)
+			r.ReadBits(3)
+		}
+		r.ReadBits(64)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/bits"
 
+	"masc/internal/compress"
 	"masc/internal/compress/bitstream"
 	"masc/internal/compress/workpool"
 	"masc/internal/sparse"
@@ -133,6 +134,25 @@ func New(p *sparse.Pattern, opt Options) *Compressor {
 	c.encFn = c.encodeChunk
 	c.decFn = c.decodeChunk
 	return c
+}
+
+// Restart cuts the prediction chain: the next Compress call behaves exactly
+// as the first call on a fresh compressor would — it re-calibrates (so the
+// emitted blob carries its own coding tables) and starts the Markov counts
+// from scratch. Callers that pass ref=nil for the post-restart frame get a
+// fully self-contained blob, which is how the compressed store opens a new
+// window at an anchor step.
+func (c *Compressor) Restart() {
+	c.seq = 0
+	c.cnt = markovCounts{}
+}
+
+// Fork returns an independent compressor over the same pattern and options.
+// Decompress is driven entirely by per-blob headers (each blob carries or
+// re-derives its tables), so a fork can decode any blob the original
+// produced; windowed sweeps use forks as per-slice decoders.
+func (c *Compressor) Fork() compress.Compressor {
+	return New(c.plan.pat, c.opt)
 }
 
 // ensureChunks grows the per-chunk scratch to hold nchunks entries.
@@ -552,10 +572,9 @@ func (cc *chunkCoder) encodeResidual(w *bitstream.Writer, val, pred float64) {
 	before := w.BitLen()
 	w.WriteBit(0)
 	lz := uint(bits.LeadingZeros64(x))
-	lz8 := (lz >> 3) << 3
-	if lz8 > 56 {
-		lz8 = 56
-	}
+	// Branch-free byte-class: x != 0 bounds lz at 63, so lz&^7 is already
+	// capped at 56 — no clamp needed.
+	lz8 := lz &^ 7
 	tz := uint(bits.TrailingZeros64(x))
 	length := 64 - lz8 - tz
 	prevShift := 64 - cc.win.lz8 - cc.win.len

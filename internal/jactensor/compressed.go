@@ -40,6 +40,16 @@ type CompressedStore struct {
 	// in-flight prefetch in async mode).
 	plainJ, plainC map[int][]float64
 
+	// Window anchors: steps at which the prediction chain was cut. Each
+	// anchor's plaintext stays resident (CRC-checked like MemStore frames)
+	// so a window-local reverse sweep can start there without decoding the
+	// whole chain above it; its blob is compressed with no reference, so a
+	// rotted anchor degrades to a self-contained blob decode instead of an
+	// error.
+	anchorEvery            int
+	anchorJ, anchorC       map[int][]float64
+	anchorJSum, anchorCSum map[int]uint32
+
 	stats    Stats
 	resident int64
 
@@ -87,6 +97,10 @@ func NewCompressedStore(jc, cc compress.Compressor, jPat, cPat *sparse.Pattern) 
 		n:           -1,
 		plainJ:      map[int][]float64{},
 		plainC:      map[int][]float64{},
+		anchorJ:     map[int][]float64{},
+		anchorC:     map[int][]float64{},
+		anchorJSum:  map[int]uint32{},
+		anchorCSum:  map[int]uint32{},
 		quarantined: map[int]bool{},
 	}
 	if jPat != nil {
@@ -224,9 +238,19 @@ func (s *CompressedStore) runJob(job fwdJob) {
 	if s.fault.PanicNow(job.step) {
 		panic(fmt.Sprintf("injected worker panic at step %d", job.step))
 	}
+	// Anchor steps cut the chain exactly as the sync path does: the worker
+	// is the only goroutine calling Compress, so the restart lands at the
+	// same point in the codec's call sequence and the blob stream stays
+	// byte-identical to sync mode.
+	cut := s.isAnchorStep(job.step)
+	refJ, refC := job.refJ, job.refC
+	if cut {
+		s.restartCodecs()
+		refJ, refC = nil, nil
+	}
 	start := time.Now()
-	jb := s.sealBlob(s.jc.Compress(frameDst(s.hintJ), job.curJ, job.refJ), 'J', job.step)
-	cb := s.sealBlob(s.cc.Compress(frameDst(s.hintC), job.curC, job.refC), 'C', job.step)
+	jb := s.sealBlob(s.jc.Compress(frameDst(s.hintJ), job.curJ, refJ), 'J', job.step)
+	cb := s.sealBlob(s.cc.Compress(frameDst(s.hintC), job.curC, refC), 'C', job.step)
 	elapsed := time.Since(start)
 	s.mu.Lock()
 	s.jBlobs = append(s.jBlobs, jb)
@@ -234,10 +258,18 @@ func (s *CompressedStore) runJob(job fwdJob) {
 	s.stats.StoredBytes += int64(len(jb) + len(cb))
 	s.stats.CompressTime += elapsed
 	s.bumpResident(int64(len(jb) + len(cb)))
+	if cut {
+		// Retain the buffers as the anchor frame instead of recycling
+		// them; they are already counted resident from putAsync's
+		// checkout.
+		s.retainAnchorLocked(job.step, job.curJ, job.curC, false)
+	}
 	s.mu.Unlock()
 	s.observeCompress(job.step, elapsed, len(jb)+len(cb))
 	s.ob.queueDepth.Set(float64(len(s.jobs)))
-	s.recycle(job.curJ, job.curC)
+	if !cut {
+		s.recycle(job.curJ, job.curC)
+	}
 }
 
 // observeCompress mirrors one compressed step into the telemetry handles
@@ -279,13 +311,26 @@ func (s *CompressedStore) Put(step int, jVals, cVals []float64) error {
 	}
 	start := time.Now()
 	if step > 0 {
-		// Compress M_{t-1} with M_t as the prediction reference.
-		jb := s.sealBlob(s.jc.Compress(frameDst(s.hintJ), s.lastJ, jVals), 'J', step-1)
-		cb := s.sealBlob(s.cc.Compress(frameDst(s.hintC), s.lastC, cVals), 'C', step-1)
+		// Compress M_{t-1} with M_t as the prediction reference — unless
+		// t-1 is an anchor, where the chain cuts: the blob is
+		// self-contained and the plaintext is retained for windowed
+		// sweeps.
+		refJ, refC := jVals, cVals
+		if s.isAnchorStep(step - 1) {
+			s.restartCodecs()
+			refJ, refC = nil, nil
+		}
+		jb := s.sealBlob(s.jc.Compress(frameDst(s.hintJ), s.lastJ, refJ), 'J', step-1)
+		cb := s.sealBlob(s.cc.Compress(frameDst(s.hintC), s.lastC, refC), 'C', step-1)
 		s.jBlobs = append(s.jBlobs, jb)
 		s.cBlobs = append(s.cBlobs, cb)
 		s.stats.StoredBytes += int64(len(jb) + len(cb))
 		s.bumpResident(int64(len(jb) + len(cb)))
+		if s.isAnchorStep(step - 1) {
+			s.retainAnchorLocked(step-1,
+				append([]float64(nil), s.lastJ...),
+				append([]float64(nil), s.lastC...), true)
+		}
 		s.observeCompress(step-1, time.Since(start), len(jb)+len(cb))
 	} else {
 		s.lastJ = make([]float64, len(jVals))
@@ -511,6 +556,11 @@ func (s *CompressedStore) maybePrefetch(step int) {
 	if _, ok := s.plainJ[prev]; ok {
 		return
 	}
+	// Anchor steps are served from their retained plaintext, and their
+	// blobs want a nil reference anyway — skip the prefetch.
+	if s.isAnchorStep(prev) {
+		return
+	}
 	refJ, refC := s.plainJ[step], s.plainC[step]
 	pf := &prefetch{step: prev, done: make(chan struct{})}
 	s.pf = pf
@@ -571,8 +621,15 @@ func (s *CompressedStore) Fetch(step int) ([]float64, []float64, error) {
 		s.ob.fetches.Inc()
 		return j, s.plainC[step], nil
 	}
+	anchored := s.isAnchorStep(step)
+	if anchored {
+		if jv, cv, ok := s.fetchAnchor(step); ok {
+			return jv, cv, nil
+		}
+		// Rotted anchor: fall through to its self-contained blob.
+	}
 	var refJ, refC []float64
-	if step < s.n {
+	if step < s.n && !anchored {
 		var ok bool
 		refJ, ok = s.plainJ[step+1]
 		if !ok {
@@ -651,8 +708,9 @@ func (s *CompressedStore) fetchAsync(step int) ([]float64, []float64, error) {
 		}
 		return j, c, nil
 	}
+	anchored := s.isAnchorStep(step)
 	var refJ, refC []float64
-	if step < s.n {
+	if step < s.n && !anchored {
 		var ok bool
 		refJ, ok = s.plainJ[step+1]
 		if !ok {
@@ -663,6 +721,12 @@ func (s *CompressedStore) fetchAsync(step int) ([]float64, []float64, error) {
 	}
 	s.mu.Unlock()
 
+	if anchored {
+		if jv, cv, ok := s.fetchAnchor(step); ok {
+			return jv, cv, nil
+		}
+		// Rotted anchor: decode its self-contained blob instead.
+	}
 	s.ob.fetches.Inc()
 	s.ob.prefetchMiss.Inc()
 	jv, cv, err := s.decompressStep(step, refJ, refC, "decompress")
@@ -683,10 +747,10 @@ func (s *CompressedStore) fetchAsync(step int) ([]float64, []float64, error) {
 // part that keeps the chained store alive — restores the decompression
 // reference step-1 needs.
 func (s *CompressedStore) Repair(step int, jVals, cVals []float64) {
-	if s.async {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-	}
+	// Locked unconditionally: windowed sweeps repair through their slices
+	// concurrently even over a sync store.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var jv, cv []float64
 	if s.async {
 		jv = takeBuf(&s.poolJ, len(jVals))
@@ -733,10 +797,10 @@ func (s *CompressedStore) Release(step int) {
 
 // Stats implements Store.
 func (s *CompressedStore) Stats() Stats {
-	if s.async {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-	}
+	// Locked unconditionally: slice fetches mutate stats under mu even
+	// when the store itself is synchronous.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.stats
 }
 
@@ -760,10 +824,12 @@ func (s *CompressedStore) Close() error {
 		defer s.mu.Unlock()
 		s.jBlobs, s.cBlobs = nil, nil
 		s.plainJ, s.plainC = nil, nil
+		s.anchorJ, s.anchorC = nil, nil
 		s.poolJ, s.poolC = nil, nil
 		return s.ferr
 	}
 	s.jBlobs, s.cBlobs = nil, nil
 	s.plainJ, s.plainC = nil, nil
+	s.anchorJ, s.anchorC = nil, nil
 	return nil
 }

@@ -39,6 +39,11 @@ type Stats struct {
 	// DiskRetries counts transient spill-I/O attempts absorbed by the
 	// retry policy (disk store only).
 	DiskRetries int64
+	// AnchorBytes is the plaintext bytes currently retained as window
+	// anchor frames (compressed store with SetAnchorEvery). Anchors count
+	// toward PeakResident: they are real resident memory the windowed
+	// sweep pays for.
+	AnchorBytes int64
 }
 
 // Store retains per-step (J values, C values) pairs written forward and

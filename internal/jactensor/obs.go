@@ -27,6 +27,7 @@ type storeObs struct {
 	queueDepth    *obs.Gauge
 	resident      *obs.Gauge
 	peakResident  *obs.Gauge
+	anchorBytes   *obs.Gauge
 	blobBytes     *obs.Histogram
 }
 
@@ -53,6 +54,7 @@ func newStoreObs(o *obs.Observer, kind string) storeObs {
 		queueDepth:    reg.Gauge("masc_store_queue_depth", "Jobs waiting in the async compression queue.", lbl...),
 		resident:      reg.Gauge("masc_store_resident_bytes", "Modelled resident bytes held by the store right now.", lbl...),
 		peakResident:  reg.Gauge("masc_store_peak_resident_bytes", "Peak modelled resident bytes over the run.", lbl...),
+		anchorBytes:   reg.Gauge("masc_store_anchor_bytes", "Plaintext bytes retained as window anchor frames.", lbl...),
 		blobBytes:     reg.Histogram("masc_store_blob_bytes", "Per-step compressed blob sizes (J+C).", obs.SizeBuckets(), lbl...),
 	}
 }

@@ -70,6 +70,17 @@ type Options struct {
 	Obs *obs.Observer
 }
 
+// EstimatedSteps predicts the integration step count of the fixed-step
+// grid: round((TStop-TStart)/TStep). Adaptive runs and Newton step cuts can
+// land elsewhere — callers (anchor placement, window sizing) treat this as
+// a planning hint, not a promise.
+func (o *Options) EstimatedSteps() int {
+	if o.TStep <= 0 || o.TStop <= o.TStart {
+		return 0
+	}
+	return int((o.TStop-o.TStart)/o.TStep + 0.5)
+}
+
 func (o *Options) withDefaults() Options {
 	out := *o
 	if out.MaxNewton == 0 {

@@ -172,6 +172,7 @@ func simulateChaos(c *Case, o Options, sc chaosScenario, inj *faultinject.Inject
 	opt.Workers = o.Workers
 	opt.Async = sc.async
 	opt.PipelineDepth = o.PipelineDepth
+	opt.AdjointWindows = o.AdjointWindows
 	opt.Fault = inj
 	return masc.Simulate(bt.Ckt, opt, bt.Objectives, nil)
 }

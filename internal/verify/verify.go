@@ -18,6 +18,11 @@ type Options struct {
 	Workers int
 	// PipelineDepth is the async store's queue depth (<1 = default).
 	PipelineDepth int
+	// AdjointWindows is passed through to SimOptions.AdjointWindows for
+	// the chaos gauntlet's runs: W > 1 exercises the fault scenarios under
+	// concurrent window sweeps (which must still finish bit-identical to
+	// the fault-free baseline).
+	AdjointWindows int
 	// FDChecks bounds how many parameters per case are cross-checked
 	// against central finite differences; 0 disables the FD layer.
 	FDChecks int
@@ -53,12 +58,12 @@ func (o Options) withDefaults() Options {
 // CaseReport is the outcome of one case. Failures lists every check that
 // did not hold; an empty list means the case passed.
 type CaseReport struct {
-	Case      *Case
-	Steps     int
-	Unknowns  int
-	Params    int
-	FDChecked int
-	FDSkipped int
+	Case         *Case
+	Steps        int
+	Unknowns     int
+	Params       int
+	FDChecked    int
+	FDSkipped    int
 	MaxFDErr     float64
 	MaxDirectErr float64
 	Failures     []string
@@ -539,10 +544,10 @@ func verifyFD(c *Case, opt Options, rep *CaseReport, dense *masc.Run) {
 
 // FleetReport aggregates a whole verification fleet.
 type FleetReport struct {
-	Reports   []*CaseReport
-	Failed    int
-	FDChecked int
-	FDSkipped int
+	Reports      []*CaseReport
+	Failed       int
+	FDChecked    int
+	FDSkipped    int
 	MaxFDErr     float64
 	MaxDirectErr float64
 }

@@ -28,6 +28,7 @@ package masc
 import (
 	"fmt"
 	"io"
+	"runtime"
 
 	"masc/internal/adjoint"
 	"masc/internal/circuit"
@@ -161,6 +162,16 @@ type SimOptions struct {
 	// adjoint compute. 0 and 1 both mean fully serial. Sensitivities are
 	// bit-identical for every value.
 	AdjointWorkers int
+	// AdjointWindows splits the reverse sweep in time: W > 1 runs W
+	// window-local reverse sweeps concurrently, seeded at the window
+	// boundaries (parallel-in-time, on top of AdjointWorkers' within-step
+	// parallelism). -1 picks W automatically from the machine width and
+	// the step count. 0 and 1 both mean one sweep. For the MASC storage
+	// strategies the forward pass then retains one uncompressed anchor
+	// frame per window boundary (restarting the prediction chain there),
+	// which adds W-1 frames of resident memory. Sensitivities are
+	// bit-identical for every value, including degraded runs.
+	AdjointWindows int
 	// Async pipelines the compressed store: compression runs on a
 	// background worker so the transient loop proceeds to step t+1 while
 	// step t-1 compresses, and the reverse sweep prefetches the next step
@@ -231,6 +242,7 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 	if workers < 1 {
 		workers = 1
 	}
+	windows := resolveAdjointWindows(opt.AdjointWindows, topt.EstimatedSteps())
 
 	var store jactensor.Store
 	switch storage {
@@ -251,11 +263,25 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 			CollectStats: opt.CollectCodecStats,
 		}
 		jc, cc := masczip.New(ckt.JPat, mo), masczip.New(ckt.CPat, mo)
+		var cs *jactensor.CompressedStore
 		if opt.Async {
-			store = jactensor.NewCompressedStoreAsync(jc, cc, ckt.JPat, ckt.CPat, opt.PipelineDepth)
+			cs = jactensor.NewCompressedStoreAsync(jc, cc, ckt.JPat, ckt.CPat, opt.PipelineDepth)
 		} else {
-			store = jactensor.NewCompressedStore(jc, cc, ckt.JPat, ckt.CPat)
+			cs = jactensor.NewCompressedStore(jc, cc, ckt.JPat, ckt.CPat)
 		}
+		if windows > 1 {
+			// Cut the prediction chain so every window boundary lands on a
+			// self-contained anchor frame the reverse sweeps can restart
+			// from. ~W anchors across the estimated trajectory.
+			if est := topt.EstimatedSteps(); est > 0 {
+				every := est / windows
+				if every < 1 {
+					every = 1
+				}
+				cs.SetAnchorEvery(every)
+			}
+		}
+		store = cs
 	default:
 		return nil, fmt.Errorf("masc: unknown storage strategy %q", storage)
 	}
@@ -308,7 +334,7 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 	}
 	sens, err := adjoint.Sensitivities(ckt, tr, src, objectives,
 		adjoint.Options{Params: params, Obs: opt.Obs, DisableDegrade: opt.DisableDegrade,
-			Workers: opt.AdjointWorkers})
+			Workers: opt.AdjointWorkers, Windows: windows})
 	if err != nil {
 		if store != nil {
 			store.Close()
@@ -333,6 +359,23 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 		}
 	}
 	return run, nil
+}
+
+// resolveAdjointWindows maps the SimOptions.AdjointWindows knob to a
+// concrete window count: -1 = auto (one window per CPU, but at least ~8
+// steps per window so seeding overhead cannot dominate), 0/1 = one sweep.
+func resolveAdjointWindows(w, estSteps int) int {
+	if w >= 0 {
+		return w
+	}
+	aw := runtime.NumCPU()
+	if max := estSteps / 8; aw > max {
+		aw = max
+	}
+	if aw < 1 {
+		aw = 1
+	}
+	return aw
 }
 
 // RunTransient runs only the forward analysis.

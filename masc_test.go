@@ -169,3 +169,49 @@ func TestSimulateAdjointWorkersBitIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestSimulateAdjointWindowsBitIdentical pins the facade contract of
+// SimOptions.AdjointWindows: parallel-in-time window sweeps (including the
+// auto width -1, and composed with AdjointWorkers) must reproduce the
+// single-sweep sensitivities bit for bit on raw and compressed storage —
+// the compressed path going through forward-pass anchor frames and
+// window-sliced concurrent decoding.
+func TestSimulateAdjointWindowsBitIdentical(t *testing.T) {
+	ckt, b, obj := buildTestCircuit(t)
+	mid, err := b.NodeIndex("mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := []Objective{obj, {Name: "int_v(mid)", Node: mid, Weight: 1, Integral: true}}
+	for _, st := range []Storage{StorageMemory, StorageMASC} {
+		serial, err := Simulate(ckt, SimOptions{
+			TStep: 2e-6, TStop: 4e-4, Storage: st,
+		}, objs, nil)
+		if err != nil {
+			t.Fatalf("%s serial: %v", st, err)
+		}
+		for _, W := range []int{-1, 2, 4} {
+			for _, workers := range []int{0, 2} {
+				par, err := Simulate(ckt, SimOptions{
+					TStep: 2e-6, TStop: 4e-4, Storage: st,
+					AdjointWindows: W, AdjointWorkers: workers,
+				}, objs, nil)
+				if err != nil {
+					t.Fatalf("%s windows=%d workers=%d: %v", st, W, workers, err)
+				}
+				if W > 1 && par.Sens.Windows != W {
+					t.Fatalf("%s windows=%d: sweep ran %d windows", st, W, par.Sens.Windows)
+				}
+				for o := range serial.Sens.DOdp {
+					for k := range serial.Sens.DOdp[o] {
+						a, bv := serial.Sens.DOdp[o][k], par.Sens.DOdp[o][k]
+						if math.Float64bits(a) != math.Float64bits(bv) {
+							t.Fatalf("%s windows=%d workers=%d: obj %d sens %d diverges: %g vs %g",
+								st, W, workers, o, k, bv, a)
+						}
+					}
+				}
+			}
+		}
+	}
+}
