@@ -5,8 +5,8 @@
 //	masc-bench -experiment all -scale 0.25
 //
 // Experiments: table1, fig1, table2, table3, fig5b, fig6, fig7, parallel,
-// pipeline, adjoint, windows, memory, ablation, all. Scale 1 is the
-// benchmark size (minutes); use smaller scales for a quick look.
+// pipeline, adjoint, windows, budget, memory, ablation, all. Scale 1 is
+// the benchmark size (minutes); use smaller scales for a quick look.
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("experiment", "all", "table1|fig1|table2|table3|fig5b|fig6|fig7|parallel|pipeline|adjoint|windows|memory|ablation|all")
+		exp        = flag.String("experiment", "all", "table1|fig1|table2|table3|fig5b|fig6|fig7|parallel|pipeline|adjoint|windows|budget|memory|ablation|all")
 		scale      = flag.Float64("scale", 1.0, "workload scale (1 = benchmark size)")
 		workers    = flag.Int("workers", runtime.NumCPU(), "parallel compressor workers")
 		adjWorkers = flag.Int("adjoint-workers", 0, "adjoint experiment: extra reverse-sweep worker count to measure (0 = just the built-in 1/2/4 sweep)")
@@ -154,6 +154,15 @@ func run(exp string, scale float64, workers, adjWorkers, adjWindows, depth int, 
 		}
 		fmt.Print(bench.FormatWindows(rows))
 		man.Section("windows", rows)
+	}
+	if all || exp == "budget" {
+		section("Tiered store — memory-budget ladder (hot/compressed/disk/recompute)")
+		rows, err := bench.RunBudget(nil, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatBudget(rows))
+		man.Section("budget", rows)
 	}
 	if all || exp == "memory" {
 		section("Memory footprint by storage strategy (measured)")

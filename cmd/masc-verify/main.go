@@ -25,6 +25,7 @@ import (
 	"os"
 	"time"
 
+	"masc"
 	"masc/internal/obs"
 	"masc/internal/verify"
 )
@@ -39,6 +40,7 @@ func main() {
 		workers = flag.Int("workers", 1, "masczip compression workers")
 		depth   = flag.Int("pipeline-depth", 2, "async store queue depth")
 		windows = flag.Int("adjoint-windows", 0, "chaos mode: parallel-in-time window sweeps for the reverse pass (0/1 = one sweep)")
+		budget  = flag.String("mem-budget", "", "chaos mode: override the tiered-store scenarios' memory budget, e.g. 8K or 64K (empty = per-scenario defaults)")
 		verbose = flag.Bool("v", false, "log every case")
 
 		chaos      = flag.Bool("chaos", false, "run the fault-injection gauntlet instead of the differential matrix")
@@ -70,6 +72,14 @@ func main() {
 		FDChecks:       *fd,
 		FDTol:          *fdTol,
 		DirectTol:      *dirTol,
+	}
+	if *budget != "" {
+		b, err := masc.ParseByteSize(*budget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "masc-verify: -mem-budget:", err)
+			os.Exit(2)
+		}
+		opt.MemBudgetBytes = b
 	}
 	if *verbose {
 		opt.Logf = func(format string, args ...interface{}) {

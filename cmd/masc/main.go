@@ -38,6 +38,8 @@ type cli struct {
 	adjWindows          int
 	async               bool
 	diskBps             float64
+	memBudget           string
+	memBudgetBytes      int64
 	csvPath             string
 	metricsAddr         string
 	tracePath, maniPath string
@@ -54,6 +56,7 @@ func main() {
 	flag.BoolVar(&c.async, "async", false, "pipeline MASC compression on a background worker (overlaps with the solve)")
 	flag.IntVar(&c.depth, "pipeline-depth", 2, "async mode: max timesteps the solver may run ahead of the compressor")
 	flag.Float64Var(&c.diskBps, "disk-bps", 0, "simulated disk bandwidth in bytes/s (0 = unthrottled)")
+	flag.StringVar(&c.memBudget, "mem-budget", "", "hard cap on resident Jacobian bytes, e.g. 64M or 512K (tiered store: hot RAM -> compressed RAM -> disk -> recompute; results stay bit-identical; empty = unlimited)")
 	flag.IntVar(&c.top, "top", 12, "print the top-N sensitivities per objective")
 	flag.StringVar(&c.csvPath, "csv", "", "write .print waveforms to this CSV file")
 	flag.StringVar(&c.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
@@ -65,6 +68,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "masc: -netlist is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if c.memBudget != "" {
+		b, err := masc.ParseByteSize(c.memBudget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "masc: -mem-budget:", err)
+			os.Exit(2)
+		}
+		c.memBudgetBytes = b
 	}
 	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "masc:", err)
@@ -142,6 +153,7 @@ func run(c cli) error {
 		Async:             c.async,
 		PipelineDepth:     c.depth,
 		DiskBytesPerSec:   c.diskBps,
+		MemBudgetBytes:    c.memBudgetBytes,
 		Obs:               ob,
 		CollectCodecStats: telemetry,
 	}
@@ -186,6 +198,12 @@ func run(c cli) error {
 		fmt.Printf("tensor: raw %d B, stored %d B (CR %.2f), peak resident %d B\n",
 			st.RawBytes, st.StoredBytes,
 			float64(st.RawBytes)/float64(st.StoredBytes), st.PeakResident)
+		if st.BudgetBytes > 0 {
+			fmt.Printf("tiers: budget %d B — %d hot / %d compressed / %d disk / %d dropped steps, %d demotions, %d promotions, %d recomputes\n",
+				st.BudgetBytes, st.TierHotSteps, st.TierCompressedSteps,
+				st.TierDiskSteps, st.TierDroppedSteps,
+				st.TierDemotions, st.TierPromotions, st.TierRecomputes)
+		}
 		if c.async && (run.Storage == masc.StorageMASC || run.Storage == masc.StorageMASCMarkov) {
 			fmt.Printf("pipeline: compress %v moved off the solver thread, %v leaked back as Put stalls\n",
 				st.CompressTime, st.StallTime)
@@ -251,6 +269,7 @@ func writeManifest(c cli, deck *masc.Deck, run *masc.Run, reg *masc.Registry, st
 		Set("async", c.async).
 		Set("pipeline_depth", c.depth).
 		Set("disk_bps", c.diskBps).
+		Set("mem_budget_bytes", c.memBudgetBytes).
 		Set("tstep", deck.Tran.TStep).
 		Set("tstop", deck.Tran.TStop)
 	if run != nil {

@@ -99,6 +99,44 @@ type sliceableSource interface {
 	Slice(lo, hi int) (*jactensor.StoreSlice, error)
 }
 
+// anchoredSource is a random-access source that nonetheless publishes
+// preferred window boundaries: the tiered store pins its anchor steps
+// against the drop-and-recompute rung, so cutting windows at those anchors
+// keeps every window's first fetch off the recompute path. It needs no
+// Slice views — window sweeps share it through sharedSource.
+type anchoredSource interface{ AnchorSteps() []int }
+
+// anchorTops selects ascending window tops from an anchor menu (the last
+// entry is the head step n): all of them when there are at most W-1, evenly
+// spaced picks otherwise.
+func anchorTops(anchors []int, n, W int) []int {
+	// Keep only strictly-increasing interior anchors in (0, n): an anchor
+	// menu that repeats the head (or lists it among the interior entries)
+	// would otherwise yield duplicate tops — degenerate empty windows whose
+	// param contributions are silently skipped.
+	interior := make([]int, 0, len(anchors))
+	for _, a := range anchors[:len(anchors)-1] {
+		if a > 0 && a < n && (len(interior) == 0 || a > interior[len(interior)-1]) {
+			interior = append(interior, a)
+		}
+	}
+	tops := make([]int, 0, W)
+	if len(interior) <= W-1 {
+		tops = append(tops, interior...)
+	} else {
+		// Evenly spaced picks; strictly increasing because
+		// len(interior) >= W.
+		for k := 0; k < W-1; k++ {
+			tops = append(tops, interior[(k+1)*len(interior)/W])
+		}
+	}
+	tops = append(tops, n)
+	if len(tops) < 2 {
+		return nil
+	}
+	return tops
+}
+
 // windowBoundaries picks the ascending window tops for a W-way split of
 // [0, n]; the last top is always n. Anchored compressed stores constrain
 // boundaries to their anchor steps (a window top must be self-contained to
@@ -117,23 +155,14 @@ func windowBoundaries(src JacobianSource, n, W int) []int {
 		if len(anchors) == 0 {
 			return nil // forward pass not finished — cannot window
 		}
-		interior := anchors[:len(anchors)-1] // last entry is the head step n
-		tops := make([]int, 0, W)
-		if len(interior) <= W-1 {
-			// Fewer anchors than requested cuts: use them all (W shrinks).
-			tops = append(tops, interior...)
-		} else {
-			// Evenly spaced picks; strictly increasing because
-			// len(interior) >= W.
-			for k := 0; k < W-1; k++ {
-				tops = append(tops, interior[(k+1)*len(interior)/W])
-			}
+		return anchorTops(anchors, n, W)
+	}
+	if as, ok := src.(anchoredSource); ok {
+		if anchors := as.AnchorSteps(); len(anchors) > 0 {
+			return anchorTops(anchors, n, W)
 		}
-		tops = append(tops, n)
-		if len(tops) < 2 {
-			return nil
-		}
-		return tops
+		// No anchors requested: the source is random-access, so the
+		// arithmetic split below is fine.
 	}
 	tops := make([]int, 0, W)
 	for j := 1; j <= W; j++ {

@@ -139,7 +139,12 @@ func (s *CompressedStore) AnchorSteps() []int {
 	}
 	steps := make([]int, 0, len(s.anchorJ)+1)
 	for st := range s.anchorJ {
-		steps = append(steps, st)
+		// The head is appended below; when the trajectory length is an
+		// exact multiple of the anchor spacing it is also a chain-cut step,
+		// and listing it twice would degenerate the window split.
+		if st != s.n {
+			steps = append(steps, st)
+		}
 	}
 	sort.Ints(steps)
 	return append(steps, s.n)

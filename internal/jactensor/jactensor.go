@@ -44,6 +44,28 @@ type Stats struct {
 	// toward PeakResident: they are real resident memory the windowed
 	// sweep pays for.
 	AnchorBytes int64
+
+	// Tiered-store placement accounting (TieredStore only). The per-tier
+	// step/byte gauges snapshot the live placement at the last Stats or
+	// EndForward call; the counters accumulate over the run. BudgetBytes
+	// echoes the configured budget (0 = unlimited) so manifests record the
+	// constraint PeakResident was held to.
+	BudgetBytes         int64
+	TierHotSteps        int
+	TierCompressedSteps int
+	TierDiskSteps       int
+	TierDroppedSteps    int
+	TierHotBytes        int64
+	TierCompressedBytes int64
+	TierDiskBytes       int64
+	// TierDemotions counts steps pushed down the ladder under budget
+	// pressure; TierPromotions counts re-materializations during the
+	// reverse sweep; TierRecomputes counts deliberately-dropped steps
+	// re-derived from the trajectory (distinct from Repairs, which heal
+	// corruption).
+	TierDemotions  int64
+	TierPromotions int64
+	TierRecomputes int64
 }
 
 // Store retains per-step (J values, C values) pairs written forward and

@@ -5,6 +5,7 @@ import (
 
 	"masc/internal/compress/masczip"
 	"masc/internal/obs"
+	"masc/internal/tiersched"
 )
 
 // storeObs is the resolved telemetry handle bundle of a store. The zero
@@ -65,9 +66,56 @@ func (so *storeObs) observeResident(resident int64) {
 	so.peakResident.SetMax(float64(resident))
 }
 
+// tierObs is the tier-ladder telemetry bundle of the tiered store: live
+// per-tier placement gauges plus demotion/promotion counters labelled with
+// the destination/origin tier. Zero value = disabled, like storeObs.
+type tierObs struct {
+	steps     [tiersched.NumTiers]*obs.Gauge
+	bytes     [tiersched.NumTiers]*obs.Gauge
+	demotions [tiersched.NumTiers]*obs.Counter
+	promotes  [tiersched.NumTiers]*obs.Counter
+}
+
+// newTierObs registers the masc_store_tier_* families, one series per tier.
+func newTierObs(o *obs.Observer) tierObs {
+	reg := o.Registry()
+	var t tierObs
+	for tier := tiersched.Hot; tier <= tiersched.Dropped; tier++ {
+		lbl := []string{"tier", tier.String()}
+		t.steps[tier] = reg.Gauge("masc_store_tier_steps",
+			"Live steps currently placed on each tier of the tiered store.", lbl...)
+		t.bytes[tier] = reg.Gauge("masc_store_tier_bytes",
+			"Resident bytes currently held on each tier of the tiered store.", lbl...)
+		t.demotions[tier] = reg.Counter("masc_store_tier_demotions_total",
+			"Steps demoted onto each tier under memory-budget pressure.", lbl...)
+		t.promotes[tier] = reg.Counter("masc_store_tier_promotions_total",
+			"Steps promoted back to hot RAM from each tier during the reverse sweep.", lbl...)
+	}
+	return t
+}
+
+func (t *tierObs) demote(to tiersched.Tier)    { t.demotions[to].Inc() }
+func (t *tierObs) promote(from tiersched.Tier) { t.promotes[from].Inc() }
+
+// observe mirrors a placement snapshot into the per-tier gauges.
+func (t *tierObs) observe(steps [tiersched.NumTiers]int, bytes [tiersched.NumTiers]int64) {
+	for tier := tiersched.Hot; tier <= tiersched.Dropped; tier++ {
+		t.steps[tier].Set(float64(steps[tier]))
+		t.bytes[tier].Set(float64(bytes[tier]))
+	}
+}
+
 // SetObserver attaches telemetry to the store. Call it before the first
 // Put; a nil observer detaches.
 func (s *MemStore) SetObserver(o *obs.Observer) { s.ob = newStoreObs(o, "memory") }
+
+// SetObserver attaches telemetry to the store (store=tiered series plus the
+// masc_store_tier_* placement families). Call it before the first Put; a
+// nil observer detaches.
+func (s *TieredStore) SetObserver(o *obs.Observer) {
+	s.ob = newStoreObs(o, "tiered")
+	s.tob = newTierObs(o)
+}
 
 // SetObserver attaches telemetry to the store. Call it before the first
 // Put; a nil observer detaches.

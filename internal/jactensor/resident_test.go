@@ -1,9 +1,12 @@
 package jactensor
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"masc/internal/compress/masczip"
+	"masc/internal/tiersched"
 )
 
 // TestPeakResidentModel pins the resident-memory accounting the three
@@ -125,6 +128,146 @@ func TestPeakResidentModel(t *testing.T) {
 			}
 			tc.check(t, peak)
 		})
+	}
+}
+
+// TestTieredBudgetEnforced is the budget half of the -mem-budget contract:
+// for every budget on the ladder, PeakResident never exceeds the budget
+// plus the documented slack — the in-flight frame a Put or Fetch is
+// admitting, one sealed blob held alongside its plaintext mid-demotion, the
+// spill-read scratch, and the frames the sweep itself holds fetched (the
+// serial pattern keeps two in flight). The absurdly tiny budget must
+// degrade to deliberate drops (and stay exact through recompute), never
+// overrun the model silently.
+func TestTieredBudgetEnforced(t *testing.T) {
+	const n, steps = 60, 20
+	jp, cp, js, cs := tensorFixture(55, n, steps)
+	frame := int64(8 * (len(js[0]) + len(cs[0])))
+	raw := frame * steps
+
+	// Slack: up to three live frames (fetched step, the not-yet-released
+	// step above it, the one being admitted) plus a blob alongside its
+	// plaintext during one demotion plus the spill scratch — all bounded by
+	// a frame each.
+	slack := 5 * frame
+
+	for _, tc := range []struct {
+		budget int64
+		noDisk bool
+	}{
+		{raw / 2, false},
+		{raw / 4, false},
+		{raw / 8, false},
+		{raw / 8, true},
+		{4 << 10, false},
+		{4 << 10, true}, // absurdly tiny and diskless: recompute rung only
+	} {
+		name := fmt.Sprintf("budget=%d/disk=%v", tc.budget, !tc.noDisk)
+		t.Run(name, func(t *testing.T) {
+			st := newTieredFixture(t, jp, cp, js, cs, TieredConfig{
+				BudgetBytes: tc.budget,
+				DisableDisk: tc.noDisk,
+			})
+			for i := range js {
+				if err := st.Put(i, js[i], cs[i]); err != nil {
+					t.Fatal(err)
+				}
+				if got := st.Stats().PeakResident; got > tc.budget+slack {
+					t.Fatalf("forward peak %d exceeds budget %d + slack %d", got, tc.budget, slack)
+				}
+			}
+			if err := st.EndForward(); err != nil {
+				t.Fatal(err)
+			}
+			for i := len(js) - 1; i >= 0; i-- {
+				if _, _, err := st.Fetch(i); err != nil {
+					t.Fatalf("fetch %d: %v", i, err)
+				}
+				if i < len(js)-1 {
+					st.Release(i + 1)
+				}
+			}
+			stats := st.Stats()
+			if stats.PeakResident > tc.budget+slack {
+				t.Fatalf("peak %d exceeds budget %d + slack %d (%+v)", stats.PeakResident, tc.budget, slack, stats)
+			}
+			if tc.budget <= 4<<10 && tc.noDisk {
+				if stats.TierDroppedSteps == 0 && stats.TierRecomputes == 0 {
+					t.Fatalf("tiny diskless budget never reached the recompute rung: %+v", stats)
+				}
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTieredUnlimitedBudgetStaysHot: budget 0 disables the ladder — the
+// store must behave exactly like MemStore's footprint (everything hot, no
+// demotions), so "tiered with no budget" costs nothing over the default.
+func TestTieredUnlimitedBudgetStaysHot(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(56, 40, 10)
+	st := newTieredFixture(t, jp, cp, js, cs, TieredConfig{})
+	for i := range js {
+		if err := st.Put(i, js[i], cs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	raw := int64(8*(len(js[0])+len(cs[0]))) * int64(len(js))
+	if stats.PeakResident != raw {
+		t.Fatalf("unlimited peak = %d, want raw %d", stats.PeakResident, raw)
+	}
+	if stats.TierHotSteps != len(js) || stats.TierDemotions != 0 {
+		t.Fatalf("unlimited budget still demoted: %+v", stats)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTieredModelDecisionsReproducible drives two stores through the same
+// capture with the same injected clock and checks they reach identical
+// placements — the jactensor-level face of the tiersched reproducibility
+// criterion.
+func TestTieredModelDecisionsReproducible(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(57, 40, 16)
+	run := func() ([]tiersched.Tier, tiersched.Snapshot) {
+		st := newTieredFixture(t, jp, cp, js, cs, TieredConfig{
+			BudgetBytes: 8 << 10,
+			Model:       tiersched.NewModel(tiersched.NewFakeClock(3 * time.Microsecond)),
+		})
+		for i := range js {
+			if err := st.Put(i, js[i], cs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.EndForward(); err != nil {
+			t.Fatal(err)
+		}
+		tiers := make([]tiersched.Tier, len(js))
+		for i, step := range st.steps {
+			tiers[i] = step.tier
+		}
+		snap := st.Model().Snapshot()
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return tiers, snap
+	}
+	tiersA, snapA := run()
+	tiersB, snapB := run()
+	if snapA != snapB {
+		t.Fatalf("model snapshots diverged:\n%+v\n%+v", snapA, snapB)
+	}
+	for i := range tiersA {
+		if tiersA[i] != tiersB[i] {
+			t.Fatalf("step %d placement diverged: %v vs %v", i, tiersA[i], tiersB[i])
+		}
 	}
 }
 

@@ -1,0 +1,339 @@
+package jactensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"masc/internal/compress/masczip"
+	"masc/internal/faultinject"
+	"masc/internal/sparse"
+	"masc/internal/tiersched"
+)
+
+// newTieredFixture builds a tiered store over masczip codecs with a
+// deterministic injected clock and a bit-exact recompute hook backed by the
+// fixture itself (standing in for adjoint.NewRecomputeSource).
+func newTieredFixture(t *testing.T, jp, cp *sparse.Pattern, js, cs [][]float64, cfg TieredConfig) *TieredStore {
+	t.Helper()
+	if cfg.Model == nil {
+		cfg.Model = tiersched.NewModel(tiersched.NewFakeClock(time.Microsecond))
+	}
+	if cfg.DiskDir == "" && !cfg.DisableDisk {
+		cfg.DiskDir = t.TempDir()
+	}
+	st := NewTieredStore(masczip.New(jp, masczip.Options{}), masczip.New(cp, masczip.Options{}), cfg)
+	st.SetRecompute(func(step int) ([]float64, []float64, error) {
+		return js[step], cs[step], nil
+	})
+	return st
+}
+
+// TestTieredMatchesMemStore is the store-level half of the tier-equivalence
+// property suite: for every budget on the ladder — unlimited, fractions of
+// the measured all-RAM peak, and an absurdly tiny one that degrades to
+// recompute — the tiered store must hand back the fixture bit-for-bit, with
+// and without the spill rung and the prefetch. fillAndVerify does the
+// bit-exact comparison.
+func TestTieredMatchesMemStore(t *testing.T) {
+	const n, steps = 60, 20
+	jp, cp, js, cs := tensorFixture(60, n, steps)
+	peak := int64(8 * (len(js[0]) + len(cs[0])) * steps) // the MemStore peak
+
+	for _, budget := range []int64{0, peak / 2, peak / 4, peak / 8, 4 << 10} {
+		for _, noDisk := range []bool{false, true} {
+			for _, noPrefetch := range []bool{false, true} {
+				name := fmt.Sprintf("budget=%d/disk=%v/prefetch=%v", budget, !noDisk, !noPrefetch)
+				t.Run(name, func(t *testing.T) {
+					st := newTieredFixture(t, jp, cp, js, cs, TieredConfig{
+						BudgetBytes:     budget,
+						DisableDisk:     noDisk,
+						DisablePrefetch: noPrefetch,
+					})
+					fillAndVerify(t, st, js, cs)
+				})
+			}
+		}
+	}
+}
+
+// TestTieredRandomAccess checks the contract the windowed sweep depends on:
+// every step's blobs are self-contained, so fetch order is free — unlike
+// the chained CompressedStore.
+func TestTieredRandomAccess(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(61, 40, 16)
+	st := newTieredFixture(t, jp, cp, js, cs, TieredConfig{BudgetBytes: 16 << 10})
+	for i := range js {
+		if err := st.Put(i, js[i], cs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	order := rand.New(rand.NewSource(61)).Perm(len(js))
+	for _, i := range order {
+		jv, cv, err := st.Fetch(i)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+		for k := range jv {
+			if math.Float64bits(jv[k]) != math.Float64bits(js[i][k]) {
+				t.Fatalf("step %d: J[%d] mismatch", i, k)
+			}
+		}
+		for k := range cv {
+			if math.Float64bits(cv[k]) != math.Float64bits(cs[i][k]) {
+				t.Fatalf("step %d: C[%d] mismatch", i, k)
+			}
+		}
+		st.Release(i)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTieredAnchorsRespected pins the window-boundary contract: anchors are
+// reported only after EndForward, include the head step, and — while the
+// spill device lives — an anchor is never demoted onto the recompute rung,
+// so a window's first fetch cannot trigger a deliberate recomputation.
+func TestTieredAnchorsRespected(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(62, 40, 20)
+	st := newTieredFixture(t, jp, cp, js, cs, TieredConfig{BudgetBytes: 8 << 10})
+	st.SetAnchorEvery(5)
+	if got := st.AnchorSteps(); got != nil {
+		t.Fatalf("AnchorSteps before EndForward = %v, want nil", got)
+	}
+	for i := range js {
+		if err := st.Put(i, js[i], cs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{5, 10, 15, 19}
+	got := st.AnchorSteps()
+	if len(got) != len(want) {
+		t.Fatalf("AnchorSteps = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AnchorSteps = %v, want %v", got, want)
+		}
+	}
+	for _, a := range []int{5, 10, 15} {
+		if tier := st.steps[a].tier; tier == tiersched.Dropped {
+			t.Fatalf("anchor %d landed on the recompute rung with a live spill device", a)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTieredAnchorStepsDivisibleLength: when the trajectory length is an
+// exact multiple of the anchor spacing the head step is itself pinned, and
+// AnchorSteps must still be strictly increasing — listing the head twice
+// once degenerated the windowed engine's boundary split into empty windows
+// with silently wrong sensitivities.
+func TestTieredAnchorStepsDivisibleLength(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(64, 40, 21) // steps 0..20, head 20
+	st := newTieredFixture(t, jp, cp, js, cs, TieredConfig{BudgetBytes: 8 << 10})
+	st.SetAnchorEvery(5) // 20 % 5 == 0: the head is a pinned step
+	for i := range js {
+		if err := st.Put(i, js[i], cs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{5, 10, 15, 20}
+	got := st.AnchorSteps()
+	if len(got) != len(want) {
+		t.Fatalf("AnchorSteps = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AnchorSteps = %v, want %v", got, want)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTieredNoAnchorsMeansNilMenu: without SetAnchorEvery the boundary menu
+// must stay nil so the windowed sweep falls back to arithmetic splits.
+func TestTieredNoAnchorsMeansNilMenu(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(63, 30, 8)
+	st := newTieredFixture(t, jp, cp, js, cs, TieredConfig{})
+	for i := range js {
+		if err := st.Put(i, js[i], cs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.AnchorSteps(); got != nil {
+		t.Fatalf("AnchorSteps = %v, want nil without anchors", got)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTieredDroppedWithoutHookDegrades: a deliberately dropped step with no
+// recompute hook must surface as a degradable StepError (the adjoint
+// sweep's recompute ladder handles it), never a silent wrong answer.
+func TestTieredDroppedWithoutHookDegrades(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(64, 40, 12)
+	st := NewTieredStore(masczip.New(jp, masczip.Options{}), masczip.New(cp, masczip.Options{}), TieredConfig{
+		BudgetBytes: 4 << 10,
+		DisableDisk: true,
+		Model:       tiersched.NewModel(tiersched.NewFakeClock(time.Microsecond)),
+	})
+	for i := range js {
+		if err := st.Put(i, js[i], cs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().TierDroppedSteps == 0 {
+		t.Fatal("tiny diskless budget dropped nothing")
+	}
+	var sawDegradable bool
+	for i := len(js) - 1; i >= 0; i-- {
+		_, _, err := st.Fetch(i)
+		if err == nil {
+			continue
+		}
+		var se *StepError
+		if !errors.As(err, &se) || !se.Degradable {
+			t.Fatalf("fetch %d: %v, want degradable StepError", i, err)
+		}
+		sawDegradable = true
+	}
+	if !sawDegradable {
+		t.Fatal("no dropped step surfaced during the sweep")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTieredHotRotQuarantinesAtDemotion pins the laundering hazard: a hot
+// frame that rots in RAM after its sidecar was recorded must be quarantined
+// when the budget demotes it — re-encoding it would seal the rotted bytes
+// under a fresh, valid blob CRC that the fetch path would then trust.
+func TestTieredHotRotQuarantinesAtDemotion(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(65, 40, 12)
+	st := newTieredFixture(t, jp, cp, js, cs, TieredConfig{BudgetBytes: 8 << 10})
+	st.SetFault(faultinject.New(faultinject.Profile{Name: "rot", Seed: 7, BitFlipOneIn: 3}))
+	for i := range js {
+		if err := st.Put(i, js[i], cs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().CorruptBlobs == 0 {
+		t.Fatal("no rotted frame was quarantined during capture-side demotion")
+	}
+	// Every fetch either returns pristine bits or degrades loudly; then the
+	// Repair path heals the quarantined steps like the other stores.
+	for i := len(js) - 1; i >= 0; i-- {
+		jv, cv, err := st.Fetch(i)
+		if err != nil {
+			var se *StepError
+			if !errors.As(err, &se) || !se.Degradable {
+				t.Fatalf("fetch %d: %v, want degradable StepError", i, err)
+			}
+			st.Repair(i, js[i], cs[i])
+			if jv, cv, err = st.Fetch(i); err != nil {
+				t.Fatalf("fetch %d after repair: %v", i, err)
+			}
+		}
+		for k := range jv {
+			if math.Float64bits(jv[k]) != math.Float64bits(js[i][k]) {
+				t.Fatalf("step %d: J[%d] mismatch", i, k)
+			}
+		}
+		for k := range cv {
+			if math.Float64bits(cv[k]) != math.Float64bits(cs[i][k]) {
+				t.Fatalf("step %d: C[%d] mismatch", i, k)
+			}
+		}
+		st.Release(i)
+	}
+	if st.Stats().Repairs == 0 {
+		t.Fatal("no step went through the repair path")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTieredSpillFailureFallsBackToDrop: a spill device that hard-fails
+// must degrade the demotion to a deliberate drop — the forward pass keeps
+// going, and the reverse sweep recomputes.
+func TestTieredSpillFailureFallsBackToDrop(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(66, 40, 14)
+	st := newTieredFixture(t, jp, cp, js, cs, TieredConfig{BudgetBytes: 6 << 10})
+	// Fail every spill op with a long burst: retries are exhausted and the
+	// device is declared dead.
+	st.SetFault(faultinject.New(faultinject.Profile{Name: "eio", Seed: 3, FailOpEvery: 1, FailOpBurst: 1 << 20}))
+	fillAndVerify(t, st, js, cs)
+}
+
+// TestTieredStatsAccounting sanity-checks the per-tier snapshot: tier steps
+// partition the live steps, demotions happened under a binding budget, and
+// the configured budget is echoed back for manifests.
+func TestTieredStatsAccounting(t *testing.T) {
+	jp, cp, js, cs := tensorFixture(67, 40, 16)
+	const budget = 8 << 10
+	st := newTieredFixture(t, jp, cp, js, cs, TieredConfig{BudgetBytes: budget})
+	for i := range js {
+		if err := st.Put(i, js[i], cs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.EndForward(); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.BudgetBytes != budget {
+		t.Fatalf("BudgetBytes = %d, want %d", stats.BudgetBytes, budget)
+	}
+	total := stats.TierHotSteps + stats.TierCompressedSteps + stats.TierDiskSteps + stats.TierDroppedSteps
+	if total != len(js) {
+		t.Fatalf("tier steps sum to %d, want %d (%+v)", total, len(js), stats)
+	}
+	if stats.TierDemotions == 0 {
+		t.Fatal("binding budget recorded no demotions")
+	}
+	if stats.TierHotSteps == len(js) {
+		t.Fatal("binding budget left every step hot")
+	}
+	for i := len(js) - 1; i >= 0; i-- {
+		if _, _, err := st.Fetch(i); err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+		st.Release(i)
+	}
+	if got := st.Stats().TierPromotions; got == 0 {
+		t.Fatal("reverse sweep recorded no promotions")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,279 @@
+// Package tiersched is the schedule/cost-model layer of the tiered Jacobian
+// store. It decides, per captured timestep, which rung of the placement
+// ladder — hot RAM, compressed RAM, disk spill, or deliberate
+// drop-and-recompute — a step should occupy so the store's modelled resident
+// bytes stay under a hard budget, and it prices the rungs with *measured*
+// per-operation timings sampled from the first steps of the run (compress,
+// decompress, spill write/read, forward-solve cost as the recompute proxy).
+//
+// The model never influences the numbers a sweep produces — every tier is
+// lossless (recomputation is bit-exact from the trajectory), so placement
+// only moves cost between memory and time. That is what lets the tiered
+// store promise bit-identical sensitivities for any budget while the
+// schedule itself adapts to the machine it runs on.
+//
+// Time is injected through the Clock interface so tests can drive the model
+// with a deterministic FakeClock: identical fed samples produce identical
+// decisions, which the reproducibility tests assert.
+package tiersched
+
+import (
+	"sync"
+	"time"
+)
+
+// Tier is one rung of the placement ladder, ordered hot to cold.
+type Tier uint8
+
+const (
+	// Hot keeps the step as raw plaintext frames in RAM (CRC sidecars).
+	Hot Tier = iota
+	// Compressed keeps the step as self-contained sealed blobs in RAM.
+	Compressed
+	// Disk keeps the sealed blobs on the spill device; RAM holds offsets.
+	Disk
+	// Dropped keeps nothing: the step is deliberately recomputed from the
+	// trajectory during the reverse sweep.
+	Dropped
+
+	// NumTiers is the rung count, for per-tier accounting arrays.
+	NumTiers = 4
+)
+
+// String returns the metric-label spelling of the tier.
+func (t Tier) String() string {
+	switch t {
+	case Hot:
+		return "hot"
+	case Compressed:
+		return "compressed"
+	case Disk:
+		return "disk"
+	case Dropped:
+		return "dropped"
+	}
+	return "unknown"
+}
+
+// Clock abstracts wall time so cost-model measurements are injectable.
+type Clock interface{ Now() time.Time }
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// Wall returns the real-time clock.
+func Wall() Clock { return wallClock{} }
+
+// FakeClock is a deterministic clock for tests: every Now call advances it
+// by a fixed tick, so "measured" durations are pure functions of the call
+// sequence. Safe for concurrent use.
+type FakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	tick time.Duration
+}
+
+// NewFakeClock returns a clock that advances by tick per Now call.
+func NewFakeClock(tick time.Duration) *FakeClock {
+	return &FakeClock{now: time.Unix(0, 0), tick: tick}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(c.tick)
+	return c.now
+}
+
+// Advance moves the clock forward without an observation.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// rate accumulates (bytes, duration) samples of one operation class.
+type rate struct {
+	ns    float64
+	bytes float64
+	n     int
+}
+
+func (r *rate) observe(bytes int, d time.Duration) {
+	r.ns += float64(d)
+	r.bytes += float64(bytes)
+	r.n++
+}
+
+// perByte returns seconds per byte, or 0 with no usable samples.
+func (r *rate) perByte() float64 {
+	if r.n == 0 || r.bytes <= 0 {
+		return 0
+	}
+	return r.ns / 1e9 / r.bytes
+}
+
+// Model prices the tier ladder with measured per-op timings. The zero-value
+// rates make every unmeasured cost read as 0 — callers resolve those with
+// the conservative defaults documented on SpillTarget. All methods are safe
+// for concurrent use.
+type Model struct {
+	mu    sync.Mutex
+	clock Clock
+
+	compress   rate
+	decompress rate
+	diskWrite  rate
+	diskRead   rate
+
+	recomputeNS float64
+	recomputeN  int
+}
+
+// NewModel returns an empty model over the given clock (nil = wall clock).
+func NewModel(clock Clock) *Model {
+	if clock == nil {
+		clock = Wall()
+	}
+	return &Model{clock: clock}
+}
+
+// Now reads the model's clock — stores time their operations through this
+// so tests can make "measured" durations deterministic.
+func (m *Model) Now() time.Time { return m.clock.Now() }
+
+// ObserveCompress feeds one compression sample (raw bytes in, wall time).
+func (m *Model) ObserveCompress(bytes int, d time.Duration) {
+	m.mu.Lock()
+	m.compress.observe(bytes, d)
+	m.mu.Unlock()
+}
+
+// ObserveDecompress feeds one decompression sample (raw bytes out).
+func (m *Model) ObserveDecompress(bytes int, d time.Duration) {
+	m.mu.Lock()
+	m.decompress.observe(bytes, d)
+	m.mu.Unlock()
+}
+
+// ObserveDiskWrite feeds one spill-append sample (blob bytes written).
+func (m *Model) ObserveDiskWrite(bytes int, d time.Duration) {
+	m.mu.Lock()
+	m.diskWrite.observe(bytes, d)
+	m.mu.Unlock()
+}
+
+// ObserveDiskRead feeds one spill-read sample (blob bytes read).
+func (m *Model) ObserveDiskRead(bytes int, d time.Duration) {
+	m.mu.Lock()
+	m.diskRead.observe(bytes, d)
+	m.mu.Unlock()
+}
+
+// ObserveRecompute feeds one per-step recomputation-cost sample: either a
+// forward integration step's solve time (the capture-side proxy the facade
+// wires in) or an actual reverse-sweep recomputation.
+func (m *Model) ObserveRecompute(d time.Duration) {
+	m.mu.Lock()
+	m.recomputeNS += float64(d)
+	m.recomputeN++
+	m.mu.Unlock()
+}
+
+// recomputeSec returns the mean measured per-step recompute cost in
+// seconds, or 0 with no samples. Callers hold m.mu.
+func (m *Model) recomputeSec() float64 {
+	if m.recomputeN == 0 {
+		return 0
+	}
+	return m.recomputeNS / 1e9 / float64(m.recomputeN)
+}
+
+// FetchCost estimates the reverse-sweep cost of re-materializing one step
+// from the given tier: zero for hot, decompression for compressed RAM, a
+// spill read plus decompression for disk, and the mean measured step solve
+// for a dropped step. blobBytes is the step's sealed blob size (J+C),
+// rawBytes its plaintext size.
+func (m *Model) FetchCost(t Tier, blobBytes, rawBytes int) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sec := 0.0
+	switch t {
+	case Compressed:
+		sec = m.decompress.perByte() * float64(rawBytes)
+	case Disk:
+		readPB := m.diskRead.perByte()
+		if readPB == 0 {
+			readPB = m.diskWrite.perByte() // no reads yet: assume symmetric
+		}
+		sec = readPB*float64(blobBytes) + m.decompress.perByte()*float64(rawBytes)
+	case Dropped:
+		sec = m.recomputeSec()
+	}
+	return time.Duration(sec * 1e9)
+}
+
+// SpillTarget decides where a compressed-RAM blob goes when the budget
+// forces it out of memory: Disk when the measured spill round-trip
+// (write + read + decompress) is cheaper than one recomputation — or when
+// either side is still unmeasured, since spilling is the conservative
+// choice that preserves the blob — and Dropped otherwise. diskOK reports
+// whether the spill device is usable at all; without it the only way down
+// is Dropped. The decision is a pure function of the fed samples, so runs
+// with identical (injected-clock) measurements demote identically.
+func (m *Model) SpillTarget(blobBytes, rawBytes int, diskOK bool) Tier {
+	if !diskOK {
+		return Dropped
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec := m.recomputeSec()
+	if rec == 0 || m.diskWrite.n == 0 {
+		return Disk
+	}
+	readPB := m.diskRead.perByte()
+	if readPB == 0 {
+		readPB = m.diskWrite.perByte()
+	}
+	diskSec := (m.diskWrite.perByte()+readPB)*float64(blobBytes) +
+		m.decompress.perByte()*float64(rawBytes)
+	if rec < diskSec {
+		return Dropped
+	}
+	return Disk
+}
+
+// Snapshot is a point-in-time view of the measured rates, for manifests and
+// debugging.
+type Snapshot struct {
+	CompressSecPerByte   float64
+	DecompressSecPerByte float64
+	DiskWriteSecPerByte  float64
+	DiskReadSecPerByte   float64
+	RecomputeSecPerStep  float64
+	CompressSamples      int
+	DecompressSamples    int
+	DiskWriteSamples     int
+	DiskReadSamples      int
+	RecomputeSamples     int
+}
+
+// Snapshot returns the current measured rates.
+func (m *Model) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Snapshot{
+		CompressSecPerByte:   m.compress.perByte(),
+		DecompressSecPerByte: m.decompress.perByte(),
+		DiskWriteSecPerByte:  m.diskWrite.perByte(),
+		DiskReadSecPerByte:   m.diskRead.perByte(),
+		RecomputeSecPerStep:  m.recomputeSec(),
+		CompressSamples:      m.compress.n,
+		DecompressSamples:    m.decompress.n,
+		DiskWriteSamples:     m.diskWrite.n,
+		DiskReadSamples:      m.diskRead.n,
+		RecomputeSamples:     m.recomputeN,
+	}
+}

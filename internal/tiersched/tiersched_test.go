@@ -1,0 +1,167 @@
+package tiersched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeClockDeterministic(t *testing.T) {
+	a := NewFakeClock(time.Millisecond)
+	b := NewFakeClock(time.Millisecond)
+	for i := 0; i < 10; i++ {
+		if !a.Now().Equal(b.Now()) {
+			t.Fatalf("clocks diverged at call %d", i)
+		}
+	}
+	start := a.Now()
+	if d := a.Now().Sub(start); d != time.Millisecond {
+		t.Fatalf("tick = %v, want 1ms", d)
+	}
+	a.Advance(time.Second)
+	if d := a.Now().Sub(start); d != time.Second+2*time.Millisecond {
+		t.Fatalf("advance: got %v", d)
+	}
+}
+
+func TestTierString(t *testing.T) {
+	want := map[Tier]string{Hot: "hot", Compressed: "compressed", Disk: "disk", Dropped: "dropped"}
+	for tier, s := range want {
+		if tier.String() != s {
+			t.Fatalf("Tier(%d).String() = %q, want %q", tier, tier.String(), s)
+		}
+	}
+	if Tier(99).String() != "unknown" {
+		t.Fatalf("unknown tier string: %q", Tier(99).String())
+	}
+}
+
+func TestModelRates(t *testing.T) {
+	m := NewModel(NewFakeClock(time.Microsecond))
+	m.ObserveCompress(1000, time.Millisecond)
+	m.ObserveCompress(1000, 3*time.Millisecond)
+	snap := m.Snapshot()
+	// 4ms over 2000 bytes = 2µs/byte.
+	if got, want := snap.CompressSecPerByte, 2e-6; !close(got, want) {
+		t.Fatalf("compress rate = %g, want %g", got, want)
+	}
+	if snap.CompressSamples != 2 {
+		t.Fatalf("samples = %d", snap.CompressSamples)
+	}
+	if snap.DecompressSecPerByte != 0 || snap.RecomputeSecPerStep != 0 {
+		t.Fatalf("unmeasured rates should be zero: %+v", snap)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-12+1e-9*b
+}
+
+func TestFetchCost(t *testing.T) {
+	m := NewModel(nil)
+	m.ObserveDecompress(1000, time.Millisecond)   // 1µs/byte
+	m.ObserveDiskWrite(1000, 2*time.Millisecond)  // 2µs/byte
+	m.ObserveRecompute(5 * time.Millisecond)
+
+	if c := m.FetchCost(Hot, 100, 800); c != 0 {
+		t.Fatalf("hot fetch cost = %v", c)
+	}
+	if c := m.FetchCost(Compressed, 100, 800); !durClose(c, 800*time.Microsecond) {
+		t.Fatalf("compressed fetch cost = %v", c)
+	}
+	// Disk with no read samples falls back to the write rate:
+	// 100B·2µs + 800B·1µs = 1000µs.
+	if c := m.FetchCost(Disk, 100, 800); !durClose(c, 1000*time.Microsecond) {
+		t.Fatalf("disk fetch cost = %v", c)
+	}
+	if c := m.FetchCost(Dropped, 100, 800); !durClose(c, 5*time.Millisecond) {
+		t.Fatalf("dropped fetch cost = %v", c)
+	}
+	// A read sample replaces the write-rate fallback.
+	m.ObserveDiskRead(1000, 10*time.Millisecond) // 10µs/byte
+	if c := m.FetchCost(Disk, 100, 800); !durClose(c, 1800*time.Microsecond) {
+		t.Fatalf("disk fetch cost after read sample = %v", c)
+	}
+}
+
+func durClose(a, b time.Duration) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= b/1000+time.Nanosecond
+}
+
+// TestSpillTargetDecisions locks down the demotion decision table: the
+// conservative default is Disk, the model flips to Dropped only when a
+// measured recomputation is cheaper than the measured spill round-trip, and
+// losing the spill device forces Dropped regardless.
+func TestSpillTargetDecisions(t *testing.T) {
+	m := NewModel(nil)
+	if got := m.SpillTarget(100, 800, true); got != Disk {
+		t.Fatalf("unmeasured model: %v, want disk", got)
+	}
+	if got := m.SpillTarget(100, 800, false); got != Dropped {
+		t.Fatalf("no disk: %v, want dropped", got)
+	}
+
+	// Disk round-trip: write+read 100B at 2µs/byte each = 400µs, decompress
+	// 800B at 1µs/byte = 800µs → 1200µs total.
+	m.ObserveDiskWrite(1000, 2*time.Millisecond)
+	m.ObserveDiskRead(1000, 2*time.Millisecond)
+	m.ObserveDecompress(1000, time.Millisecond)
+
+	m.ObserveRecompute(5 * time.Millisecond) // 5000µs > 1200µs → keep disk
+	if got := m.SpillTarget(100, 800, true); got != Disk {
+		t.Fatalf("expensive recompute: %v, want disk", got)
+	}
+
+	cheap := NewModel(nil)
+	cheap.ObserveDiskWrite(1000, 2*time.Millisecond)
+	cheap.ObserveDiskRead(1000, 2*time.Millisecond)
+	cheap.ObserveDecompress(1000, time.Millisecond)
+	cheap.ObserveRecompute(100 * time.Microsecond) // 100µs < 1200µs → drop
+	if got := cheap.SpillTarget(100, 800, true); got != Dropped {
+		t.Fatalf("cheap recompute: %v, want dropped", got)
+	}
+}
+
+// TestDecisionsReproducible drives two models through the same sequence of
+// injected-clock measurements and asserts they reach identical decisions —
+// the acceptance criterion that cost-model choices are deterministic under
+// the injected clock.
+func TestDecisionsReproducible(t *testing.T) {
+	build := func() *Model {
+		clk := NewFakeClock(50 * time.Microsecond)
+		m := NewModel(clk)
+		for i := 0; i < 8; i++ {
+			t0 := m.Now()
+			m.ObserveCompress(4096, m.Now().Sub(t0))
+			t0 = m.Now()
+			m.ObserveDecompress(4096, m.Now().Sub(t0))
+			t0 = m.Now()
+			m.ObserveDiskWrite(512, m.Now().Sub(t0))
+			m.ObserveRecompute(m.Now().Sub(t0))
+		}
+		return m
+	}
+	a, b := build(), build()
+	if a.Snapshot() != b.Snapshot() {
+		t.Fatalf("snapshots diverged:\n%+v\n%+v", a.Snapshot(), b.Snapshot())
+	}
+	for _, blob := range []int{64, 512, 4096} {
+		for _, diskOK := range []bool{true, false} {
+			if ga, gb := a.SpillTarget(blob, 8*blob, diskOK), b.SpillTarget(blob, 8*blob, diskOK); ga != gb {
+				t.Fatalf("SpillTarget(%d, %v) diverged: %v vs %v", blob, diskOK, ga, gb)
+			}
+		}
+		for tier := Hot; tier <= Dropped; tier++ {
+			if ca, cb := a.FetchCost(tier, blob, 8*blob), b.FetchCost(tier, blob, 8*blob); ca != cb {
+				t.Fatalf("FetchCost(%v, %d) diverged: %v vs %v", tier, blob, ca, cb)
+			}
+		}
+	}
+}

@@ -57,6 +57,13 @@ type Options struct {
 	// compression pipeline) surface here instead of panicking mid-solve.
 	Capture func(step int, t float64, x []float64, J, C *sparse.Matrix) error
 
+	// StepCost, if non-nil, receives the wall time of every accepted
+	// integration step (step >= 1; the DC solve is excluded — it prices
+	// differently). This is the capture-side sampling hook a tiered
+	// Jacobian store's cost model uses to learn what recomputing one step
+	// costs, without the store reaching into the solver.
+	StepCost func(step int, d time.Duration)
+
 	// Stop, if non-nil, is polled at every step boundary. When it returns
 	// true the run halts cleanly: Run returns the partial trajectory
 	// accepted so far together with an error wrapping ErrInterrupted. This
@@ -427,7 +434,7 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 		itersBefore := res.Stats.NewtonIters
 		factsBefore := res.Stats.Factorizations + res.Stats.Refactorizations
 		var attemptStart time.Time
-		if ro.on {
+		if ro.on || opt.StepCost != nil {
 			attemptStart = time.Now()
 		}
 		var eval func(xx []float64)
@@ -512,6 +519,9 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 			ro.simTime.Set(tNext)
 			ro.tr.Emit(obs.Event{Step: step, Phase: "solve", T: tNext, Dur: d,
 				Key: "iters", N: int64(iters)})
+		}
+		if opt.StepCost != nil {
+			opt.StepCost(step, time.Since(attemptStart))
 		}
 		if opt.Capture != nil {
 			if err := opt.Capture(step, tNext, x, s.J, s.ev.C); err != nil {

@@ -23,6 +23,12 @@ type Options struct {
 	// concurrent window sweeps (which must still finish bit-identical to
 	// the fault-free baseline).
 	AdjointWindows int
+	// MemBudgetBytes, when > 0, overrides the budget of the tiered-store
+	// chaos scenarios (masc-verify -mem-budget). Scenarios without a budget
+	// (plain memory/disk/masc runs) are unaffected, so the fault surface of
+	// the untiered stores stays covered. The fault-free baseline shares the
+	// same budget, keeping the bit-compare meaningful.
+	MemBudgetBytes int64
 	// FDChecks bounds how many parameters per case are cross-checked
 	// against central finite differences; 0 disables the FD layer.
 	FDChecks int

@@ -29,6 +29,9 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
+	"strings"
+	"time"
 
 	"masc/internal/adjoint"
 	"masc/internal/circuit"
@@ -186,6 +189,21 @@ type SimOptions struct {
 	// 0 means unthrottled. DiskDir defaults to the system temp directory.
 	DiskBytesPerSec float64
 	DiskDir         string
+	// MemBudgetBytes caps the Jacobian store's modelled resident bytes
+	// ("finish this sweep in 256 MB"). A positive budget replaces the
+	// in-RAM storage strategies (memory, masc, masc+markov) with a tiered
+	// store that places each step across hot RAM → compressed RAM → disk
+	// spill → deliberate drop-and-recompute, scheduled by a cost model fed
+	// with timings measured from the first steps of the run. The selected
+	// strategy still picks the codecs (masc+markov enables the Markov
+	// selector; memory and masc use the default MASC codec). Every tier is
+	// lossless, so sensitivities stay bit-identical to the unlimited-RAM
+	// run for any budget, workers, and windows; the budget only trades
+	// memory for time. DiskDir/DiskBytesPerSec configure the spill rung.
+	// 0 (default) disables tiering; StorageRecompute and StorageDisk
+	// ignore the budget (their footprint is already step-count-free).
+	// Async and CollectCodecStats are inert under a budget.
+	MemBudgetBytes int64
 	// Transient exposes the remaining solver knobs; TStep/TStop above
 	// override its time axis when set.
 	Transient TransientOptions
@@ -245,18 +263,54 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 	windows := resolveAdjointWindows(opt.AdjointWindows, topt.EstimatedSteps())
 
 	var store jactensor.Store
-	switch storage {
-	case StorageRecompute:
+	var tiered *jactensor.TieredStore
+	if opt.MemBudgetBytes > 0 {
+		switch storage {
+		case StorageMemory, StorageMASC, StorageMASCMarkov:
+			mo := masczip.Options{Markov: storage == StorageMASCMarkov, Workers: workers}
+			jc, cc := masczip.New(ckt.JPat, mo), masczip.New(ckt.CPat, mo)
+			tiered = jactensor.NewTieredStore(jc, cc, jactensor.TieredConfig{
+				BudgetBytes:     opt.MemBudgetBytes,
+				DiskDir:         opt.DiskDir,
+				DiskBytesPerSec: opt.DiskBytesPerSec,
+			})
+			if windows > 1 {
+				// Pin ~W anchor steps so window boundaries land on frames
+				// the budget scheduler demotes last and never drops.
+				if est := topt.EstimatedSteps(); est > 0 {
+					every := est / windows
+					if every < 1 {
+						every = 1
+					}
+					tiered.SetAnchorEvery(every)
+				}
+			}
+			// The solver's per-step wall time is the cost model's
+			// recompute-price proxy, sampled from the first steps on.
+			prevCost := topt.StepCost
+			topt.StepCost = func(step int, d time.Duration) {
+				if prevCost != nil {
+					prevCost(step, d)
+				}
+				tiered.ObserveStepCost(d)
+			}
+			store = tiered
+		}
+	}
+	switch {
+	case store != nil:
+		// Tiered store already built above.
+	case storage == StorageRecompute:
 		store = nil
-	case StorageMemory:
+	case storage == StorageMemory:
 		store = jactensor.NewMemStore()
-	case StorageDisk:
+	case storage == StorageDisk:
 		ds, err := jactensor.NewDiskStore(opt.DiskDir, opt.DiskBytesPerSec)
 		if err != nil {
 			return nil, err
 		}
 		store = ds
-	case StorageMASC, StorageMASCMarkov:
+	case storage == StorageMASC || storage == StorageMASCMarkov:
 		mo := masczip.Options{
 			Markov:       storage == StorageMASCMarkov,
 			Workers:      workers,
@@ -321,6 +375,13 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 		return nil, err
 	}
 	run := &Run{Tran: tr, Storage: storage}
+	if tiered != nil {
+		// The trajectory now exists: give the tiered store the bit-exact
+		// recompute path for deliberately dropped steps — the same
+		// re-derivation the degradation ladder uses for corruption, but
+		// wired inside the store so planned drops never count as degraded.
+		tiered.SetRecompute(adjoint.NewRecomputeSource(ckt, tr).Fetch)
+	}
 
 	var src adjoint.JacobianSource
 	if store != nil {
@@ -376,6 +437,36 @@ func resolveAdjointWindows(w, estSteps int) int {
 		aw = 1
 	}
 	return aw
+}
+
+// ParseByteSize parses a human byte-size string for SimOptions.
+// MemBudgetBytes / masc -mem-budget: a non-negative number with an optional
+// K/M/G/T suffix (binary multiples; "KiB"/"MB" spellings and lower case
+// accepted, so "256M", "256MiB" and "268435456" all work). 0 means
+// unlimited.
+func ParseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	if t == "" {
+		return 0, fmt.Errorf("masc: empty byte size")
+	}
+	mult := int64(1)
+	t = strings.TrimSuffix(t, "B")
+	t = strings.TrimSuffix(t, "I")
+	switch {
+	case strings.HasSuffix(t, "K"):
+		mult, t = 1<<10, t[:len(t)-1]
+	case strings.HasSuffix(t, "M"):
+		mult, t = 1<<20, t[:len(t)-1]
+	case strings.HasSuffix(t, "G"):
+		mult, t = 1<<30, t[:len(t)-1]
+	case strings.HasSuffix(t, "T"):
+		mult, t = 1<<40, t[:len(t)-1]
+	}
+	n, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("masc: bad byte size %q", s)
+	}
+	return int64(n * float64(mult)), nil
 }
 
 // RunTransient runs only the forward analysis.

@@ -2,6 +2,8 @@ package masc
 
 import (
 	"math"
+	"os"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -212,6 +214,122 @@ func TestSimulateAdjointWindowsBitIdentical(t *testing.T) {
 					}
 				}
 			}
+		}
+	}
+}
+
+// TestSimulateMemBudgetBitIdentical is the facade half of the
+// tier-equivalence property suite: for every storage strategy the budget
+// promotes × integrator × budget rung (halves of the measured unlimited
+// peak down to an absurdly tiny one) × window/worker mix, the tiered run
+// must reproduce the unlimited-RAM sensitivities bit for bit while its
+// PeakResident stays under the budget plus the documented frame slack.
+// MASC_MEM_BUDGET=a,b,c (ParseByteSize values) extends the budget rungs —
+// the CI budget-sweep matrix drives it.
+func TestSimulateMemBudgetBitIdentical(t *testing.T) {
+	ckt, b, obj := buildTestCircuit(t)
+	mid, err := b.NodeIndex("mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := []Objective{obj, {Name: "int_v(mid)", Node: mid, Weight: 1, Integral: true}}
+	// {2, 0} is a regression shape: the ~100-step trajectory is an exact
+	// multiple of the W=2 anchor spacing (est/W = 50), which once made
+	// AnchorSteps list the head twice and degenerate the window split.
+	sweeps := []struct{ windows, workers int }{
+		{1, 0}, {2, 0}, {3, 2}, {runtime.NumCPU(), 0},
+	}
+	for _, st := range []Storage{StorageMemory, StorageMASC} {
+		for _, method := range []Method{MethodBE, MethodTrap} {
+			base := SimOptions{TStep: 2e-6, TStop: 2e-4, Storage: st}
+			base.Transient.Method = method
+			ref, err := Simulate(ckt, base, objs, nil)
+			if err != nil {
+				t.Fatalf("%s/%v unlimited: %v", st, method, err)
+			}
+			peak := ref.TensorStats.PeakResident
+			frame := ref.TensorStats.RawBytes / int64(ref.TensorStats.Steps)
+			budgets := []int64{peak / 2, peak / 4, peak / 8, 4 << 10}
+			if env := os.Getenv("MASC_MEM_BUDGET"); env != "" {
+				for _, f := range strings.Split(env, ",") {
+					n, perr := ParseByteSize(f)
+					if perr != nil {
+						t.Fatalf("MASC_MEM_BUDGET: %v", perr)
+					}
+					budgets = append(budgets, n)
+				}
+			}
+			for _, budget := range budgets {
+				for _, sw := range sweeps {
+					opt := base
+					opt.MemBudgetBytes = budget
+					opt.DiskDir = t.TempDir()
+					opt.AdjointWindows = sw.windows
+					opt.AdjointWorkers = sw.workers
+					run, err := Simulate(ckt, opt, objs, nil)
+					if err != nil {
+						t.Fatalf("%s/%v budget=%d W=%d wk=%d: %v", st, method, budget, sw.windows, sw.workers, err)
+					}
+					for o := range ref.Sens.DOdp {
+						for k := range ref.Sens.DOdp[o] {
+							a, bv := ref.Sens.DOdp[o][k], run.Sens.DOdp[o][k]
+							if math.Float64bits(a) != math.Float64bits(bv) {
+								t.Fatalf("%s/%v budget=%d W=%d wk=%d: obj %d sens %d diverges: %g vs %g",
+									st, method, budget, sw.windows, sw.workers, o, k, bv, a)
+							}
+						}
+					}
+					// The hard half of the contract: the budget held, up to
+					// the documented in-flight slack (admitted frame, one
+					// blob mid-demotion, spill scratch, the frames the sweep
+					// holds fetched).
+					if got := run.TensorStats.PeakResident; budget > 0 && got > budget+6*frame {
+						t.Fatalf("%s/%v budget=%d W=%d wk=%d: PeakResident %d overran budget (+%d slack)",
+							st, method, budget, sw.windows, sw.workers, got, 6*frame)
+					}
+					if run.TensorStats.BudgetBytes != budget {
+						t.Fatalf("%s/%v: stats echo budget %d, want %d", st, method, run.TensorStats.BudgetBytes, budget)
+					}
+					if len(run.Sens.DegradedSteps) != 0 {
+						t.Fatalf("%s/%v budget=%d: planned drops leaked into DegradedSteps: %v",
+							st, method, budget, run.Sens.DegradedSteps)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParseByteSize pins the -mem-budget spelling contract.
+func TestParseByteSize(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0},
+		{"4096", 4096},
+		{"64k", 64 << 10},
+		{"64K", 64 << 10},
+		{"64KB", 64 << 10},
+		{"64KiB", 64 << 10},
+		{"256M", 256 << 20},
+		{"256MiB", 256 << 20},
+		{"2g", 2 << 30},
+		{"1T", 1 << 40},
+		{"1.5M", 3 << 19},
+		{" 8M ", 8 << 20},
+	} {
+		got, err := ParseByteSize(tc.in)
+		if err != nil {
+			t.Fatalf("ParseByteSize(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("ParseByteSize(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-1", "12Q", "MB"} {
+		if _, err := ParseByteSize(bad); err == nil {
+			t.Fatalf("ParseByteSize(%q) accepted", bad)
 		}
 	}
 }
