@@ -9,8 +9,12 @@
 //
 // Telemetry (all optional, all near-zero cost when off):
 //
-//	-metrics-addr :9090   serve /metrics, /debug/vars, /debug/pprof
+//	-metrics-addr :9090   serve /metrics, /debug/vars, /debug/pprof,
+//	                      /debug/spans (span tree) and /events (live SSE)
 //	-trace run.jsonl      per-timestep JSONL event trace
+//	-span-trace run.trace hierarchical span tree as Chrome trace-event JSON
+//	                      (load in Perfetto / chrome://tracing)
+//	-span-jsonl spans.jsonl   span tree as one JSON object per line
 //	-manifest run.json    one-document run manifest (config + stats)
 //	-hold 30s             keep the metrics endpoint up after the run
 package main
@@ -32,18 +36,19 @@ import (
 
 // cli bundles the parsed command-line configuration.
 type cli struct {
-	path, storage       string
-	workers, depth, top int
-	adjWorkers          int
-	adjWindows          int
-	async               bool
-	diskBps             float64
-	memBudget           string
-	memBudgetBytes      int64
-	csvPath             string
-	metricsAddr         string
-	tracePath, maniPath string
-	hold                time.Duration
+	path, storage        string
+	workers, depth, top  int
+	adjWorkers           int
+	adjWindows           int
+	async                bool
+	diskBps              float64
+	memBudget            string
+	memBudgetBytes       int64
+	csvPath              string
+	metricsAddr          string
+	tracePath, maniPath  string
+	spanTrace, spanJSONL string
+	hold                 time.Duration
 }
 
 func main() {
@@ -61,6 +66,8 @@ func main() {
 	flag.StringVar(&c.csvPath, "csv", "", "write .print waveforms to this CSV file")
 	flag.StringVar(&c.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
 	flag.StringVar(&c.tracePath, "trace", "", "write a per-timestep JSONL event trace to this file")
+	flag.StringVar(&c.spanTrace, "span-trace", "", "write the hierarchical span tree as Chrome trace-event JSON to this file (Perfetto-loadable)")
+	flag.StringVar(&c.spanJSONL, "span-jsonl", "", "write the span tree as JSONL (one span object per line) to this file")
 	flag.StringVar(&c.maniPath, "manifest", "", "write a JSON run manifest (config + aggregate stats) to this file")
 	flag.DurationVar(&c.hold, "hold", 0, "keep the metrics endpoint alive this long after the run finishes")
 	flag.Parse()
@@ -102,10 +109,12 @@ func run(c cli) error {
 	fmt.Printf("%s\n%s\n", deck.Title, deck.Ckt)
 
 	// Telemetry: a registry whenever anything will consume it, a tracer
-	// only when -trace names a file.
+	// only when -trace names a file, a span recorder when span export or
+	// the HTTP endpoint wants one, and an SSE broadcaster with the server.
 	var ob *masc.Observer
 	var reg *masc.Registry
-	telemetry := c.metricsAddr != "" || c.tracePath != "" || c.maniPath != ""
+	spansOn := c.spanTrace != "" || c.spanJSONL != "" || c.metricsAddr != ""
+	telemetry := c.metricsAddr != "" || c.tracePath != "" || c.maniPath != "" || spansOn
 	if telemetry {
 		reg = masc.NewRegistry()
 		ob = &masc.Observer{Reg: reg}
@@ -117,15 +126,33 @@ func run(c cli) error {
 			defer tr.Close()
 			ob.Trace = tr
 		}
+		if spansOn {
+			ob.Spans = masc.NewSpanRecorder(0)
+		}
 	}
 	var srv *masc.MetricsServer
+	var bc *masc.Broadcaster
 	if c.metricsAddr != "" {
-		srv, err = masc.ServeMetrics(c.metricsAddr, reg)
+		// Live streaming: completed spans and trace events tee into the
+		// /events SSE broadcaster as they happen. Publish copies the frame,
+		// so the sink can reuse one scratch buffer.
+		bc = masc.NewBroadcaster()
+		ob.Events = bc
+		defer bc.Close()
+		var buf []byte
+		ob.Spans.SetSink(func(r *masc.SpanRecord) {
+			buf = masc.AppendSpanJSON(buf[:0], r)
+			bc.Publish("span", buf)
+		})
+		if ob.Trace != nil {
+			ob.Trace.SetBroadcast(bc)
+		}
+		srv, err = masc.ServeObserver(c.metricsAddr, ob)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("telemetry: serving http://%s/metrics\n", srv.Addr)
+		fmt.Printf("telemetry: serving http://%s/metrics (spans: /debug/spans, live: /events)\n", srv.Addr)
 	}
 
 	// Graceful shutdown: the first SIGINT/SIGTERM asks the transient loop to
@@ -162,13 +189,20 @@ func run(c cli) error {
 	run, err := masc.Simulate(deck.Ckt, simOpt, deck.Objectives, nil)
 	if err != nil {
 		if errors.Is(err, masc.ErrInterrupted) {
-			// Flush what telemetry exists so the partial run is diagnosable,
-			// then report the interruption as a failure (nonzero exit).
+			// Flush and close every telemetry sink so the partial run is
+			// diagnosable, then report the interruption as a failure
+			// (nonzero exit). Order matters: trace flush, span export and
+			// broadcaster close all precede the "interrupted" manifest, so
+			// a manifest on disk implies the other artifacts are complete.
 			if ob != nil && ob.Trace != nil {
 				if ferr := ob.Trace.Flush(); ferr != nil {
 					fmt.Fprintln(os.Stderr, "masc: trace flush:", ferr)
 				}
 			}
+			if serr := exportSpans(c, ob); serr != nil {
+				fmt.Fprintln(os.Stderr, "masc: span export:", serr)
+			}
+			bc.Close()
 			if c.maniPath != "" {
 				if merr := writeManifest(c, deck, nil, reg, "interrupted"); merr != nil {
 					fmt.Fprintln(os.Stderr, "masc: manifest:", merr)
@@ -179,12 +213,17 @@ func run(c cli) error {
 		}
 		return err
 	}
-	// All trace events are emitted inside Simulate; flush now so the file
-	// is complete even if the process is killed during -hold.
+	// All trace events and spans are emitted inside Simulate; flush and
+	// export now so the files are complete even if the process is killed
+	// during -hold. The broadcaster stays open through -hold so /events
+	// clients keep their stream.
 	if ob != nil && ob.Trace != nil {
 		if err := ob.Trace.Flush(); err != nil {
 			return fmt.Errorf("trace: %w", err)
 		}
+	}
+	if err := exportSpans(c, ob); err != nil {
+		return err
 	}
 
 	fmt.Printf("transient: %d steps, %d newton iterations, %d (re)factorizations\n",
@@ -291,6 +330,44 @@ func writeManifest(c cli, deck *masc.Deck, run *masc.Run, reg *masc.Registry, st
 	}
 	man.AttachMetrics(reg)
 	return man.Write(c.maniPath)
+}
+
+// exportSpans writes the recorder's span snapshot to the -span-trace
+// (Chrome trace-event JSON) and -span-jsonl files. A nil observer or
+// recorder, or empty paths, are no-ops.
+func exportSpans(c cli, ob *masc.Observer) error {
+	if ob == nil || ob.Spans == nil || (c.spanTrace == "" && c.spanJSONL == "") {
+		return nil
+	}
+	recs := ob.Spans.Snapshot()
+	write := func(path string, enc func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := enc(f); err != nil {
+			f.Close()
+			return fmt.Errorf("span export %s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if c.spanTrace != "" {
+		if err := write(c.spanTrace, func(f *os.File) error {
+			return masc.WriteChromeTrace(f, recs)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("span trace written to %s (%d spans)\n", c.spanTrace, len(recs))
+	}
+	if c.spanJSONL != "" {
+		if err := write(c.spanJSONL, func(f *os.File) error {
+			return masc.WriteSpanJSONL(f, recs)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("span jsonl written to %s (%d spans)\n", c.spanJSONL, len(recs))
+	}
+	return nil
 }
 
 func abs(v float64) float64 {

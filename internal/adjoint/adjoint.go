@@ -27,6 +27,7 @@ import (
 	"masc/internal/device"
 	"masc/internal/lu"
 	"masc/internal/obs"
+	"masc/internal/obs/span"
 	"masc/internal/sparse"
 	"masc/internal/transient"
 )
@@ -117,6 +118,10 @@ type Options struct {
 	// degraded (recompute-on-corruption) runs. Composes with Workers: each
 	// window sweep gets its own worker pool of opt.Workers.
 	Windows int
+
+	// SpanParent is the span the adjoint pass nests under (normally the
+	// run root). Spans are recorded only when Obs carries a recorder.
+	SpanParent span.ID
 }
 
 // DegradeError reports a step that could be neither fetched nor
@@ -143,6 +148,7 @@ func (e *DegradeError) FailedStep() int { return e.Step }
 type sweepObs struct {
 	on        bool
 	tr        *obs.Tracer
+	rec       *span.Recorder
 	steps     *obs.Counter
 	fetchSec  *obs.Counter
 	waitSec   *obs.Counter
@@ -164,6 +170,7 @@ func newSweepObs(o *obs.Observer) sweepObs {
 	return sweepObs{
 		on:        true,
 		tr:        o.Tracer(),
+		rec:       o.SpanRecorder(),
 		steps:     reg.Counter("masc_adjoint_steps_total", "Reverse-sweep steps completed."),
 		fetchSec:  reg.Counter("masc_adjoint_fetch_seconds_total", "Jacobian acquisition time (recompute/decompress/IO)."),
 		waitSec:   reg.Counter("masc_adjoint_fetch_wait_seconds_total", "Solver-visible fetch wait (time the sweep blocked on Jacobian acquisition)."),
@@ -235,6 +242,15 @@ func Sensitivities(ckt *circuit.Circuit, tr *transient.Result, src JacobianSourc
 	if err != nil {
 		return nil, err
 	}
+	// The adjoint root span: every sweep/window/fetch/solve span of this
+	// pass nests under it via opt.SpanParent.
+	rec := opt.Obs.SpanRecorder()
+	asp := rec.Start(opt.SpanParent, span.Adjoint, -1)
+	asp.Attr("workers", int64(opt.Workers))
+	asp.Attr("windows", int64(opt.Windows))
+	asp.Attr("objs", int64(len(objs)))
+	defer asp.End()
+	opt.SpanParent = asp.ID()
 	if opt.Windows > 1 {
 		if res, handled, werr := runWindowed(ckt, tr, src, objs, params, trap, opt); handled {
 			return res, werr

@@ -37,6 +37,7 @@ import (
 	"masc/internal/jactensor"
 	"masc/internal/lu"
 	"masc/internal/obs"
+	"masc/internal/obs/span"
 	"masc/internal/sparse"
 	"masc/internal/transient"
 )
@@ -169,13 +170,19 @@ type sweep struct {
 	pendQ   [][]float64 // λ_{i+1}/h_{i+1} (dqdp regroup)
 	pendF   [][]float64 // ½λ_{i+1} (trapezoidal dfdp regroup)
 
-	evs  []*circuit.Eval    // per-worker parameter-sensitivity evaluators
+	evs  []*circuit.Eval // per-worker parameter-sensitivity evaluators
 	accs []*device.SensAccum
 	tmps [][]float64 // per-worker Jᵀλ scratch (trapezoidal RHS builds)
 
 	rec *RecomputeSource // lazy recompute fallback for degraded steps
 	res *Result
 	so  sweepObs
+
+	// spanParent is what this sweep's Sweep span nests under (the adjoint
+	// root, or a Window span in windowed mode); sweepSpan is the live Sweep
+	// span's ID, the parent of the per-step fetch/solve/param spans.
+	spanParent span.ID
+	sweepSpan  span.ID
 }
 
 func newSweep(ckt *circuit.Circuit, tr *transient.Result, src JacobianSource, objs []Objective, params []int, trap bool, opt Options) *sweep {
@@ -197,6 +204,7 @@ func newSweep(ckt *circuit.Circuit, tr *transient.Result, src JacobianSource, ob
 		perm:    ckt.JPerm(),
 		so:      newSweepObs(opt.Obs),
 
+		spanParent:          opt.SpanParent,
 		skipParamsAtOrBelow: -1,
 	}
 	s.hiStep, s.loStep = s.n, 0
@@ -288,6 +296,8 @@ func (s *sweep) acquire(i int) (jv, cv []float64, degraded bool, err error) {
 // bookkeeping all interleave on the calling goroutine exactly as in the
 // original serial sweep.
 func (s *sweep) runSerialFetch() error {
+	swp := s.startSweepSpan()
+	defer swp.End()
 	t0 := time.Now()
 	for i := s.hiStep; i >= s.loStep; i-- {
 		if err := s.checkStop(); err != nil {
@@ -339,6 +349,8 @@ func (s *sweep) checkStop() error {
 // one step of lookahead in two rotating buffers, so acquisition cost hides
 // behind the previous step's factor+solve+accumulate.
 func (s *sweep) runOverlapped() error {
+	swp := s.startSweepSpan()
+	defer swp.End()
 	t0 := time.Now()
 	free := make(chan *fetchBuf, 2)
 	results := make(chan *fetchBuf, 2)
@@ -439,12 +451,33 @@ func (s *sweep) runOverlapped() error {
 	return nil
 }
 
+// startSweepSpan opens this sweep's Sweep span (annotated with its step
+// range and worker count) and publishes its ID as the parent of the
+// per-step fetch/solve/param spans.
+func (s *sweep) startSweepSpan() span.Span {
+	swp := s.so.rec.Start(s.spanParent, span.Sweep, -1)
+	swp.Attr("lo", int64(s.loStep))
+	swp.Attr("hi", int64(s.hiStep))
+	swp.Attr("workers", int64(s.workers))
+	s.sweepSpan = swp.ID()
+	return swp
+}
+
 // noteFetch records the acquisition of step i. wait is the solver-visible
 // duration (== acq when fetching inline), acq the true acquisition time.
 func (s *sweep) noteFetch(i int, wait, acq time.Duration, degraded bool) {
 	s.res.Timing.Fetch += wait
 	if degraded {
 		s.res.DegradedSteps = append(s.res.DegradedSteps, i)
+	}
+	if rec := s.so.rec; rec != nil {
+		// Backdated so the span covers the acquisition interval that just
+		// finished (the fetcher-side time, not only the blocked wait).
+		t1 := rec.Now()
+		fsp := rec.StartAt(s.sweepSpan, span.Fetch, i, t1-int64(acq))
+		fsp.Attr("wait_ns", int64(wait))
+		fsp.Attr("degraded", boolInt(degraded))
+		fsp.EndAt(t1)
 	}
 	if !s.so.on {
 		return
@@ -527,6 +560,7 @@ func (s *sweep) processStep(i int, jv, cv []float64) error {
 	J := &sparse.Matrix{P: s.ckt.JPat, Val: jv}
 	C := &sparse.Matrix{P: s.ckt.CPat, Val: cv}
 
+	ssp := s.so.rec.Start(s.sweepSpan, span.Solve, i)
 	tSolve := time.Now()
 	var factErr error
 	if s.workers > 1 && len(s.objs) > 1 {
@@ -554,6 +588,7 @@ func (s *sweep) processStep(i int, jv, cv []float64) error {
 		}
 	}
 	if factErr != nil {
+		ssp.End()
 		return fmt.Errorf("adjoint: factor step %d: %w", i, factErr)
 	}
 	if s.opt.SingleRHS {
@@ -563,6 +598,8 @@ func (s *sweep) processStep(i int, jv, cv []float64) error {
 	} else {
 		s.fact.SolveTMulti(s.lam)
 	}
+	ssp.Attr("objs", int64(len(s.objs)))
+	ssp.End()
 	if s.so.on {
 		d := time.Since(tSolve)
 		s.res.Timing.FactorSolve += d
@@ -581,6 +618,7 @@ func (s *sweep) processStep(i int, jv, cv []float64) error {
 	// this block below its bound (a window owns those steps); λ carries and
 	// the swap below still run, because seeds depend on them.
 	if i > s.skipParamsAtOrBelow {
+		psp := s.so.rec.Start(s.sweepSpan, span.ParamEval, i)
 		tPar := time.Now()
 		xi, ti := s.tr.States[i], s.tr.Times[i]
 		var row []float64
@@ -588,6 +626,12 @@ func (s *sweep) processStep(i int, jv, cv []float64) error {
 			row = s.stepContrib[i-s.loStep]
 		}
 		s.pool.run(func(w int) {
+			var shsp span.Span
+			if s.workers > 1 && s.so.rec != nil {
+				shsp = s.so.rec.Start(psp.ID(), span.ParamShard, i)
+				shsp.Attr("worker", int64(w))
+				defer shsp.End()
+			}
 			lo, hi := shard(w, s.workers, len(s.params))
 			if lo >= hi {
 				return
@@ -634,6 +678,8 @@ func (s *sweep) processStep(i int, jv, cv []float64) error {
 				}
 			}
 		})
+		psp.Attr("params", int64(len(s.params)))
+		psp.End()
 		if s.so.on {
 			d := time.Since(tPar)
 			s.res.Timing.ParamEval += d
@@ -664,4 +710,11 @@ func (s *sweep) processStep(i int, jv, cv []float64) error {
 		s.afterStep(i)
 	}
 	return nil
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }

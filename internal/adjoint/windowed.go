@@ -43,6 +43,7 @@ import (
 	"masc/internal/circuit"
 	"masc/internal/jactensor"
 	"masc/internal/lu"
+	"masc/internal/obs/span"
 	"masc/internal/transient"
 )
 
@@ -326,13 +327,20 @@ func runWindowed(ckt *circuit.Circuit, tr *transient.Result, src JacobianSource,
 		}
 	}
 
+	rec := opt.Obs.SpanRecorder()
 	var wg sync.WaitGroup
 	launch := func(j, lo, hi int, view JacobianSource, seed *windowSeed) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wsp := rec.Start(opt.SpanParent, span.Window, -1)
+			wsp.Attr("win", int64(j))
+			wsp.Attr("lo", int64(lo))
+			wsp.Attr("hi", int64(hi))
+			defer wsp.End()
 			ws := newSweep(ckt, tr, view, objs, params, trap, opt)
 			defer ws.pool.close()
+			ws.spanParent = wsp.ID()
 			ws.hiStep, ws.loStep = hi, lo
 			ws.stepContrib = contribs[lo : hi+1]
 			ws.stop = stopCh
@@ -350,8 +358,14 @@ func runWindowed(ckt *circuit.Circuit, tr *transient.Result, src JacobianSource,
 
 	// The seeding sweep runs on the calling goroutine: full engine above
 	// t_{W-2} (it IS the topmost window), seed generation below.
+	ssp := rec.Start(opt.SpanParent, span.Window, -1)
+	ssp.Attr("win", int64(W-1))
+	ssp.Attr("lo", int64(tops[0]+1))
+	ssp.Attr("hi", int64(n))
+	ssp.Attr("seeder", 1)
 	seeder := newSweep(ckt, tr, views[W-1], objs, params, trap, opt)
 	defer seeder.pool.close()
+	seeder.spanParent = ssp.ID()
 	seeder.hiStep, seeder.loStep = n, tops[0]+1
 	seeder.skipParamsAtOrBelow = tops[W-2]
 	seeder.stepContrib = contribs[tops[0]+1:]
@@ -379,6 +393,7 @@ func runWindowed(ckt *circuit.Circuit, tr *transient.Result, src JacobianSource,
 		serr = seeder.runSerialFetch()
 	}
 	finish(W-1, seeder, time.Since(tSeed), serr)
+	ssp.End()
 	wg.Wait()
 
 	if firstErr != nil {

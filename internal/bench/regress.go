@@ -1,0 +1,288 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the perf-regression gate behind masc-bench -baseline: it
+// diffs two -stats-json manifests metric by metric, with noise-aware
+// per-metric thresholds, and reports every metric that moved past its
+// allowance. Rows are matched by their identity fields (dataset, sizes,
+// worker counts, budget knobs), so a baseline taken on one experiment
+// sweep compares cleanly against a re-run of the same sweep.
+
+// RegressOptions are the per-metric-class allowances of CompareManifests.
+// The zero value picks the defaults noted on each field.
+type RegressOptions struct {
+	// TimeFrac is the allowed fractional slowdown of time-like metrics
+	// (fields containing "Sec", "Time" or "Slowdown"): 0.25 permits a run
+	// 25% slower than baseline. Default 0.25.
+	TimeFrac float64
+	// MinTimeSec is the noise floor for time metrics: the limit is computed
+	// from max(baseline, MinTimeSec), so microbenchmark jitter on
+	// sub-floor timings cannot trip the gate. Default 0.02 (20 ms).
+	MinTimeSec float64
+	// BytesFrac is the allowed fractional growth of size metrics (fields
+	// containing "Bytes", "Resident" or "Alloc"). Default 0.10.
+	BytesFrac float64
+	// RatioFrac is the allowed fractional loss of higher-is-better metrics
+	// (fields containing "Speedup", "CR", "Ratio" or "Rate"). Default 0.20.
+	RatioFrac float64
+}
+
+func (o RegressOptions) withDefaults() RegressOptions {
+	if o.TimeFrac == 0 {
+		o.TimeFrac = 0.25
+	}
+	if o.MinTimeSec == 0 {
+		o.MinTimeSec = 0.02
+	}
+	if o.BytesFrac == 0 {
+		o.BytesFrac = 0.10
+	}
+	if o.RatioFrac == 0 {
+		o.RatioFrac = 0.20
+	}
+	return o
+}
+
+// Regression is one metric that moved past its allowance.
+type Regression struct {
+	Section  string  // manifest section ("adjoint", "budget", ...)
+	Row      string  // identity of the row within the section
+	Field    string  // metric name
+	Baseline float64 // baseline value
+	Current  float64 // current value
+	Limit    float64 // the threshold Current crossed
+}
+
+func (r Regression) String() string {
+	dir := ">"
+	if r.Current < r.Limit {
+		dir = "<"
+	}
+	return fmt.Sprintf("%s[%s].%s: %.6g vs baseline %.6g (limit %s %.6g)",
+		r.Section, r.Row, r.Field, r.Current, r.Baseline, dir, r.Limit)
+}
+
+// RegressReport summarizes one CompareManifests run.
+type RegressReport struct {
+	Compared      int // metrics checked against a threshold
+	Skipped       int // metrics under the noise floor or without a counterpart
+	UnmatchedRows int // baseline rows with no identity match in the current run
+	Regressions   []Regression
+}
+
+// OK reports whether no metric regressed.
+func (r *RegressReport) OK() bool { return len(r.Regressions) == 0 }
+
+// metric classes, decided by field name.
+const (
+	clsIdentity     = iota // part of the row identity, never compared
+	clsIgnore              // numeric but neither identity nor a gated metric
+	clsTime                // higher is worse, noise floor applies
+	clsSize                // higher is worse (bytes, allocations)
+	clsHigherBetter        // lower is worse (speedups, compression ratios)
+)
+
+// identityNums are numeric fields that configure a row rather than
+// measure it; together with every string/bool field they form the key
+// rows are matched by across the two manifests.
+var identityNums = map[string]bool{
+	"Unknowns": true, "Steps": true, "Objs": true, "Params": true,
+	"Workers": true, "Windows": true, "BudgetBytes": true,
+	"Depth": true, "Scale": true, "NNZ": true,
+}
+
+func classify(field string) int {
+	switch {
+	case identityNums[field]:
+		return clsIdentity
+	case strings.Contains(field, "Speedup"), strings.Contains(field, "CR"),
+		strings.Contains(field, "Ratio"), strings.Contains(field, "Rate"):
+		return clsHigherBetter
+	case strings.Contains(field, "Sec"), strings.Contains(field, "Time"),
+		strings.Contains(field, "Slowdown"):
+		return clsTime
+	case strings.Contains(field, "Bytes"), strings.Contains(field, "Resident"),
+		strings.Contains(field, "Alloc"):
+		return clsSize
+	default:
+		return clsIgnore
+	}
+}
+
+// rowKey builds the identity string of one decoded row: every string and
+// bool field plus the identityNums, in sorted field order.
+func rowKey(row map[string]any) string {
+	keys := make([]string, 0, len(row))
+	for k, v := range row {
+		switch v.(type) {
+		case string, bool:
+			keys = append(keys, k)
+		case float64:
+			if identityNums[k] {
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%v", k, row[k])
+	}
+	return b.String()
+}
+
+// CompareManifests diffs two -stats-json manifest documents (raw JSON
+// bytes) and returns every metric of the baseline that regressed past its
+// allowance in the current run. Sections or rows present in only one
+// document are skipped (counted, not failed), so a full "all" baseline
+// gates a single-experiment re-run and vice versa.
+func CompareManifests(baseline, current []byte, opt RegressOptions) (*RegressReport, error) {
+	opt = opt.withDefaults()
+	var base, cur struct {
+		Sections map[string]json.RawMessage `json:"sections"`
+	}
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return nil, fmt.Errorf("baseline manifest: %w", err)
+	}
+	if err := json.Unmarshal(current, &cur); err != nil {
+		return nil, fmt.Errorf("current manifest: %w", err)
+	}
+	rep := &RegressReport{}
+	names := make([]string, 0, len(base.Sections))
+	for name := range base.Sections {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		curRaw, ok := cur.Sections[name]
+		if !ok {
+			continue
+		}
+		bRows, err := decodeRows(base.Sections[name])
+		if err != nil {
+			return nil, fmt.Errorf("baseline section %s: %w", name, err)
+		}
+		cRows, err := decodeRows(curRaw)
+		if err != nil {
+			return nil, fmt.Errorf("current section %s: %w", name, err)
+		}
+		// Index current rows by identity; duplicate identities (repeated
+		// measurements) are consumed in order.
+		idx := make(map[string][]map[string]any, len(cRows))
+		for _, r := range cRows {
+			k := rowKey(r)
+			idx[k] = append(idx[k], r)
+		}
+		for _, brow := range bRows {
+			k := rowKey(brow)
+			match := idx[k]
+			if len(match) == 0 {
+				rep.UnmatchedRows++
+				continue
+			}
+			crow := match[0]
+			idx[k] = match[1:]
+			compareRow(rep, opt, name, k, brow, crow)
+		}
+	}
+	return rep, nil
+}
+
+// decodeRows accepts either a JSON array of objects or a single object
+// (single-object sections compare as one row with its own identity).
+func decodeRows(raw json.RawMessage) ([]map[string]any, error) {
+	var rows []map[string]any
+	if err := json.Unmarshal(raw, &rows); err == nil {
+		return rows, nil
+	}
+	var one map[string]any
+	if err := json.Unmarshal(raw, &one); err != nil {
+		return nil, err
+	}
+	return []map[string]any{one}, nil
+}
+
+func compareRow(rep *RegressReport, opt RegressOptions, section, key string, brow, crow map[string]any) {
+	fields := make([]string, 0, len(brow))
+	for f := range brow {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	for _, f := range fields {
+		bv, ok := brow[f].(float64)
+		if !ok {
+			continue
+		}
+		cv, ok := crow[f].(float64)
+		if !ok {
+			continue
+		}
+		var limit float64
+		switch classify(f) {
+		case clsTime:
+			// The allowance grows from max(baseline, floor), so jitter on
+			// timings below the noise floor cannot trip the gate.
+			ref := bv
+			if ref < opt.MinTimeSec {
+				ref = opt.MinTimeSec
+			}
+			limit = ref * (1 + opt.TimeFrac)
+			rep.Compared++
+			if cv > limit {
+				rep.Regressions = append(rep.Regressions, Regression{
+					Section: section, Row: key, Field: f,
+					Baseline: bv, Current: cv, Limit: limit,
+				})
+			}
+		case clsSize:
+			if bv < 1024 { // sub-KiB baselines are all jitter
+				rep.Skipped++
+				continue
+			}
+			limit = bv * (1 + opt.BytesFrac)
+			rep.Compared++
+			if cv > limit {
+				rep.Regressions = append(rep.Regressions, Regression{
+					Section: section, Row: key, Field: f,
+					Baseline: bv, Current: cv, Limit: limit,
+				})
+			}
+		case clsHigherBetter:
+			if bv <= 0 {
+				rep.Skipped++
+				continue
+			}
+			limit = bv * (1 - opt.RatioFrac)
+			rep.Compared++
+			if cv < limit {
+				rep.Regressions = append(rep.Regressions, Regression{
+					Section: section, Row: key, Field: f,
+					Baseline: bv, Current: cv, Limit: limit,
+				})
+			}
+		default:
+			// identity or unclassified numeric field: not gated.
+		}
+	}
+}
+
+// FormatRegressReport renders the report for terminal output: a one-line
+// verdict, then one line per regression.
+func FormatRegressReport(rep *RegressReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "regression gate: %d metrics compared, %d skipped, %d baseline rows unmatched, %d regressions\n",
+		rep.Compared, rep.Skipped, rep.UnmatchedRows, len(rep.Regressions))
+	for _, r := range rep.Regressions {
+		fmt.Fprintf(&b, "  REGRESSION %s\n", r.String())
+	}
+	return b.String()
+}

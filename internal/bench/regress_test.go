@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// testManifest is a miniature -stats-json document with one section of
+// two rows, shaped like the adjoint experiment's output.
+const testManifest = `{
+  "tool": "masc-bench",
+  "sections": {
+    "adjoint": [
+      {"Dataset": "add20", "Unknowns": 82, "Steps": 150, "Workers": 1,
+       "MultiRHS": false, "Sec": 0.5, "Speedup": 1},
+      {"Dataset": "add20", "Unknowns": 82, "Steps": 150, "Workers": 4,
+       "MultiRHS": true, "Sec": 0.25, "Speedup": 2.0}
+    ],
+    "memory": [
+      {"Dataset": "add20", "Storage": "masc", "PeakResident": 1048576,
+       "RawBytes": 8388608, "CR": 8.0}
+    ]
+  }
+}`
+
+// tightOpts disables the noise floor so the small synthetic timings above
+// are actually gated.
+var tightOpts = RegressOptions{TimeFrac: 0.25, MinTimeSec: 1e-9, BytesFrac: 0.10, RatioFrac: 0.20}
+
+// doctor decodes the manifest, applies fn to every row of every section,
+// and re-encodes it.
+func doctor(t *testing.T, doc string, fn func(section string, row map[string]any)) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal([]byte(doc), &m); err != nil {
+		t.Fatal(err)
+	}
+	for name, sec := range m["sections"].(map[string]any) {
+		for _, row := range sec.([]any) {
+			fn(name, row.(map[string]any))
+		}
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCleanRerunPasses(t *testing.T) {
+	rep, err := CompareManifests([]byte(testManifest), []byte(testManifest), tightOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("identical manifests regressed: %v", rep.Regressions)
+	}
+	if rep.Compared == 0 {
+		t.Fatal("no metrics compared — the gate is vacuous")
+	}
+	if rep.UnmatchedRows != 0 {
+		t.Fatalf("unmatched rows on identical manifests: %d", rep.UnmatchedRows)
+	}
+}
+
+func TestTwoXSlowdownFails(t *testing.T) {
+	// A current run 2x slower than baseline == a baseline with halved
+	// times; the gate must exit the comparison with regressions.
+	cur := doctor(t, testManifest, func(_ string, row map[string]any) {
+		if v, ok := row["Sec"].(float64); ok {
+			row["Sec"] = v * 2
+		}
+	})
+	rep, err := CompareManifests([]byte(testManifest), cur, tightOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("2x slowdown passed the gate")
+	}
+	for _, r := range rep.Regressions {
+		if r.Field != "Sec" {
+			t.Fatalf("unexpected regressed field %q", r.Field)
+		}
+		if r.Current <= r.Limit {
+			t.Fatalf("reported regression under its own limit: %+v", r)
+		}
+	}
+	if len(rep.Regressions) != 2 {
+		t.Fatalf("want 2 Sec regressions, got %d", len(rep.Regressions))
+	}
+}
+
+func TestSpeedupLossAndByteGrowthFail(t *testing.T) {
+	cur := doctor(t, testManifest, func(_ string, row map[string]any) {
+		if v, ok := row["Speedup"].(float64); ok {
+			row["Speedup"] = v * 0.5
+		}
+		if v, ok := row["PeakResident"].(float64); ok {
+			row["PeakResident"] = v * 2
+		}
+	})
+	rep, err := CompareManifests([]byte(testManifest), cur, tightOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := map[string]bool{}
+	for _, r := range rep.Regressions {
+		fields[r.Field] = true
+	}
+	if !fields["Speedup"] || !fields["PeakResident"] {
+		t.Fatalf("want Speedup and PeakResident regressions, got %v", rep.Regressions)
+	}
+}
+
+func TestNoiseFloorSkipsTinyTimes(t *testing.T) {
+	// With the default 20 ms floor, doubling a 0.5 ms timing is jitter,
+	// not a regression.
+	base := strings.ReplaceAll(testManifest, `"Sec": 0.5`, `"Sec": 0.0005`)
+	cur := strings.ReplaceAll(testManifest, `"Sec": 0.5`, `"Sec": 0.001`)
+	rep, err := CompareManifests([]byte(base), []byte(cur), RegressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Regressions {
+		if r.Field == "Sec" && r.Baseline < 0.02 {
+			t.Fatalf("sub-floor timing tripped the gate: %+v", r)
+		}
+	}
+}
+
+func TestUnmatchedRowsAreCountedNotFailed(t *testing.T) {
+	cur := strings.ReplaceAll(testManifest, `"Workers": 4`, `"Workers": 8`)
+	rep, err := CompareManifests([]byte(testManifest), []byte(cur), tightOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("identity change reported as regression: %v", rep.Regressions)
+	}
+	if rep.UnmatchedRows != 1 {
+		t.Fatalf("want 1 unmatched row, got %d", rep.UnmatchedRows)
+	}
+}
+
+func TestRepoBaselineSelfCompares(t *testing.T) {
+	// The checked-in CI baseline must gate cleanly against itself.
+	b, err := os.ReadFile("../../BENCH_adjoint_scale0.1.json")
+	if err != nil {
+		t.Skipf("no checked-in baseline: %v", err)
+	}
+	rep, err := CompareManifests(b, b, RegressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("baseline regressed against itself: %v", rep.Regressions)
+	}
+	if rep.Compared == 0 {
+		t.Fatal("no metrics compared in the checked-in baseline")
+	}
+}

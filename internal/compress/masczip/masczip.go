@@ -9,6 +9,7 @@ import (
 	"masc/internal/compress"
 	"masc/internal/compress/bitstream"
 	"masc/internal/compress/workpool"
+	"masc/internal/obs/span"
 	"masc/internal/sparse"
 )
 
@@ -120,6 +121,12 @@ type Compressor struct {
 	tbl      markovTables
 	encFn    func(int)
 	decFn    func(int)
+
+	// Codec-level span tracing. The owning store serializes all calls on
+	// one Compressor, so these are set without synchronization between
+	// calls; nil spanRec (the default) keeps the hot path untouched.
+	spanRec    *span.Recorder
+	spanParent span.ID
 }
 
 // New returns a MASC compressor bound to pattern p.
@@ -181,6 +188,15 @@ func (c *Compressor) ensureChunks(nchunks int) {
 	c.errs = c.errs[:cap(c.errs)]
 }
 
+// SetSpans installs a span recorder: each Compress/Decompress call then
+// records an encode/decode span under the parent set by SetSpanParent.
+func (c *Compressor) SetSpans(rec *span.Recorder) { c.spanRec = rec }
+
+// SetSpanParent sets the parent span for subsequent codec spans. The owning
+// store calls it right before Compress/Decompress so codec work nests under
+// the store's compress/decompress span.
+func (c *Compressor) SetSpanParent(id span.ID) { c.spanParent = id }
+
 // Name implements compress.Compressor.
 func (c *Compressor) Name() string {
 	if c.opt.Markov {
@@ -237,6 +253,11 @@ func (c *Compressor) Compress(dst []byte, cur, ref []float64) []byte {
 	if len(cur) != c.plan.nnz {
 		panic(fmt.Sprintf("masczip: value count %d does not match pattern nnz %d", len(cur), c.plan.nnz))
 	}
+	var sp span.Span
+	if c.spanRec != nil {
+		sp = c.spanRec.Start(c.spanParent, span.Encode, -1)
+	}
+	base := len(dst)
 	ref = c.refOrZeros(ref)
 	calib := !c.opt.Markov || c.seq%c.opt.CalibEvery == 0
 	c.seq++
@@ -296,7 +317,20 @@ func (c *Compressor) Compress(dst []byte, cur, ref []float64) []byte {
 	for ci := 0; ci < nchunks; ci++ {
 		dst = c.writers[ci].AppendTo(dst)
 	}
+	if c.spanRec != nil {
+		sp.Attr("elems", int64(len(cur)))
+		sp.Attr("bytes", int64(len(dst)-base))
+		sp.Attr("calib", boolInt(calib))
+		sp.End()
+	}
 	return dst
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // decodeChunk decodes chunk ci of the call in flight, recording any error
@@ -320,6 +354,12 @@ func (c *Compressor) decodeChunk(ci int) {
 
 // Decompress implements compress.Compressor.
 func (c *Compressor) Decompress(cur []float64, blob []byte, ref []float64) error {
+	if c.spanRec != nil {
+		sp := c.spanRec.Start(c.spanParent, span.Decode, -1)
+		sp.Attr("elems", int64(len(cur)))
+		sp.Attr("bytes", int64(len(blob)))
+		defer sp.End()
+	}
 	if len(cur) != c.plan.nnz {
 		return fmt.Errorf("masczip: value count %d does not match pattern nnz %d", len(cur), c.plan.nnz)
 	}

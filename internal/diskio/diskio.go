@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"masc/internal/faultinject"
+	"masc/internal/obs/span"
 )
 
 // ErrClosed is returned by operations on a store after Close.
@@ -84,6 +85,9 @@ type Store struct {
 	retries int64
 	jrng    *rand.Rand // deterministic backoff jitter
 	fault   *faultinject.Injector
+
+	spans      *span.Recorder
+	spanParent span.ID
 }
 
 // Create opens a spill file in dir (os.TempDir() if empty). bytesPerSec of
@@ -120,6 +124,16 @@ func (s *Store) SetFault(in *faultinject.Injector) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.fault = in
+}
+
+// SetSpans installs a span recorder and the parent span retry spans attach
+// under. Only operations that actually retried emit a span (kind
+// disk_retry), so the fault-free fast path stays untouched.
+func (s *Store) SetSpans(rec *span.Recorder, parent span.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spans = rec
+	s.spanParent = parent
 }
 
 // Path returns the spill file's location (for tests that audit cleanup).
@@ -161,28 +175,54 @@ func (s *Store) withRetry(op string, off int64, f func() error) error {
 		deadline = time.Now().Add(s.retry.OpDeadline)
 	}
 	var err error
+	var retryT0 int64 // span clock at the first failure; 0 = no retries yet
+	finish := func(attempt int, ok bool) {
+		if retryT0 == 0 || s.spans == nil {
+			return
+		}
+		sp := s.spans.StartAt(s.spanParent, span.DiskRetry, -1, retryT0)
+		sp.Attr("attempts", int64(attempt))
+		sp.Attr("off", off)
+		sp.Attr("write", boolInt(op == "write"))
+		sp.Attr("ok", boolInt(ok))
+		sp.End()
+	}
 	for attempt := 1; ; attempt++ {
 		if err = s.fault.OpError(op); err == nil {
 			err = f()
 		}
 		if err == nil {
+			finish(attempt, true)
 			return nil
+		}
+		if retryT0 == 0 && s.spans != nil {
+			retryT0 = s.spans.Now()
 		}
 		// EOF is deterministic (the bytes are not there), not a transient
 		// device fault: retrying it only delays the typed failure.
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			finish(attempt, false)
 			return &OpError{Op: op, Off: off, Attempts: attempt, Err: err}
 		}
 		if attempt >= maxAttempts {
+			finish(attempt, false)
 			return &OpError{Op: op, Off: off, Attempts: attempt, Err: err}
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
+			finish(attempt, false)
 			return &OpError{Op: op, Off: off, Attempts: attempt,
 				Err: fmt.Errorf("op deadline %v exceeded: %w", s.retry.OpDeadline, err)}
 		}
 		time.Sleep(s.backoff(attempt))
 		s.retries++
 	}
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // throttle blocks until the operation of n bytes would have completed on

@@ -10,6 +10,7 @@ import (
 	"masc/internal/compress/varint"
 	"masc/internal/faultinject"
 	"masc/internal/obs"
+	"masc/internal/obs/span"
 	"masc/internal/sparse"
 )
 
@@ -70,6 +71,28 @@ type CompressedStore struct {
 	quarantined map[int]bool          // steps whose blobs failed verification
 	fault       *faultinject.Injector // nil = fault-free
 	ob          storeObs              // telemetry handles; zero value = disabled
+
+	// Codec-level span hooks (masczip), cached from a type assertion in
+	// SetSpanScope; nil when the codecs don't trace or spans are off.
+	spanJC, spanCC spanCodec
+}
+
+// spanCodec is implemented by codecs (masczip) that can record
+// encode/decode spans under a per-call parent. The store serializes all
+// codec calls, so setting the parent between calls is race-free.
+type spanCodec interface {
+	SetSpans(*span.Recorder)
+	SetSpanParent(span.ID)
+}
+
+// setCodecParent points the codecs' next encode/decode span at id.
+func (s *CompressedStore) setCodecParent(id span.ID) {
+	if s.spanJC != nil {
+		s.spanJC.SetSpanParent(id)
+	}
+	if s.spanCC != nil {
+		s.spanCC.SetSpanParent(id)
+	}
 }
 
 // fwdJob asks the worker to compress step t-1 (cur) against step t (ref).
@@ -77,6 +100,7 @@ type fwdJob struct {
 	step       int // the step being compressed (t-1)
 	curJ, curC []float64
 	refJ, refC []float64
+	parent     span.ID // span scope snapshotted at Put time (causal trigger)
 }
 
 // prefetch is one in-flight background decompression of step `step`.
@@ -176,8 +200,16 @@ func (s *CompressedStore) openBlob(frame []byte, kind byte, step int, tensor str
 	s.quarantined[step] = true
 	s.stats.CorruptBlobs++
 	s.mu.Unlock()
-	s.ob.corrupt.Inc()
+	s.noteQuarantine(step)
 	return nil, corruptErr(step, "fetch", tensor, err)
+}
+
+// noteQuarantine mirrors one quarantined step into the telemetry handles:
+// the corruption counter plus an instant quarantine span.
+func (s *CompressedStore) noteQuarantine(step int) {
+	s.ob.corrupt.Inc()
+	qsp := s.ob.rec.Start(s.ob.spanParent(), span.Quarantine, step)
+	qsp.End()
 }
 
 // bumpResident adjusts the resident-byte model; callers in async mode must
@@ -248,10 +280,15 @@ func (s *CompressedStore) runJob(job fwdJob) {
 		s.restartCodecs()
 		refJ, refC = nil, nil
 	}
+	csp := s.ob.rec.Start(job.parent, span.Compress, job.step)
+	s.setCodecParent(csp.ID())
 	start := time.Now()
 	jb := s.sealBlob(s.jc.Compress(frameDst(s.hintJ), job.curJ, refJ), 'J', job.step)
 	cb := s.sealBlob(s.cc.Compress(frameDst(s.hintC), job.curC, refC), 'C', job.step)
 	elapsed := time.Since(start)
+	csp.Attr("bytes", int64(len(jb)+len(cb)))
+	csp.Attr("anchor", boolAttr(cut))
+	csp.End()
 	s.mu.Lock()
 	s.jBlobs = append(s.jBlobs, jb)
 	s.cBlobs = append(s.cBlobs, cb)
@@ -309,6 +346,7 @@ func (s *CompressedStore) Put(step int, jVals, cVals []float64) error {
 		return fmt.Errorf("jactensor: step %d value counts changed (%d/%d vs %d/%d)",
 			step, len(jVals), len(cVals), s.jLen, s.cLen)
 	}
+	psp := s.ob.rec.Start(s.ob.spanParent(), span.Put, step)
 	start := time.Now()
 	if step > 0 {
 		// Compress M_{t-1} with M_t as the prediction reference — unless
@@ -320,8 +358,12 @@ func (s *CompressedStore) Put(step int, jVals, cVals []float64) error {
 			s.restartCodecs()
 			refJ, refC = nil, nil
 		}
+		csp := s.ob.rec.Start(psp.ID(), span.Compress, step-1)
+		s.setCodecParent(csp.ID())
 		jb := s.sealBlob(s.jc.Compress(frameDst(s.hintJ), s.lastJ, refJ), 'J', step-1)
 		cb := s.sealBlob(s.cc.Compress(frameDst(s.hintC), s.lastC, refC), 'C', step-1)
+		csp.Attr("bytes", int64(len(jb)+len(cb)))
+		csp.End()
 		s.jBlobs = append(s.jBlobs, jb)
 		s.cBlobs = append(s.cBlobs, cb)
 		s.stats.StoredBytes += int64(len(jb) + len(cb))
@@ -351,6 +393,7 @@ func (s *CompressedStore) Put(step int, jVals, cVals []float64) error {
 	s.stats.CompressTime += time.Since(start)
 	s.ob.puts.Inc()
 	s.ob.rawBytes.Add(float64(8 * (len(jVals) + len(cVals))))
+	psp.End()
 	return nil
 }
 
@@ -384,10 +427,13 @@ func (s *CompressedStore) putAsync(step int, jVals, cVals []float64) error {
 	s.bumpResident(int64(8 * (len(jVals) + len(cVals))))
 	s.mu.Unlock()
 
+	psp := s.ob.rec.Start(s.ob.spanParent(), span.Put, step)
 	copy(jb, jVals)
 	copy(cb, cVals)
 	if step > 0 {
-		job := fwdJob{step: step - 1, curJ: s.lastJ, curC: s.lastC, refJ: jb, refC: cb}
+		// The put span is the causal trigger for compressing step-1, so
+		// the worker parents its compress span under it.
+		job := fwdJob{step: step - 1, curJ: s.lastJ, curC: s.lastC, refJ: jb, refC: cb, parent: psp.ID()}
 		select {
 		case s.jobs <- job:
 		default:
@@ -401,6 +447,7 @@ func (s *CompressedStore) putAsync(step int, jVals, cVals []float64) error {
 			s.stats.StallTime += stall
 			s.mu.Unlock()
 			s.ob.stallSec.AddDuration(stall)
+			psp.Attr("stall_ns", int64(stall))
 			if s.ob.tr != nil {
 				s.ob.tr.Emit(obs.Event{Step: step, Phase: "stall", Dur: stall})
 			}
@@ -417,6 +464,8 @@ func (s *CompressedStore) putAsync(step int, jVals, cVals []float64) error {
 	s.ob.rawBytes.Add(float64(8 * (len(jVals) + len(cVals))))
 	depth := len(s.jobs)
 	s.ob.queueDepth.Set(float64(depth))
+	psp.Attr("queue", int64(depth))
+	psp.End()
 	if s.ob.tr != nil {
 		s.ob.tr.Emit(obs.Event{Step: step, Phase: "put", Key: "queue", N: int64(depth)})
 	}
@@ -436,9 +485,13 @@ func (s *CompressedStore) EndForward() error {
 	if s.n < 0 {
 		return fmt.Errorf("jactensor: EndForward with no steps")
 	}
+	csp := s.ob.rec.Start(s.ob.spanParent(), span.Compress, s.n)
+	s.setCodecParent(csp.ID())
 	start := time.Now()
 	jb := s.sealBlob(s.jc.Compress(frameDst(s.hintJ), s.lastJ, nil), 'J', s.n)
 	cb := s.sealBlob(s.cc.Compress(frameDst(s.hintC), s.lastC, nil), 'C', s.n)
+	csp.Attr("bytes", int64(len(jb)+len(cb)))
+	csp.End()
 	s.jBlobs = append(s.jBlobs, jb)
 	s.cBlobs = append(s.cBlobs, cb)
 	s.stats.StoredBytes += int64(len(jb) + len(cb))
@@ -476,9 +529,13 @@ func (s *CompressedStore) endForwardAsync() error {
 	if s.ferr != nil {
 		return s.ferr
 	}
+	csp := s.ob.rec.Start(s.ob.spanParent(), span.Compress, s.n)
+	s.setCodecParent(csp.ID())
 	start := time.Now()
 	jb := s.sealBlob(s.jc.Compress(frameDst(s.hintJ), s.lastJ, nil), 'J', s.n)
 	cb := s.sealBlob(s.cc.Compress(frameDst(s.hintC), s.lastC, nil), 'C', s.n)
+	csp.Attr("bytes", int64(len(jb)+len(cb)))
+	csp.End()
 	s.jBlobs = append(s.jBlobs, jb)
 	s.cBlobs = append(s.cBlobs, cb)
 	s.stats.StoredBytes += int64(len(jb) + len(cb))
@@ -514,14 +571,21 @@ func (s *CompressedStore) decompressStep(step int, refJ, refC []float64, phase s
 	if err != nil {
 		return nil, nil, err
 	}
+	dsp := s.ob.rec.Start(s.ob.spanParent(), span.Decompress, step)
+	s.setCodecParent(dsp.ID())
 	start := time.Now()
 	if err := s.jc.Decompress(jv, jPayload, refJ); err != nil {
+		dsp.End()
 		return nil, nil, s.decodeFailed(step, "J", err)
 	}
 	if err := s.cc.Decompress(cv, cPayload, refC); err != nil {
+		dsp.End()
 		return nil, nil, s.decodeFailed(step, "C", err)
 	}
 	elapsed := time.Since(start)
+	dsp.Attr("bytes", int64(len(jBlob)+len(cBlob)))
+	dsp.Attr("prefetch", boolAttr(phase == "prefetch"))
+	dsp.End()
 	s.mu.Lock()
 	s.stats.DecompressTime += elapsed
 	s.mu.Unlock()
@@ -542,7 +606,7 @@ func (s *CompressedStore) decodeFailed(step int, tensor string, err error) error
 	s.quarantined[step] = true
 	s.stats.CorruptBlobs++
 	s.mu.Unlock()
-	s.ob.corrupt.Inc()
+	s.noteQuarantine(step)
 	return corruptErr(step, "fetch", tensor, err)
 }
 
@@ -648,16 +712,22 @@ func (s *CompressedStore) Fetch(step int) ([]float64, []float64, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	dsp := s.ob.rec.Start(s.ob.spanParent(), span.Decompress, step)
+	s.setCodecParent(dsp.ID())
 	start := time.Now()
 	jv := make([]float64, s.jLen)
 	cv := make([]float64, s.cLen)
 	if err := s.jc.Decompress(jv, jPayload, refJ); err != nil {
+		dsp.End()
 		return nil, nil, s.decodeFailed(step, "J", err)
 	}
 	if err := s.cc.Decompress(cv, cPayload, refC); err != nil {
+		dsp.End()
 		return nil, nil, s.decodeFailed(step, "C", err)
 	}
 	elapsed := time.Since(start)
+	dsp.Attr("bytes", int64(len(s.jBlobs[step])+len(s.cBlobs[step])))
+	dsp.End()
 	s.stats.DecompressTime += elapsed
 	s.plainJ[step] = jv
 	s.plainC[step] = cv
@@ -747,6 +817,8 @@ func (s *CompressedStore) fetchAsync(step int) ([]float64, []float64, error) {
 // part that keeps the chained store alive — restores the decompression
 // reference step-1 needs.
 func (s *CompressedStore) Repair(step int, jVals, cVals []float64) {
+	rsp := s.ob.rec.Start(s.ob.spanParent(), span.Repair, step)
+	defer rsp.End()
 	// Locked unconditionally: windowed sweeps repair through their slices
 	// concurrently even over a sync store.
 	s.mu.Lock()

@@ -5,6 +5,7 @@ import (
 
 	"masc/internal/compress/masczip"
 	"masc/internal/obs"
+	"masc/internal/obs/span"
 	"masc/internal/tiersched"
 )
 
@@ -13,6 +14,14 @@ import (
 // paths carry no "is telemetry on?" branching of their own.
 type storeObs struct {
 	tr *obs.Tracer
+
+	// rec records store-internal spans (put/compress/decompress, tier
+	// moves); scope is the fixed fallback parent (the run root span) used
+	// whenever the recorder's dynamic scope — the forward step span, set
+	// only by the single-threaded forward loop — is clear, e.g. for
+	// reverse-sweep decompressions and prefetches.
+	rec   *span.Recorder
+	scope span.ID
 
 	puts          *obs.Counter
 	fetches       *obs.Counter
@@ -41,6 +50,7 @@ func newStoreObs(o *obs.Observer, kind string) storeObs {
 	lbl := []string{"store", kind}
 	return storeObs{
 		tr:            o.Tracer(),
+		rec:           o.SpanRecorder(),
 		puts:          reg.Counter("masc_store_put_total", "Steps written to the Jacobian store.", lbl...),
 		fetches:       reg.Counter("masc_store_fetch_total", "Steps fetched from the Jacobian store.", lbl...),
 		rawBytes:      reg.Counter("masc_store_raw_bytes_total", "Uncompressed payload bytes written (the paper's S_NZ).", lbl...),
@@ -58,6 +68,23 @@ func newStoreObs(o *obs.Observer, kind string) storeObs {
 		anchorBytes:   reg.Gauge("masc_store_anchor_bytes", "Plaintext bytes retained as window anchor frames.", lbl...),
 		blobBytes:     reg.Histogram("masc_store_blob_bytes", "Per-step compressed blob sizes (J+C).", obs.SizeBuckets(), lbl...),
 	}
+}
+
+// spanParent resolves the parent for a store-internal span: the forward
+// loop's current step span when one is published, else the fixed scope.
+func (so *storeObs) spanParent() span.ID {
+	if sc := so.rec.Scope(); sc != 0 {
+		return sc
+	}
+	return so.scope
+}
+
+// boolAttr encodes a bool as the 0/1 span-attribute convention.
+func boolAttr(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // observeResident mirrors a resident-byte model change into the gauges.
@@ -125,6 +152,57 @@ func (s *DiskStore) SetObserver(o *obs.Observer) { s.ob = newStoreObs(o, "disk")
 // Put; a nil observer detaches. Safe in async mode only before the first
 // Put (the worker reads the handles unlocked afterwards).
 func (s *CompressedStore) SetObserver(o *obs.Observer) { s.ob = newStoreObs(o, "compressed") }
+
+// SetSpanScope fixes the fallback parent (normally the run root span) for
+// store-internal spans, and — when the codecs support it — wires them to the
+// same recorder so each compress/decompress span encloses the codec's own
+// encode/decode span. Call it after SetObserver and before the first Put.
+func (s *MemStore) SetSpanScope(id span.ID) { s.ob.scope = id }
+
+// SetSpanScope fixes the fallback span parent; see (*MemStore).SetSpanScope.
+func (s *DiskStore) SetSpanScope(id span.ID) {
+	s.ob.scope = id
+	if s.spill != nil {
+		s.spill.SetSpans(s.ob.rec, id)
+	}
+}
+
+// SetSpanScope fixes the fallback span parent; see (*MemStore).SetSpanScope.
+func (s *TieredStore) SetSpanScope(id span.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ob.scope = id
+	if s.ob.rec == nil {
+		return
+	}
+	if sc, ok := s.jc.(spanCodec); ok {
+		sc.SetSpans(s.ob.rec)
+		s.spanJC = sc
+	}
+	if sc, ok := s.cc.(spanCodec); ok {
+		sc.SetSpans(s.ob.rec)
+		s.spanCC = sc
+	}
+	if s.spill != nil {
+		s.spill.SetSpans(s.ob.rec, id)
+	}
+}
+
+// SetSpanScope fixes the fallback span parent; see (*MemStore).SetSpanScope.
+func (s *CompressedStore) SetSpanScope(id span.ID) {
+	s.ob.scope = id
+	if s.ob.rec == nil {
+		return
+	}
+	if sc, ok := s.jc.(spanCodec); ok {
+		sc.SetSpans(s.ob.rec)
+		s.spanJC = sc
+	}
+	if sc, ok := s.cc.(spanCodec); ok {
+		sc.SetSpans(s.ob.rec)
+		s.spanCC = sc
+	}
+}
 
 // PredictorStats returns the predictor-selection statistics accumulated by
 // the J and C codecs, when the store was built over masczip compressors

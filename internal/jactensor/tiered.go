@@ -48,6 +48,7 @@ import (
 	"masc/internal/diskio"
 	"masc/internal/faultinject"
 	"masc/internal/obs"
+	"masc/internal/obs/span"
 	"masc/internal/tiersched"
 )
 
@@ -128,6 +129,21 @@ type TieredStore struct {
 	fault *faultinject.Injector
 	ob    storeObs
 	tob   tierObs
+
+	// Codec-level span hooks (masczip), cached in SetSpanScope; nil when
+	// the codecs don't trace or spans are off. All codec calls run under
+	// s.mu, so re-pointing the parent between calls is race-free.
+	spanJC, spanCC spanCodec
+}
+
+// setCodecParent points the codecs' next encode/decode span at id.
+func (s *TieredStore) setCodecParent(id span.ID) {
+	if s.spanJC != nil {
+		s.spanJC.SetSpanParent(id)
+	}
+	if s.spanCC != nil {
+		s.spanCC.SetSpanParent(id)
+	}
 }
 
 // NewTieredStore builds a tiered store over the given J and C codecs
@@ -328,6 +344,8 @@ func (s *TieredStore) demoteHot(i int) {
 		s.freeHot(st)
 		return
 	}
+	dsp := s.ob.rec.Start(s.ob.spanParent(), span.Demote, i)
+	s.setCodecParent(dsp.ID())
 	t0 := s.model.Now()
 	s.restart()
 	jb := s.jc.Compress(frameDst(s.hintJ), st.j, nil)
@@ -349,6 +367,9 @@ func (s *TieredStore) demoteHot(i int) {
 	s.freeHot(st)
 	s.noteDemote(i, tiersched.Compressed, int64(st.jbN+st.cbN))
 	s.ob.blobBytes.Observe(float64(st.jbN + st.cbN))
+	dsp.Attr("tier", int64(tiersched.Compressed))
+	dsp.Attr("bytes", int64(st.jbN+st.cbN))
+	dsp.End()
 }
 
 // demoteCompressed pushes step i's blobs off-RAM: to the spill device when
@@ -358,10 +379,21 @@ func (s *TieredStore) demoteHot(i int) {
 func (s *TieredStore) demoteCompressed(i int) {
 	st := s.steps[i]
 	diskOK := !s.spillDead
-	target := s.model.SpillTarget(st.jbN+st.cbN, int(s.frameBytes), diskOK)
+	dec := s.model.ExplainSpill(st.jbN+st.cbN, int(s.frameBytes), diskOK)
+	target := dec.Target
 	if st.pinned && diskOK {
 		target = tiersched.Disk // anchors never drop while the spill lives
 	}
+	// Record the cost-model inputs behind the placement, so every demotion
+	// is auditable from the span stream after the fact.
+	tsp := s.ob.rec.Start(s.ob.spanParent(), span.TierDecision, i)
+	tsp.Attr("tier", int64(target))
+	tsp.Attr("blob_bytes", int64(st.jbN+st.cbN))
+	tsp.Attr("raw_bytes", s.frameBytes)
+	tsp.Attr("recompute_ns", dec.RecomputeNS)
+	tsp.Attr("disk_ns", dec.DiskNS)
+	tsp.Attr("measured", boolAttr(dec.Measured))
+	tsp.End()
 	if target == tiersched.Disk {
 		if err := s.spillStep(i); err == nil {
 			return
@@ -369,10 +401,13 @@ func (s *TieredStore) demoteCompressed(i int) {
 		// Spill device gone: degrade this and future demotions to drops.
 		s.spillDead = true
 	}
+	dsp := s.ob.rec.Start(s.ob.spanParent(), span.Demote, i)
 	s.bumpResident(-int64(st.jbN + st.cbN))
 	st.jBlob, st.cBlob = nil, nil
 	st.tier = tiersched.Dropped
 	s.noteDemote(i, tiersched.Dropped, 0)
+	dsp.Attr("tier", int64(tiersched.Dropped))
+	dsp.End()
 }
 
 // spillStep appends step i's sealed blobs to the spill file.
@@ -384,15 +419,21 @@ func (s *TieredStore) spillStep(i int) error {
 			return err
 		}
 		sp.SetFault(s.fault)
+		sp.SetSpans(s.ob.rec, s.ob.scope)
 		s.spill = sp
 	}
+	ssp := s.ob.rec.Start(s.ob.spanParent(), span.Spill, i)
 	t0 := s.model.Now()
 	jOff, err := s.spill.Append(st.jBlob)
 	if err != nil {
+		ssp.Attr("ok", 0)
+		ssp.End()
 		return err
 	}
 	cOff, err := s.spill.Append(st.cBlob)
 	if err != nil {
+		ssp.Attr("ok", 0)
+		ssp.End()
 		return err
 	}
 	d := s.model.Now().Sub(t0)
@@ -403,6 +444,10 @@ func (s *TieredStore) spillStep(i int) error {
 	st.jBlob, st.cBlob = nil, nil
 	st.tier = tiersched.Disk
 	s.noteDemote(i, tiersched.Disk, int64(st.jbN+st.cbN))
+	ssp.Attr("bytes", int64(st.jbN+st.cbN))
+	ssp.Attr("off", jOff)
+	ssp.Attr("ok", 1)
+	ssp.End()
 	return nil
 }
 
@@ -431,6 +476,8 @@ func (s *TieredStore) notePromote(step int, from tiersched.Tier) {
 }
 
 func (s *TieredStore) quarantineLocked(i int) {
+	qsp := s.ob.rec.Start(s.ob.spanParent(), span.Quarantine, i)
+	qsp.End()
 	s.quarantined[i] = true
 	s.stats.CorruptBlobs++
 	s.ob.corrupt.Inc()
@@ -516,9 +563,7 @@ func (s *TieredStore) materialize(step int) error {
 		return corruptErr(step, "fetch", "", errors.New("step is quarantined"))
 	}
 	st := s.steps[step]
-	from := st.tier
-	switch st.tier {
-	case tiersched.Hot:
+	if st.tier == tiersched.Hot {
 		// Verify the sidecars on every fetch, like MemStore: rot between
 		// Put/promote and now must degrade, not propagate.
 		if got := blobframe.ChecksumFloat64(st.j); got != st.jSum {
@@ -530,6 +575,27 @@ func (s *TieredStore) materialize(step int) error {
 			return corruptErr(step, "fetch", "C", fmt.Errorf("checksum %#08x, want %#08x", got, st.cSum))
 		}
 		return nil
+	}
+	from := st.tier
+	psp := s.ob.rec.Start(s.ob.spanParent(), span.Promote, step)
+	s.setCodecParent(psp.ID())
+	err := s.promoteCold(step, st, psp.ID())
+	psp.Attr("from", int64(from))
+	psp.Attr("ok", boolAttr(err == nil))
+	psp.End()
+	if err != nil {
+		return err
+	}
+	st.tier = tiersched.Hot
+	s.notePromote(step, from)
+	s.enforceBudget(step)
+	return nil
+}
+
+// promoteCold re-derives a non-hot step's plaintext frame from whatever
+// rung holds it. parent is the enclosing promote span. Caller holds s.mu.
+func (s *TieredStore) promoteCold(step int, st *tierStep, parent span.ID) error {
+	switch st.tier {
 	case tiersched.Compressed:
 		if err := s.decodeBlobs(step, st.jBlob, st.cBlob); err != nil {
 			return err
@@ -549,9 +615,12 @@ func (s *TieredStore) materialize(step int) error {
 			return &StepError{Step: step, Op: "fetch", Degradable: true,
 				Err: errors.New("step deliberately dropped under the memory budget (no recompute hook)")}
 		}
+		rsp := s.ob.rec.Start(parent, span.Recompute, step)
 		t0 := s.model.Now()
 		jv, cv, err := s.recompute(step)
 		if err != nil {
+			rsp.Attr("ok", 0)
+			rsp.End()
 			return &StepError{Step: step, Op: "fetch", Degradable: true,
 				Err: fmt.Errorf("recompute dropped step: %w", err)}
 		}
@@ -559,10 +628,9 @@ func (s *TieredStore) materialize(step int) error {
 		s.model.ObserveRecompute(d)
 		s.stats.TierRecomputes++
 		s.installHot(step, jv, cv)
+		rsp.Attr("ok", 1)
+		rsp.End()
 	}
-	st.tier = tiersched.Hot
-	s.notePromote(step, from)
-	s.enforceBudget(step)
 	return nil
 }
 
@@ -688,6 +756,8 @@ func (s *TieredStore) Repair(step int, jVals, cVals []float64) {
 	if step < 0 || step >= len(s.steps) {
 		return
 	}
+	rsp := s.ob.rec.Start(s.ob.spanParent(), span.Repair, step)
+	defer rsp.End()
 	st := s.steps[step]
 	from := st.tier
 	switch st.tier {

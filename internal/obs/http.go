@@ -6,11 +6,16 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
+
+	"masc/internal/obs/span"
 )
 
 // Server is the telemetry HTTP endpoint: /metrics (Prometheus text),
-// /debug/vars (expvar JSON) and /debug/pprof (profiling).
+// /debug/vars (expvar JSON), /debug/pprof (profiling) and — when served
+// from a full Observer — /events (SSE live stream) and /debug/spans
+// (span-tree JSON, ?format=chrome for a Chrome trace-event document).
 type Server struct {
 	// Addr is the bound address (useful with ":0" listen specs).
 	Addr string
@@ -21,10 +26,18 @@ type Server struct {
 // Serve binds addr (host:port; ":0" picks a free port) and serves the
 // registry's telemetry endpoints in a background goroutine until Close.
 func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeObserver(addr, &Observer{Reg: reg})
+}
+
+// ServeObserver is Serve for a full Observer: in addition to the registry
+// endpoints it exposes the observer's span recorder on /debug/spans and its
+// event broadcaster on /events when those are present.
+func ServeObserver(addr string, ob *Observer) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
+	reg := ob.Registry()
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(reg))
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -33,12 +46,14 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/spans", SpansHandler(ob.SpanRecorder()))
+	mux.Handle("/events", ob.Broadcaster())
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "masc telemetry: /metrics /debug/vars /debug/pprof\n")
+		fmt.Fprint(w, "masc telemetry: /metrics /debug/vars /debug/pprof /debug/spans /events\n")
 	})
 	reg.PublishExpvar("masc_metrics")
 	s := &Server{
@@ -63,5 +78,36 @@ func MetricsHandler(reg *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.Write(reg.WritePrometheus(nil))
+	})
+}
+
+// SpansHandler serves the recorder's retained spans. The default response
+// is {"total":N,"dropped":N,"spans":[…]} with one object per span (the
+// JSONL record schema); ?format=chrome returns a Chrome trace-event
+// document loadable in Perfetto.
+func SpansHandler(rec *span.Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		recs := rec.Snapshot()
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = span.WriteChromeTrace(w, recs)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		buf := make([]byte, 0, 256+128*len(recs))
+		buf = append(buf, `{"total":`...)
+		buf = strconv.AppendUint(buf, rec.Total(), 10)
+		buf = append(buf, `,"dropped":`...)
+		buf = strconv.AppendUint(buf, rec.Dropped(), 10)
+		buf = append(buf, `,"spans":[`...)
+		for i := range recs {
+			if i > 0 {
+				buf = append(buf, ',', '\n')
+			}
+			buf = span.AppendJSON(buf, &recs[i])
+		}
+		buf = append(buf, `]}`...)
+		buf = append(buf, '\n')
+		w.Write(buf)
 	})
 }

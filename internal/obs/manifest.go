@@ -16,21 +16,23 @@ type Manifest struct {
 	Tool       string                    `json:"tool"`
 	CreatedAt  time.Time                 `json:"created_at"`
 	Host       string                    `json:"host,omitempty"`
+	Provenance Provenance                `json:"provenance"`
 	Config     map[string]any            `json:"config,omitempty"`
 	Sections   map[string]any            `json:"sections,omitempty"`
 	MetricSnap map[string]map[string]any `json:"metrics,omitempty"`
 }
 
-// NewManifest returns a manifest stamped with the tool name, hostname and
-// current time.
+// NewManifest returns a manifest stamped with the tool name, hostname,
+// current time and build/runtime provenance.
 func NewManifest(tool string) *Manifest {
 	host, _ := os.Hostname()
 	return &Manifest{
-		Tool:      tool,
-		CreatedAt: time.Now().UTC(),
-		Host:      host,
-		Config:    map[string]any{},
-		Sections:  map[string]any{},
+		Tool:       tool,
+		CreatedAt:  time.Now().UTC(),
+		Host:       host,
+		Provenance: CollectProvenance(),
+		Config:     map[string]any{},
+		Sections:   map[string]any{},
 	}
 }
 
@@ -55,7 +57,10 @@ func (m *Manifest) AttachMetrics(reg *Registry) *Manifest {
 }
 
 // Write serializes the manifest (indented JSON, trailing newline) to path.
+// The provenance runtime snapshot is refreshed first so GC/heap counters
+// describe the finished run rather than process startup.
 func (m *Manifest) Write(path string) error {
+	m.Provenance.refreshRuntime()
 	b, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err

@@ -1,5 +1,5 @@
 // Package obs is the MASC pipeline's zero-dependency telemetry layer. It
-// bundles three orthogonal facilities behind one Observer handle:
+// bundles orthogonal facilities behind one Observer handle:
 //
 //   - a concurrent metrics Registry (counters, gauges, histograms) that
 //     renders in Prometheus text exposition format and as an expvar JSON
@@ -7,20 +7,31 @@
 //   - a structured per-timestep Tracer that streams one JSON object per
 //     pipeline phase (solve, put, compress, fetch, adjoint solve, …) to a
 //     JSONL file, with a zero-allocation no-op path when tracing is off;
-//   - a run-Manifest writer that serializes the configuration and final
-//     aggregate statistics of a run as one JSON document, so experiments
-//     can be compared across runs and machines.
+//   - a causal span Recorder (internal/obs/span) that records the run's
+//     phase tree — forward steps, jacobian put/compress, adjoint windows,
+//     sweeps, fetches, tier decisions, disk retries — with nanosecond
+//     timing, exportable as Chrome trace-event JSON or JSONL;
+//   - an SSE Broadcaster that live-streams trace and span events to HTTP
+//     clients on /events;
+//   - a run-Manifest writer that serializes the configuration, provenance
+//     and final aggregate statistics of a run as one JSON document, so
+//     experiments can be compared across runs and machines.
 //
-// Every type is nil-safe: a nil *Observer, *Registry, *Tracer, *Counter,
-// *Gauge or *Histogram turns the corresponding call into a no-op, so
-// instrumented code needs no "is telemetry on?" branches of its own.
+// Every type is nil-safe: a nil *Observer, *Registry, *Tracer, *Recorder,
+// *Broadcaster, *Counter, *Gauge or *Histogram turns the corresponding call
+// into a no-op, so instrumented code needs no "is telemetry on?" branches
+// of its own.
 package obs
+
+import "masc/internal/obs/span"
 
 // Observer bundles the telemetry sinks threaded through the pipeline.
 // A nil Observer (or nil fields) disables the corresponding facility.
 type Observer struct {
-	Reg   *Registry
-	Trace *Tracer
+	Reg    *Registry
+	Trace  *Tracer
+	Spans  *span.Recorder
+	Events *Broadcaster
 }
 
 // Registry returns the metrics registry, or nil when o is nil.
@@ -37,4 +48,20 @@ func (o *Observer) Tracer() *Tracer {
 		return nil
 	}
 	return o.Trace
+}
+
+// SpanRecorder returns the span recorder, or nil when o is nil.
+func (o *Observer) SpanRecorder() *span.Recorder {
+	if o == nil {
+		return nil
+	}
+	return o.Spans
+}
+
+// Broadcaster returns the SSE event broadcaster, or nil when o is nil.
+func (o *Observer) Broadcaster() *Broadcaster {
+	if o == nil {
+		return nil
+	}
+	return o.Events
 }

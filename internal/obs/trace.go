@@ -32,6 +32,7 @@ type Tracer struct {
 	mu    sync.Mutex
 	bw    *bufio.Writer
 	c     io.Closer
+	bc    *Broadcaster
 	start time.Time
 	seq   int64
 	buf   []byte
@@ -95,6 +96,20 @@ func (t *Tracer) Emit(ev Event) {
 	if _, err := t.bw.Write(b); err != nil {
 		t.err = err
 	}
+	if t.bc != nil {
+		t.bc.Publish("trace", b[:len(b)-1]) // strip the newline; Publish copies
+	}
+}
+
+// SetBroadcast tees every emitted line into b as an SSE "trace" event
+// (nil detaches). Safe to call concurrently with Emit.
+func (t *Tracer) SetBroadcast(b *Broadcaster) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.bc = b
+	t.mu.Unlock()
 }
 
 // Err returns the first write error, if any.

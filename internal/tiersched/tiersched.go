@@ -215,6 +215,17 @@ func (m *Model) FetchCost(t Tier, blobBytes, rawBytes int) time.Duration {
 	return time.Duration(sec * 1e9)
 }
 
+// SpillDecision is one spill placement together with the cost-model inputs
+// that produced it, so every demotion is auditable after the fact (the
+// tiered store records them as tier_decision span attributes). Costs are
+// nanoseconds; 0 means the corresponding side was unmeasured.
+type SpillDecision struct {
+	Target      Tier
+	RecomputeNS int64 // estimated cost of recomputing the step once
+	DiskNS      int64 // estimated spill round-trip (write + read + decompress)
+	Measured    bool  // both sides were measured; false forced the default
+}
+
 // SpillTarget decides where a compressed-RAM blob goes when the budget
 // forces it out of memory: Disk when the measured spill round-trip
 // (write + read + decompress) is cheaper than one recomputation — or when
@@ -224,14 +235,21 @@ func (m *Model) FetchCost(t Tier, blobBytes, rawBytes int) time.Duration {
 // is Dropped. The decision is a pure function of the fed samples, so runs
 // with identical (injected-clock) measurements demote identically.
 func (m *Model) SpillTarget(blobBytes, rawBytes int, diskOK bool) Tier {
+	return m.ExplainSpill(blobBytes, rawBytes, diskOK).Target
+}
+
+// ExplainSpill is SpillTarget plus the priced inputs behind the choice.
+func (m *Model) ExplainSpill(blobBytes, rawBytes int, diskOK bool) SpillDecision {
 	if !diskOK {
-		return Dropped
+		return SpillDecision{Target: Dropped}
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	rec := m.recomputeSec()
+	d := SpillDecision{RecomputeNS: int64(rec * 1e9)}
 	if rec == 0 || m.diskWrite.n == 0 {
-		return Disk
+		d.Target = Disk
+		return d
 	}
 	readPB := m.diskRead.perByte()
 	if readPB == 0 {
@@ -239,10 +257,14 @@ func (m *Model) SpillTarget(blobBytes, rawBytes int, diskOK bool) Tier {
 	}
 	diskSec := (m.diskWrite.perByte()+readPB)*float64(blobBytes) +
 		m.decompress.perByte()*float64(rawBytes)
+	d.DiskNS = int64(diskSec * 1e9)
+	d.Measured = true
 	if rec < diskSec {
-		return Dropped
+		d.Target = Dropped
+	} else {
+		d.Target = Disk
 	}
-	return Disk
+	return d
 }
 
 // Snapshot is a point-in-time view of the measured rates, for manifests and

@@ -62,8 +62,8 @@ func close(a, b float64) bool {
 
 func TestFetchCost(t *testing.T) {
 	m := NewModel(nil)
-	m.ObserveDecompress(1000, time.Millisecond)   // 1µs/byte
-	m.ObserveDiskWrite(1000, 2*time.Millisecond)  // 2µs/byte
+	m.ObserveDecompress(1000, time.Millisecond)  // 1µs/byte
+	m.ObserveDiskWrite(1000, 2*time.Millisecond) // 2µs/byte
 	m.ObserveRecompute(5 * time.Millisecond)
 
 	if c := m.FetchCost(Hot, 100, 800); c != 0 {

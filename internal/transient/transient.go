@@ -15,6 +15,7 @@ import (
 	"masc/internal/circuit"
 	"masc/internal/lu"
 	"masc/internal/obs"
+	"masc/internal/obs/span"
 	"masc/internal/sparse"
 )
 
@@ -75,6 +76,10 @@ type Options struct {
 	// masc_transient_* metric families and one trace event per solve
 	// attempt ("dc", "solve", "step_cut").
 	Obs *obs.Observer
+
+	// SpanParent is the span the forward pass nests under (normally the
+	// run root). Spans are recorded only when Obs carries a recorder.
+	SpanParent span.ID
 }
 
 // EstimatedSteps predicts the integration step count of the fixed-step
@@ -156,6 +161,7 @@ type Stats struct {
 type runObs struct {
 	on      bool
 	tr      *obs.Tracer
+	rec     *span.Recorder
 	steps   *obs.Counter
 	cuts    *obs.Counter
 	newton  *obs.Counter
@@ -172,6 +178,7 @@ func newRunObs(o *obs.Observer) runObs {
 	return runObs{
 		on:      true,
 		tr:      o.Tracer(),
+		rec:     o.SpanRecorder(),
 		steps:   reg.Counter("masc_transient_steps_total", "Accepted integration steps."),
 		cuts:    reg.Counter("masc_transient_step_cuts_total", "Step halvings after Newton failure or LTE rejection."),
 		newton:  reg.Counter("masc_transient_newton_iters_total", "Newton iterations across all solves."),
@@ -372,14 +379,24 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 	trap := opt.Method == MethodTrap
 	res := &Result{Method: opt.Method}
 	ro := newRunObs(opt.Obs)
+	fsp := ro.rec.Start(opt.SpanParent, span.Forward, -1)
+	defer fsp.End()
+	// The forward loop publishes its current step span as the recorder's
+	// dynamic scope so store-side spans (put/compress) nest causally under
+	// the step that triggered them; clear it however the loop exits.
+	defer ro.rec.SetScope(0)
 	var dcStart time.Time
 	if ro.on {
 		dcStart = time.Now()
 	}
+	dsp := ro.rec.Start(fsp.ID(), span.DC, 0)
 	x, dcStats, err := DCOperatingPoint(ckt, opt.TStart, opt)
 	if err != nil {
+		dsp.End()
 		return nil, err
 	}
+	dsp.Attr("iters", int64(dcStats.NewtonIters))
+	dsp.End()
 	res.Stats = dcStats
 	if ro.on {
 		d := time.Since(dcStart)
@@ -405,7 +422,12 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 	ckt.AddGmin(s.J, opt.Gmin)
 	record(opt.TStart, 0, x)
 	if opt.Capture != nil {
-		if err := opt.Capture(0, opt.TStart, x, s.J, s.ev.C); err != nil {
+		s0 := ro.rec.Start(fsp.ID(), span.Step, 0)
+		ro.rec.SetScope(s0.ID())
+		err := opt.Capture(0, opt.TStart, x, s.J, s.ev.C)
+		ro.rec.SetScope(0)
+		s0.End()
+		if err != nil {
 			return nil, fmt.Errorf("transient: capture step 0: %w", err)
 		}
 	}
@@ -437,6 +459,8 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 		if ro.on || opt.StepCost != nil {
 			attemptStart = time.Now()
 		}
+		ssp := ro.rec.Start(fsp.ID(), span.Step, step)
+		ro.rec.SetScope(ssp.ID())
 		var eval func(xx []float64)
 		if trap {
 			// (q_i - q_{i-1})/h + (f_i + f_{i-1})/2 = 0.
@@ -457,6 +481,9 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 			}
 		}
 		if err := s.newton(xTrial, eval); err != nil {
+			ro.rec.SetScope(0)
+			ssp.Attr("cut", 1)
+			ssp.End()
 			cuts++
 			res.Stats.StepsCut++
 			if ro.on {
@@ -485,6 +512,9 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 				}
 			}
 			if worst > 1 && h > opt.MinStep {
+				ro.rec.SetScope(0)
+				ssp.Attr("cut", 1)
+				ssp.End()
 				res.Stats.StepsCut++
 				if ro.on {
 					ro.cuts.Inc()
@@ -525,9 +555,13 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 		}
 		if opt.Capture != nil {
 			if err := opt.Capture(step, tNext, x, s.J, s.ev.C); err != nil {
+				ssp.End()
 				return nil, fmt.Errorf("transient: capture step %d: %w", step, err)
 			}
 		}
+		ro.rec.SetScope(0)
+		ssp.Attr("iters", int64(res.Stats.NewtonIters-itersBefore))
+		ssp.End()
 		copy(qPrev, s.ev.Q)
 		copy(fPrev, s.ev.F)
 		t = tNext
@@ -545,5 +579,6 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 			cuts = 0
 		}
 	}
+	fsp.Attr("steps", int64(res.Stats.StepsAccepted))
 	return res, nil
 }

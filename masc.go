@@ -41,6 +41,7 @@ import (
 	"masc/internal/jactensor"
 	"masc/internal/netlist"
 	"masc/internal/obs"
+	"masc/internal/obs/span"
 	"masc/internal/sparse"
 	"masc/internal/transient"
 )
@@ -92,6 +93,17 @@ type (
 	// encoder (J or C), available via SimOptions.CollectCodecStats.
 	CodecStats = masczip.Stats
 
+	// SpanRecorder is the bounded in-memory recorder of hierarchical run
+	// spans (Observer.Spans). Nil recorders are inert everywhere.
+	SpanRecorder = span.Recorder
+	// SpanRecord is one completed span as stored in the recorder's ring.
+	SpanRecord = span.Record
+	// SpanID identifies a span; 0 means "no parent" (the run root's parent).
+	SpanID = span.ID
+	// Broadcaster fans live telemetry out to /events SSE subscribers
+	// (Observer.Events).
+	Broadcaster = obs.Broadcaster
+
 	// FaultInjector deterministically corrupts blobs and fails I/O for
 	// robustness testing (SimOptions.Fault). A nil injector is inert.
 	FaultInjector = faultinject.Injector
@@ -129,6 +141,35 @@ func NewManifest(tool string) *Manifest { return obs.NewManifest(tool) }
 func ServeMetrics(addr string, reg *Registry) (*MetricsServer, error) {
 	return obs.Serve(addr, reg)
 }
+
+// DefaultSpanCapacity is the span ring size NewSpanRecorder callers
+// typically want (large enough for every span of a mid-sized run).
+const DefaultSpanCapacity = span.DefaultCapacity
+
+// NewSpanRecorder returns a span recorder with a bounded ring of capacity
+// records (<=0 picks DefaultSpanCapacity). Assign it to Observer.Spans.
+func NewSpanRecorder(capacity int) *SpanRecorder { return span.NewRecorder(capacity) }
+
+// NewBroadcaster returns an SSE broadcaster for Observer.Events.
+func NewBroadcaster() *Broadcaster { return obs.NewBroadcaster() }
+
+// ServeObserver is ServeMetrics plus the observer's span and event
+// endpoints: /debug/spans (JSONL, ?format=chrome for a Perfetto-loadable
+// trace) and /events (SSE) when the observer carries them.
+func ServeObserver(addr string, ob *Observer) (*MetricsServer, error) {
+	return obs.ServeObserver(addr, ob)
+}
+
+// WriteSpanJSONL writes one JSON object per span record.
+func WriteSpanJSONL(w io.Writer, recs []SpanRecord) error { return span.WriteJSONL(w, recs) }
+
+// WriteChromeTrace writes the records as a Chrome trace-event JSON
+// document loadable in Perfetto / chrome://tracing.
+func WriteChromeTrace(w io.Writer, recs []SpanRecord) error { return span.WriteChromeTrace(w, recs) }
+
+// AppendSpanJSON appends r's JSON encoding to dst (allocation-free given
+// capacity); the same encoding WriteSpanJSONL uses per line.
+func AppendSpanJSON(dst []byte, r *SpanRecord) []byte { return span.AppendJSON(dst, r) }
 
 // ParseNetlist parses a SPICE-subset netlist.
 func ParseNetlist(r io.Reader) (*Deck, error) { return netlist.Parse(r) }
@@ -262,6 +303,14 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 	}
 	windows := resolveAdjointWindows(opt.AdjointWindows, topt.EstimatedSteps())
 
+	// The run root span: every forward/adjoint/store span of this simulation
+	// nests under it. Inert (zero span, ID 0) without a recorder.
+	rec := opt.Obs.SpanRecorder()
+	rsp := rec.Start(0, span.Run, -1)
+	rsp.Attr("workers", int64(workers))
+	rsp.Attr("windows", int64(windows))
+	defer rsp.End()
+
 	var store jactensor.Store
 	var tiered *jactensor.TieredStore
 	if opt.MemBudgetBytes > 0 {
@@ -344,6 +393,11 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 		if so, ok := store.(interface{ SetObserver(*obs.Observer) }); ok {
 			so.SetObserver(opt.Obs)
 		}
+		if ss, ok := store.(interface{ SetSpanScope(span.ID) }); ok {
+			// Fallback parent for store-side spans emitted outside any
+			// forward step scope (EndForward, adjoint-phase promotes).
+			ss.SetSpanScope(rsp.ID())
+		}
 	}
 	if store != nil && opt.Fault != nil {
 		if sf, ok := store.(interface{ SetFault(*faultinject.Injector) }); ok {
@@ -351,6 +405,7 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 		}
 	}
 	topt.Obs = opt.Obs
+	topt.SpanParent = rsp.ID()
 
 	if store != nil {
 		prev := topt.Capture
@@ -395,7 +450,7 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 	}
 	sens, err := adjoint.Sensitivities(ckt, tr, src, objectives,
 		adjoint.Options{Params: params, Obs: opt.Obs, DisableDegrade: opt.DisableDegrade,
-			Workers: opt.AdjointWorkers, Windows: windows})
+			Workers: opt.AdjointWorkers, Windows: windows, SpanParent: rsp.ID()})
 	if err != nil {
 		if store != nil {
 			store.Close()

@@ -1,0 +1,133 @@
+package masc
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"masc/internal/obs/span"
+)
+
+// TestSimulateSpanTree runs the full pipeline with a span recorder attached
+// and checks the causal structure of the result: one run root, every span
+// reachable from it through parent links, and a span population covering
+// the forward, storage, and adjoint layers.
+func TestSimulateSpanTree(t *testing.T) {
+	ckt, _, obj := buildTestCircuit(t)
+	ob := &Observer{Spans: NewSpanRecorder(0)}
+	_, err := Simulate(ckt, SimOptions{
+		TStep: 2e-6, TStop: 4e-4,
+		Storage:        StorageMASC,
+		AdjointWorkers: 2,
+		AdjointWindows: 2,
+		Obs:            ob,
+	}, []Objective{obj}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := ob.Spans.Snapshot()
+	if len(recs) == 0 {
+		t.Fatal("no spans recorded")
+	}
+
+	byID := make(map[SpanID]*SpanRecord, len(recs))
+	var root SpanID
+	roots := 0
+	for i := range recs {
+		r := &recs[i]
+		byID[r.ID] = r
+		if r.Parent == 0 {
+			roots++
+			root = r.ID
+			if r.Kind != span.Run {
+				t.Fatalf("parentless span is %s, want run", r.Kind)
+			}
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("want exactly one run root span, got %d", roots)
+	}
+
+	// Every span must chain up to the run root through resolvable parents.
+	kinds := map[span.Kind]bool{}
+	for i := range recs {
+		r := &recs[i]
+		kinds[r.Kind] = true
+		seen := 0
+		for id := r.ID; id != root; seen++ {
+			p, ok := byID[id]
+			if !ok {
+				t.Fatalf("span %d (%s) has unresolvable ancestor %d", r.ID, r.Kind, id)
+			}
+			if seen > len(recs) {
+				t.Fatalf("parent cycle at span %d (%s)", r.ID, r.Kind)
+			}
+			id = p.Parent
+		}
+		if r.End < r.Start {
+			t.Fatalf("span %d (%s) ends before it starts", r.ID, r.Kind)
+		}
+	}
+	// The tentpole wants the tree to cover the pipeline, not just exist:
+	// forward + storage + adjoint layers must all contribute kinds.
+	for _, k := range []span.Kind{
+		span.Run, span.Forward, span.Step, span.Put, span.Compress,
+		span.Adjoint, span.Window, span.Sweep, span.Fetch, span.Solve,
+	} {
+		if !kinds[k] {
+			t.Errorf("missing span kind %s", k)
+		}
+	}
+	if len(kinds) < 5 {
+		t.Fatalf("only %d span kinds recorded, want >= 5", len(kinds))
+	}
+
+	// The Chrome trace export of a real run must be well-formed JSON with
+	// one event per recorded span.
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	xEvents := 0
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" {
+			xEvents++
+		}
+	}
+	if xEvents != len(recs) {
+		t.Fatalf("chrome trace has %d X events for %d spans", xEvents, len(recs))
+	}
+}
+
+// TestSimulateSpanTreeTiered checks that the tiered store's demote /
+// promote / tier-decision spans land in the same causal tree when a
+// memory budget forces spills.
+func TestSimulateSpanTreeTiered(t *testing.T) {
+	ckt, _, obj := buildTestCircuit(t)
+	ob := &Observer{Spans: NewSpanRecorder(0)}
+	_, err := Simulate(ckt, SimOptions{
+		TStep: 2e-6, TStop: 4e-4,
+		Storage:        StorageMASC,
+		MemBudgetBytes: 4 << 10,
+		DiskDir:        t.TempDir(),
+		Obs:            ob,
+	}, []Objective{obj}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[span.Kind]bool{}
+	for _, r := range ob.Spans.Snapshot() {
+		kinds[r.Kind] = true
+	}
+	for _, k := range []span.Kind{span.Demote, span.TierDecision, span.Promote} {
+		if !kinds[k] {
+			t.Errorf("tiered run missing span kind %s", k)
+		}
+	}
+}
