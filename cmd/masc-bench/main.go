@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("experiment", "all", "table1|fig1|table2|table3|fig5b|fig6|fig7|parallel|pipeline|adjoint|windows|budget|memory|ablation|all")
+		exp        = flag.String("experiment", "all", "table1|fig1|table2|table3|fig5b|fig6|fig7|parallel|pipeline|adjoint|windows|budget|memory|ablation|journal|all")
 		scale      = flag.Float64("scale", 1.0, "workload scale (1 = benchmark size)")
 		workers    = flag.Int("workers", runtime.NumCPU(), "parallel compressor workers")
 		adjWorkers = flag.Int("adjoint-workers", 0, "adjoint experiment: extra reverse-sweep worker count to measure (0 = just the built-in 1/2/4 sweep)")
@@ -213,6 +213,15 @@ func run(exp string, scale float64, workers, adjWorkers, adjWindows, depth int, 
 		}
 		fmt.Print(bench.FormatMemory(rows))
 		man.Section("memory", rows)
+	}
+	if all || exp == "journal" {
+		section("Write-ahead run journal — forward-phase overhead by fsync cadence")
+		rows, err := bench.RunJournal(nil, scale, nil, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatJournal(rows))
+		man.Section("journal", rows)
 	}
 	if all || exp == "ablation" {
 		section("Ablation — MASC design choices")

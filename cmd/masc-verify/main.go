@@ -15,6 +15,14 @@
 //
 //	masc-verify -chaos -seeds 20
 //
+// Crash mode forks journaled child runs of this binary, SIGKILLs each one
+// mid-forward, at the forward/adjoint boundary, or mid-adjoint (the trigger
+// is observed from the child's own write-ahead journal), then resumes the
+// torn journal in-process and gates the sensitivities bit-identical to an
+// uninterrupted reference:
+//
+//	masc-verify -crash -seeds 4
+//
 // The exit status is 0 only if every case passes every check, so the
 // command slots directly into CI and pre-merge gauntlets.
 package main
@@ -31,6 +39,12 @@ import (
 )
 
 func main() {
+	// A crash-gauntlet child re-execs this binary with its run spec in the
+	// environment; it must route straight into the journaled run, before
+	// flag parsing or telemetry setup.
+	if verify.IsCrashChild() {
+		os.Exit(verify.CrashChild())
+	}
 	var (
 		n       = flag.Int("n", 50, "number of randomized circuits")
 		seed    = flag.Int64("seed", 1, "master seed for the case generator")
@@ -44,7 +58,8 @@ func main() {
 		verbose = flag.Bool("v", false, "log every case")
 
 		chaos      = flag.Bool("chaos", false, "run the fault-injection gauntlet instead of the differential matrix")
-		chaosSeeds = flag.Int("seeds", 20, "chaos mode: number of seeded cases (each runs every fault scenario)")
+		crash      = flag.Bool("crash", false, "run the crash-resume gauntlet: fork, SIGKILL mid-run, resume, gate bit-identity")
+		chaosSeeds = flag.Int("seeds", 20, "chaos/crash mode: number of seeded cases (each runs every scenario)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address during the fleet run")
 		maniPath    = flag.String("manifest", "", "write a JSON manifest of the fleet result to this file")
@@ -89,6 +104,10 @@ func main() {
 
 	if *chaos {
 		runChaos(*chaosSeeds, *seed, opt, reg, *maniPath, *hold, srv)
+		return
+	}
+	if *crash {
+		runCrash(*chaosSeeds, *seed, opt, reg, *maniPath)
 		return
 	}
 
@@ -191,6 +210,50 @@ func runChaos(seeds int, seed int64, opt verify.Options, reg *obs.Registry, mani
 		for _, r := range cr.Reports {
 			if r.Bad() {
 				fmt.Printf("  FAIL %s %s: %s: %s\n", r.Case.Name(), r.Scenario, r.Outcome, r.Detail)
+			}
+		}
+		os.Exit(1)
+	}
+}
+
+// runCrash executes the crash-resume gauntlet: every seeded case is forked
+// as a journaled child of this binary, killed at a scenario-specific point,
+// and its torn journal resumed in-process. Exit is nonzero if any resumed
+// run is not bit-identical to the uninterrupted reference.
+func runCrash(seeds int, seed int64, opt verify.Options, reg *obs.Registry, maniPath string) {
+	start := time.Now()
+	cr := verify.CrashFleet(seeds, seed, opt, nil)
+
+	reg.Gauge("masc_crash_runs", "Forked kill-and-resume runs.").Set(float64(len(cr.Reports)))
+	reg.Gauge("masc_crash_killed", "Runs where the SIGKILL landed mid-run.").Set(float64(cr.Killed))
+	reg.Gauge("masc_crash_failed", "Runs whose resume was not bit-identical.").Set(float64(cr.Failed))
+
+	fmt.Printf("masc-verify -crash: %d runs, seed %d: %d killed mid-run, %d failed (%.1fs)\n",
+		len(cr.Reports), seed, cr.Killed, cr.Failed, time.Since(start).Seconds())
+	if maniPath != "" {
+		man := obs.NewManifest("masc-verify-crash")
+		man.Set("seeds", seeds).Set("seed", seed)
+		man.Section("crash", map[string]any{
+			"runs":    len(cr.Reports),
+			"killed":  cr.Killed,
+			"failed":  cr.Failed,
+			"seconds": time.Since(start).Seconds(),
+		})
+		man.AttachMetrics(reg)
+		if err := man.Write(maniPath); err != nil {
+			fmt.Fprintln(os.Stderr, "masc-verify:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("manifest written to %s\n", maniPath)
+	}
+	if !cr.OK() {
+		for _, r := range cr.Reports {
+			for _, f := range r.Failures {
+				name := "?"
+				if r.Case != nil {
+					name = r.Case.Name()
+				}
+				fmt.Printf("  FAIL %s %s: %s\n", name, r.Scenario, f)
 			}
 		}
 		os.Exit(1)

@@ -7,6 +7,12 @@
 // The storage flag selects the Jacobian strategy the paper compares:
 // recompute (Xyce-style), memory, disk, masc, masc+markov.
 //
+// Crash durability: -journal run.wal checkpoints every accepted step into a
+// write-ahead journal; after a crash, kill, or -deadline expiry the same
+// command with -resume continues from the last checkpoint and produces
+// bit-identical sensitivities. A journal that already finished returns its
+// recorded result without replaying anything.
+//
 // Telemetry (all optional, all near-zero cost when off):
 //
 //	-metrics-addr :9090   serve /metrics, /debug/vars, /debug/pprof,
@@ -49,6 +55,10 @@ type cli struct {
 	tracePath, maniPath  string
 	spanTrace, spanJSONL string
 	hold                 time.Duration
+	journal              string
+	journalFsync         int
+	resume               bool
+	deadline             time.Duration
 }
 
 func main() {
@@ -70,10 +80,18 @@ func main() {
 	flag.StringVar(&c.spanJSONL, "span-jsonl", "", "write the span tree as JSONL (one span object per line) to this file")
 	flag.StringVar(&c.maniPath, "manifest", "", "write a JSON run manifest (config + aggregate stats) to this file")
 	flag.DurationVar(&c.hold, "hold", 0, "keep the metrics endpoint alive this long after the run finishes")
+	flag.StringVar(&c.journal, "journal", "", "write-ahead run journal: checkpoints every accepted step so a killed run resumes bit-identically with -resume")
+	flag.IntVar(&c.journalFsync, "journal-fsync", 0, "journal checkpoints per fsync (0 = default cadence; 1 = fsync every step)")
+	flag.BoolVar(&c.resume, "resume", false, "resume the run recorded in -journal (the journal supplies storage/windows/solver knobs; the netlist must hash identically)")
+	flag.DurationVar(&c.deadline, "deadline", 0, "abort the run after this wall-clock budget (a journaled run interrupted this way stays resumable)")
 	flag.Parse()
 	if c.path == "" {
 		fmt.Fprintln(os.Stderr, "masc: -netlist is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if c.resume && c.journal == "" {
+		fmt.Fprintln(os.Stderr, "masc: -resume requires -journal")
 		os.Exit(2)
 	}
 	if c.memBudget != "" {
@@ -183,10 +201,21 @@ func run(c cli) error {
 		MemBudgetBytes:    c.memBudgetBytes,
 		Obs:               ob,
 		CollectCodecStats: telemetry,
+		Journal:           c.journal,
+		JournalFsyncEvery: c.journalFsync,
+		Deadline:          c.deadline,
 	}
 	simOpt.Transient.Stop = stopped.Load
 
-	run, err := masc.Simulate(deck.Ckt, simOpt, deck.Objectives, nil)
+	var run *masc.Run
+	if c.resume {
+		// The journal's config record replays the original run's shape;
+		// simOpt contributes only the runtime-side knobs (telemetry,
+		// deadline, stop hook).
+		run, err = masc.Resume(deck.Ckt, c.journal, simOpt)
+	} else {
+		run, err = masc.Simulate(deck.Ckt, simOpt, deck.Objectives, nil)
+	}
 	if err != nil {
 		if errors.Is(err, masc.ErrInterrupted) {
 			// Flush and close every telemetry sink so the partial run is
@@ -226,13 +255,19 @@ func run(c cli) error {
 		return err
 	}
 
-	fmt.Printf("transient: %d steps, %d newton iterations, %d (re)factorizations\n",
-		run.Tran.Steps(), run.Tran.Stats.NewtonIters,
-		run.Tran.Stats.Factorizations+run.Tran.Stats.Refactorizations)
-	fmt.Printf("sensitivity: total %v (fetch %v, solve %v, ∂F/∂p %v)\n",
-		run.Sens.Timing.Total, run.Sens.Timing.Fetch,
-		run.Sens.Timing.FactorSolve, run.Sens.Timing.ParamEval)
-	if run.Storage != masc.StorageRecompute {
+	if run.Tran == nil {
+		// -resume against a journal that already holds the done record:
+		// the finished sensitivities come straight from the journal.
+		fmt.Println("resume: journal already complete — sensitivities recovered without replay")
+	} else {
+		fmt.Printf("transient: %d steps, %d newton iterations, %d (re)factorizations\n",
+			run.Tran.Steps(), run.Tran.Stats.NewtonIters,
+			run.Tran.Stats.Factorizations+run.Tran.Stats.Refactorizations)
+		fmt.Printf("sensitivity: total %v (fetch %v, solve %v, ∂F/∂p %v)\n",
+			run.Sens.Timing.Total, run.Sens.Timing.Fetch,
+			run.Sens.Timing.FactorSolve, run.Sens.Timing.ParamEval)
+	}
+	if run.Tran != nil && run.Storage != masc.StorageRecompute {
 		st := run.TensorStats
 		fmt.Printf("tensor: raw %d B, stored %d B (CR %.2f), peak resident %d B\n",
 			st.RawBytes, st.StoredBytes,
@@ -250,10 +285,14 @@ func run(c cli) error {
 	}
 
 	if c.csvPath != "" {
-		if err := writeCSV(c.csvPath, deck, run.Tran); err != nil {
-			return err
+		if run.Tran == nil {
+			fmt.Fprintln(os.Stderr, "masc: -csv skipped: a completed journal holds no trajectory to replay")
+		} else {
+			if err := writeCSV(c.csvPath, deck, run.Tran); err != nil {
+				return err
+			}
+			fmt.Printf("waveforms written to %s\n", c.csvPath)
 		}
-		fmt.Printf("waveforms written to %s\n", c.csvPath)
 	}
 
 	if c.maniPath != "" {
@@ -313,12 +352,14 @@ func writeManifest(c cli, deck *masc.Deck, run *masc.Run, reg *masc.Registry, st
 		Set("tstop", deck.Tran.TStop)
 	if run != nil {
 		man.Set("storage", string(run.Storage))
-		man.Section("transient", run.Tran.Stats)
+		if run.Tran != nil {
+			man.Section("transient", run.Tran.Stats)
+			if run.Storage != masc.StorageRecompute {
+				man.Section("tensor", run.TensorStats)
+			}
+		}
 		man.Section("sensitivity_timing", run.Sens.Timing)
 		man.Set("adjoint_windows_ran", run.Sens.Windows)
-		if run.Storage != masc.StorageRecompute {
-			man.Section("tensor", run.TensorStats)
-		}
 		if run.HasCodecStats {
 			man.Section("codec_j", run.CodecStatsJ)
 			man.Section("codec_c", run.CodecStatsC)

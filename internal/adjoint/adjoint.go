@@ -20,6 +20,7 @@
 package adjoint
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -122,6 +123,51 @@ type Options struct {
 	// SpanParent is the span the adjoint pass nests under (normally the
 	// run root). Spans are recorded only when Obs carries a recorder.
 	SpanParent span.ID
+
+	// Ctx, if non-nil, cancels the reverse sweep cooperatively: every
+	// engine (serial, overlapped, windowed) polls it at step boundaries
+	// and aborts with an error wrapping the context's error. Unlike the
+	// windowed teardown signal, cancellation is a root cause, not a
+	// casualty — it surfaces from Sensitivities.
+	Ctx context.Context
+
+	// FetchStallTimeout, if positive, bounds how long the overlapped
+	// engine waits for the fetch pipeline to deliver one step. A stall
+	// beyond it — a wedged disk read, a dead recompute — aborts with an
+	// error wrapping ErrFetchStalled instead of hanging the sweep. The
+	// abandoned fetcher goroutine is drained asynchronously so a stuck
+	// syscall cannot pin the caller.
+	FetchStallTimeout time.Duration
+
+	// WindowDone, if non-nil, runs as each window sweep completes without
+	// error (on that sweep's goroutine, serialized by the engine lock),
+	// receiving the window index, the inclusive step range the window
+	// *owns* (for the seeding sweep this is its accumulation range above
+	// the penultimate boundary, not its full descent), its per-step
+	// contribution rows (flat [objectives×params], aliasing engine
+	// buffers — copy to keep), and its degraded steps. This is the run
+	// journal's adjoint checkpoint hook; a non-nil error aborts the
+	// remaining windows.
+	WindowDone func(j, lo, hi int, rows [][]float64, degraded []int) error
+
+	// Completed injects journaled window progress into the windowed
+	// engine: a window listed here has its contribution rows copied in
+	// and its sweep skipped (a completed seeding sweep still descends to
+	// generate seeds, but accumulates nothing). Progress whose geometry
+	// does not match the freshly computed window boundaries is ignored
+	// wholesale — stale journals degrade to a full re-sweep, never to a
+	// wrong fold.
+	Completed map[int]*WindowProgress
+}
+
+// WindowProgress is one completed window's journaled state: the inclusive
+// owned step range, the per-step contribution rows (Rows[i] belongs to step
+// Lo+i, flat [objectives×params]), and the steps the window healed through
+// the degradation ladder.
+type WindowProgress struct {
+	Lo, Hi   int
+	Rows     [][]float64
+	Degraded []int
 }
 
 // DegradeError reports a step that could be neither fetched nor

@@ -331,8 +331,20 @@ func (s *sweep) runSerialFetch() error {
 // orchestrator can distinguish casualties from the root cause.
 var errSweepStopped = errors.New("adjoint: sweep aborted")
 
-// checkStop polls the windowed engine's shared teardown signal.
+// ErrFetchStalled is wrapped into the sweep's error when the overlapped
+// engine's fetch pipeline fails to deliver a step within
+// Options.FetchStallTimeout.
+var ErrFetchStalled = errors.New("adjoint: fetch stalled")
+
+// checkStop polls cancellation and the windowed engine's shared teardown
+// signal. A canceled context is a root cause (a real error the orchestrator
+// reports); the teardown signal is a casualty (errSweepStopped, filtered).
 func (s *sweep) checkStop() error {
+	if ctx := s.opt.Ctx; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("adjoint: canceled: %w", err)
+		}
+	}
 	if s.stop == nil {
 		return nil
 	}
@@ -411,7 +423,27 @@ func (s *sweep) runOverlapped() error {
 			return err
 		}
 		tWait := time.Now()
-		buf, ok := <-results
+		var buf *fetchBuf
+		var ok bool
+		if d := s.opt.FetchStallTimeout; d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case buf, ok = <-results:
+				timer.Stop()
+			case <-timer.C:
+				// The fetcher is wedged (hung syscall, dead recompute).
+				// Signal it and drain asynchronously — waiting for a stuck
+				// read to finish would just move the hang here.
+				close(stop)
+				go func() {
+					for range results {
+					}
+				}()
+				return fmt.Errorf("adjoint: step %d not delivered within %v: %w", i, d, ErrFetchStalled)
+			}
+		} else {
+			buf, ok = <-results
+		}
 		wait := time.Since(tWait)
 		if !ok {
 			select {

@@ -29,6 +29,16 @@ func NewRecomputeSource(ckt *circuit.Circuit, tr *transient.Result) *RecomputeSo
 	}
 }
 
+// SetGmin overrides the diagonal conductance floor applied to the step-0
+// (DC) Jacobian re-derivation. It must match the Gmin of the transient run
+// that produced tr, or the recomputed step-0 tensor diverges bit-wise from
+// the captured one. The default matches the transient default (1e-12).
+func (s *RecomputeSource) SetGmin(g float64) {
+	if g > 0 {
+		s.gmin = g
+	}
+}
+
 // Fetch implements JacobianSource by re-evaluating the circuit at step i's
 // converged state — mirroring exactly what transient.Run captured,
 // including the integration method's Jacobian weighting.

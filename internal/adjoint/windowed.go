@@ -36,6 +36,7 @@ package adjoint
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -300,6 +301,52 @@ func runWindowed(ckt *circuit.Circuit, tr *transient.Result, src JacobianSource,
 		contribs[i] = make([]float64, K*P)
 	}
 
+	// Ownership ranges: window j < W-1 owns [lows[j], tops[j]]; the seeding
+	// sweep owns (t_{W-2}, n].
+	windowAt := make(map[int]int, W-1) // step t_j+1 -> window index j
+	lows := make([]int, W-1)
+	for j := 0; j < W-1; j++ {
+		if j > 0 {
+			lows[j] = tops[j-1] + 1
+		}
+		windowAt[tops[j]+1] = j
+	}
+
+	// Journaled progress replay: a completed window's rows are copied into
+	// the contribution buffers and its sweep skipped. Geometry must match
+	// the freshly computed boundaries exactly — anything stale is dropped
+	// wholesale, degrading to a full re-sweep, never to a wrong fold.
+	completed := map[int]*WindowProgress{}
+	if len(opt.Completed) > 0 {
+		valid := true
+	validate:
+		for j, wp := range opt.Completed {
+			var lo, hi int
+			switch {
+			case j >= 0 && j < W-1:
+				lo, hi = lows[j], tops[j]
+			case j == W-1:
+				lo, hi = tops[W-2]+1, n
+			default:
+				valid = false
+				break validate
+			}
+			if wp == nil || wp.Lo != lo || wp.Hi != hi || len(wp.Rows) != hi-lo+1 {
+				valid = false
+				break validate
+			}
+			for _, row := range wp.Rows {
+				if len(row) != K*P {
+					valid = false
+					break validate
+				}
+			}
+		}
+		if valid {
+			completed = opt.Completed
+		}
+	}
+
 	tWall := time.Now()
 	stopCh := make(chan struct{})
 	var stopOnce sync.Once
@@ -311,8 +358,24 @@ func runWindowed(ckt *circuit.Circuit, tr *transient.Result, src JacobianSource,
 	var timing Timing
 	sweepSec := make([]float64, W)
 
+	for _, wp := range completed {
+		for i, row := range wp.Rows {
+			copy(contribs[wp.Lo+i], row)
+		}
+		degraded = append(degraded, wp.Degraded...)
+	}
+
 	finish := func(j int, ws *sweep, wall time.Duration, werr error) {
 		mu.Lock()
+		if _, done := completed[j]; !done && werr == nil && opt.WindowDone != nil {
+			// Inside the engine lock: hooks observe windows one at a time,
+			// in completion order. The owned range excludes the seeding
+			// sweep's param-free descent below t_{W-2}.
+			lo := max(ws.loStep, ws.skipParamsAtOrBelow+1)
+			if herr := opt.WindowDone(j, lo, ws.hiStep, contribs[lo:ws.hiStep+1], ws.res.DegradedSteps); herr != nil {
+				werr = fmt.Errorf("adjoint: window %d completion hook: %w", j, herr)
+			}
+		}
 		sweepSec[j] = wall.Seconds()
 		degraded = append(degraded, ws.res.DegradedSteps...)
 		timing.Fetch += ws.res.Timing.Fetch
@@ -327,74 +390,76 @@ func runWindowed(ckt *circuit.Circuit, tr *transient.Result, src JacobianSource,
 		}
 	}
 
-	rec := opt.Obs.SpanRecorder()
-	var wg sync.WaitGroup
-	launch := func(j, lo, hi int, view JacobianSource, seed *windowSeed) {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			wsp := rec.Start(opt.SpanParent, span.Window, -1)
-			wsp.Attr("win", int64(j))
-			wsp.Attr("lo", int64(lo))
-			wsp.Attr("hi", int64(hi))
-			defer wsp.End()
-			ws := newSweep(ckt, tr, view, objs, params, trap, opt)
-			defer ws.pool.close()
-			ws.spanParent = wsp.ID()
-			ws.hiStep, ws.loStep = hi, lo
-			ws.stepContrib = contribs[lo : hi+1]
-			ws.stop = stopCh
-			ws.applySeed(seed)
-			t := time.Now()
-			var werr error
-			if ws.workers > 1 {
-				werr = ws.runOverlapped()
-			} else {
-				werr = ws.runSerialFetch()
-			}
-			finish(j, ws, time.Since(t), werr)
-		}()
-	}
-
-	// The seeding sweep runs on the calling goroutine: full engine above
-	// t_{W-2} (it IS the topmost window), seed generation below.
-	ssp := rec.Start(opt.SpanParent, span.Window, -1)
-	ssp.Attr("win", int64(W-1))
-	ssp.Attr("lo", int64(tops[0]+1))
-	ssp.Attr("hi", int64(n))
-	ssp.Attr("seeder", 1)
-	seeder := newSweep(ckt, tr, views[W-1], objs, params, trap, opt)
-	defer seeder.pool.close()
-	seeder.spanParent = ssp.ID()
-	seeder.hiStep, seeder.loStep = n, tops[0]+1
-	seeder.skipParamsAtOrBelow = tops[W-2]
-	seeder.stepContrib = contribs[tops[0]+1:]
-	seeder.stop = stopCh
-	windowAt := make(map[int]int, W-1) // step t_j+1 -> window index j
-	lows := make([]int, W-1)
-	lo := 0
-	for j := 0; j < W-1; j++ {
-		windowAt[tops[j]+1] = j
-		lows[j] = lo
-		lo = tops[j] + 1
-	}
-	seeder.afterStep = func(i int) {
-		j, ok := windowAt[i]
-		if !ok || seeder.checkStop() != nil {
-			return
+	if len(completed) < W {
+		rec := opt.Obs.SpanRecorder()
+		var wg sync.WaitGroup
+		launch := func(j, lo, hi int, view JacobianSource, seed *windowSeed) {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				wsp := rec.Start(opt.SpanParent, span.Window, -1)
+				wsp.Attr("win", int64(j))
+				wsp.Attr("lo", int64(lo))
+				wsp.Attr("hi", int64(hi))
+				defer wsp.End()
+				ws := newSweep(ckt, tr, view, objs, params, trap, opt)
+				defer ws.pool.close()
+				ws.spanParent = wsp.ID()
+				ws.hiStep, ws.loStep = hi, lo
+				ws.stepContrib = contribs[lo : hi+1]
+				ws.stop = stopCh
+				ws.applySeed(seed)
+				t := time.Now()
+				var werr error
+				if ws.workers > 1 {
+					werr = ws.runOverlapped()
+				} else {
+					werr = ws.runSerialFetch()
+				}
+				finish(j, ws, time.Since(t), werr)
+			}()
 		}
-		launch(j, lows[j], tops[j], views[j], captureSeed(seeder))
+
+		// The seeding sweep runs on the calling goroutine: full engine above
+		// t_{W-2} (it IS the topmost window), seed generation below. A
+		// journaled-complete seeder still descends — seeds are LU state,
+		// which the journal cannot hold — but accumulates nothing.
+		ssp := rec.Start(opt.SpanParent, span.Window, -1)
+		ssp.Attr("win", int64(W-1))
+		ssp.Attr("lo", int64(tops[0]+1))
+		ssp.Attr("hi", int64(n))
+		ssp.Attr("seeder", 1)
+		seeder := newSweep(ckt, tr, views[W-1], objs, params, trap, opt)
+		defer seeder.pool.close()
+		seeder.spanParent = ssp.ID()
+		seeder.hiStep, seeder.loStep = n, tops[0]+1
+		seeder.skipParamsAtOrBelow = tops[W-2]
+		if _, done := completed[W-1]; done {
+			seeder.skipParamsAtOrBelow = n
+		}
+		seeder.stepContrib = contribs[tops[0]+1:]
+		seeder.stop = stopCh
+		seeder.afterStep = func(i int) {
+			j, ok := windowAt[i]
+			if !ok || seeder.checkStop() != nil {
+				return
+			}
+			if _, done := completed[j]; done {
+				return
+			}
+			launch(j, lows[j], tops[j], views[j], captureSeed(seeder))
+		}
+		tSeed := time.Now()
+		var serr error
+		if seeder.workers > 1 {
+			serr = seeder.runOverlapped()
+		} else {
+			serr = seeder.runSerialFetch()
+		}
+		finish(W-1, seeder, time.Since(tSeed), serr)
+		ssp.End()
+		wg.Wait()
 	}
-	tSeed := time.Now()
-	var serr error
-	if seeder.workers > 1 {
-		serr = seeder.runOverlapped()
-	} else {
-		serr = seeder.runSerialFetch()
-	}
-	finish(W-1, seeder, time.Since(tSeed), serr)
-	ssp.End()
-	wg.Wait()
 
 	if firstErr != nil {
 		return nil, true, firstErr

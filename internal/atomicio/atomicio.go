@@ -1,0 +1,63 @@
+// Package atomicio writes files atomically: the bytes land in a temp file
+// in the destination directory, are fsync'd, and only then renamed over the
+// target. A crash — power loss, SIGKILL, OOM-kill — at any point leaves
+// either the old complete file or the new complete file, never a torn one.
+// Readers that open the path therefore never observe a partial write, which
+// is the property the run journal's manifest/trace/golden outputs rely on.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. The temp file is created in
+// path's directory (rename is only atomic within one filesystem), fsync'd
+// before the rename so the bytes are durable under the new name, and the
+// directory is fsync'd afterwards so the rename itself survives a crash.
+// On any error the temp file is removed and the original path is untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := f.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: %s: %w", path, err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename into it is durable. Best-effort:
+// some filesystems (and all of Windows) reject directory fsync, and the
+// rename's atomicity does not depend on it — only its durability window.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -94,7 +94,7 @@ const (
 var identityNums = map[string]bool{
 	"Unknowns": true, "Steps": true, "Objs": true, "Params": true,
 	"Workers": true, "Windows": true, "BudgetBytes": true,
-	"Depth": true, "Scale": true, "NNZ": true,
+	"Depth": true, "Scale": true, "NNZ": true, "FsyncEvery": true,
 }
 
 func classify(field string) int {

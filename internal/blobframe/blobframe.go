@@ -112,6 +112,30 @@ func Open(frame []byte, kind byte, step int) ([]byte, error) {
 	return payload, nil
 }
 
+// Peek decodes just the header of a frame prefix without verifying the
+// payload: it returns the kind, step and payload length recorded in the
+// header, validating only magic, version and that the header is complete.
+// Sequential scanners (the run journal's recovery pass) use it to find the
+// next frame boundary before reading and Open-ing the full frame.
+func Peek(header []byte) (kind byte, step int, payloadLen int, err error) {
+	if len(header) < HeaderSize {
+		return 0, 0, 0, &Error{Step: -1, Kind: 0,
+			Reason: fmt.Sprintf("header truncated to %d bytes (need %d)", len(header), HeaderSize)}
+	}
+	if m := binary.LittleEndian.Uint16(header[0:]); m != magic {
+		return 0, 0, 0, &Error{Step: -1, Kind: header[3],
+			Reason: fmt.Sprintf("bad magic %#04x", m)}
+	}
+	if v := header[2]; v != Version {
+		return 0, 0, 0, &Error{Step: -1, Kind: header[3],
+			Reason: fmt.Sprintf("unsupported version %d", v)}
+	}
+	kind = header[3]
+	step = int(binary.LittleEndian.Uint32(header[4:]))
+	payloadLen = int(binary.LittleEndian.Uint32(header[8:]))
+	return kind, step, payloadLen, nil
+}
+
 // Float64Bytes returns v's backing array viewed as bytes, without copying.
 // Used to checksum raw float64 tensors (in-memory store) at memory
 // bandwidth; the view is only meaningful within one process, which is

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"masc/internal/atomicio"
 	"masc/internal/sparse"
 )
 
@@ -30,14 +31,15 @@ func goldenFrames() (*sparse.Pattern, [][]float64) {
 }
 
 // writeCorpus serializes blobs as: uvarint count, then per blob uvarint
-// length + bytes.
+// length + bytes. Written atomically so an interrupted MASC_UPDATE_GOLDEN
+// run cannot leave a torn corpus that later runs trust.
 func writeCorpus(path string, blobs [][]byte) error {
 	out := binary.AppendUvarint(nil, uint64(len(blobs)))
 	for _, b := range blobs {
 		out = binary.AppendUvarint(out, uint64(len(b)))
 		out = append(out, b...)
 	}
-	return os.WriteFile(path, out, 0o644)
+	return atomicio.WriteFile(path, out, 0o644)
 }
 
 func readCorpus(path string) ([][]byte, error) {

@@ -13,6 +13,7 @@
 package diskio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -85,6 +86,9 @@ type Store struct {
 	retries int64
 	jrng    *rand.Rand // deterministic backoff jitter
 	fault   *faultinject.Injector
+	ctx     context.Context // optional; cancels retry backoff
+	fsyncT  time.Duration
+	fsyncs  int64
 
 	spans      *span.Recorder
 	spanParent span.ID
@@ -116,6 +120,17 @@ func (s *Store) SetRetryPolicy(p RetryPolicy) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.retry = p
+}
+
+// SetContext attaches a cancellation context consulted by the retry loop:
+// once ctx is done, in-flight backoff is abandoned and the operation fails
+// with an *OpError wrapping ctx's error, so a per-run deadline is not
+// stretched by a dying device's full retry budget. nil (the default)
+// disables the check.
+func (s *Store) SetContext(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctx = ctx
 }
 
 // SetFault installs a fault injector consulted before every physical disk
@@ -188,6 +203,10 @@ func (s *Store) withRetry(op string, off int64, f func() error) error {
 		sp.End()
 	}
 	for attempt := 1; ; attempt++ {
+		if s.ctx != nil && s.ctx.Err() != nil {
+			finish(attempt-1, false)
+			return &OpError{Op: op, Off: off, Attempts: attempt - 1, Err: s.ctx.Err()}
+		}
 		if err = s.fault.OpError(op); err == nil {
 			err = f()
 		}
@@ -213,8 +232,30 @@ func (s *Store) withRetry(op string, off int64, f func() error) error {
 			return &OpError{Op: op, Off: off, Attempts: attempt,
 				Err: fmt.Errorf("op deadline %v exceeded: %w", s.retry.OpDeadline, err)}
 		}
-		time.Sleep(s.backoff(attempt))
+		if !s.sleep(s.backoff(attempt)) {
+			return &OpError{Op: op, Off: off, Attempts: attempt, Err: s.ctx.Err()}
+		}
 		s.retries++
+	}
+}
+
+// sleep blocks for d or until the store's context is canceled. It reports
+// whether the full backoff elapsed (true when no context is attached).
+func (s *Store) sleep(d time.Duration) bool {
+	if s.ctx == nil {
+		time.Sleep(d)
+		return true
+	}
+	if d <= 0 {
+		return s.ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.ctx.Done():
+		return false
 	}
 }
 
@@ -280,6 +321,40 @@ func (s *Store) ReadAt(p []byte, off int64) error {
 	s.ioTime += s.throttle(len(p), time.Since(start))
 	s.ioBytes += int64(len(p))
 	return nil
+}
+
+// Sync fsyncs the spill file so every appended byte is durable before the
+// caller journals a record referencing it. fsync failures are not retried —
+// on Linux a failed fsync may drop the dirty pages, so retrying can report
+// durability that does not exist; the error surfaces as a typed *OpError.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return &OpError{Op: "fsync", Off: s.off, Attempts: 0, Err: ErrClosed}
+	}
+	start := time.Now()
+	err := s.f.Sync()
+	s.fsyncT += time.Since(start)
+	s.fsyncs++
+	if err != nil {
+		return &OpError{Op: "fsync", Off: s.off, Attempts: 1, Err: err}
+	}
+	return nil
+}
+
+// FsyncTime returns the cumulative wall time spent in Sync.
+func (s *Store) FsyncTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fsyncT
+}
+
+// Fsyncs returns how many Sync calls the store has performed.
+func (s *Store) Fsyncs() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fsyncs
 }
 
 // Size returns the bytes written so far.

@@ -1,6 +1,7 @@
 package jactensor
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -71,6 +72,15 @@ func (s *DiskStore) SetFault(in *faultinject.Injector) {
 
 // SetRetryPolicy forwards to the spill device.
 func (s *DiskStore) SetRetryPolicy(p diskio.RetryPolicy) { s.spill.SetRetryPolicy(p) }
+
+// SetContext forwards a cancellation context to the spill device's retry
+// loop, so a canceled run is not held up by backoff against a dying disk.
+func (s *DiskStore) SetContext(ctx context.Context) { s.spill.SetContext(ctx) }
+
+// SyncSpill fsyncs the spill file. The run journal calls it before marking
+// the steps referencing those spill bytes durable, ordering data ahead of
+// the checkpoint record that points at it.
+func (s *DiskStore) SyncSpill() error { return s.spill.Sync() }
 
 // SpillPath exposes the spill file location for tests that damage it.
 func (s *DiskStore) SpillPath() string { return s.spill.Path() }
@@ -233,6 +243,8 @@ func (s *DiskStore) Stats() Stats {
 	st := s.stats
 	st.IOTime = s.spill.IOTime()
 	st.DiskRetries = s.spill.Retries()
+	st.FsyncTime = s.spill.FsyncTime()
+	st.Fsyncs = s.spill.Fsyncs()
 	return st
 }
 

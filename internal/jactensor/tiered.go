@@ -38,6 +38,7 @@ package jactensor
 // the forward pass.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -109,8 +110,9 @@ type TieredStore struct {
 	jLen, cLen int
 	frameBytes int64 // 8*(jLen+cLen), known after the first Put
 
-	spill     *diskio.Store // lazily created on the first disk demotion
-	spillDead bool          // creation failed or disabled: drop instead
+	spill     *diskio.Store   // lazily created on the first disk demotion
+	spillDead bool            // creation failed or disabled: drop instead
+	ctx       context.Context // forwarded to the spill device's retry loop
 
 	anchorEvery  int
 	recompute    RecomputeFunc
@@ -174,6 +176,30 @@ func (s *TieredStore) SetFault(in *faultinject.Injector) {
 	if s.spill != nil {
 		s.spill.SetFault(in)
 	}
+}
+
+// SetContext attaches a cancellation context forwarded to the spill
+// device's retry loop (including one created by a later lazy demotion).
+func (s *TieredStore) SetContext(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctx = ctx
+	if s.spill != nil {
+		s.spill.SetContext(ctx)
+	}
+}
+
+// SyncSpill fsyncs the spill file, if one exists, so every demoted blob a
+// journal checkpoint references is durable before the checkpoint record is.
+// A store that never demoted to disk (or runs diskless) syncs nothing.
+func (s *TieredStore) SyncSpill() error {
+	s.mu.Lock()
+	sp := s.spill
+	s.mu.Unlock()
+	if sp == nil {
+		return nil
+	}
+	return sp.Sync()
 }
 
 // SetRecompute installs the deliberate-drop recovery path: a dropped step's
@@ -420,6 +446,9 @@ func (s *TieredStore) spillStep(i int) error {
 		}
 		sp.SetFault(s.fault)
 		sp.SetSpans(s.ob.rec, s.ob.scope)
+		if s.ctx != nil {
+			sp.SetContext(s.ctx)
+		}
 		s.spill = sp
 	}
 	ssp := s.ob.rec.Start(s.ob.spanParent(), span.Spill, i)
@@ -811,6 +840,8 @@ func (s *TieredStore) Stats() Stats {
 	if s.spill != nil {
 		st.IOTime = s.spill.IOTime()
 		st.DiskRetries = s.spill.Retries()
+		st.FsyncTime = s.spill.FsyncTime()
+		st.Fsyncs = s.spill.Fsyncs()
 	}
 	return st
 }

@@ -1,9 +1,13 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"time"
+
+	"masc/internal/atomicio"
 )
 
 // Manifest is the skeleton of a run manifest: one JSON document holding
@@ -58,22 +62,44 @@ func (m *Manifest) AttachMetrics(reg *Registry) *Manifest {
 
 // Write serializes the manifest (indented JSON, trailing newline) to path.
 // The provenance runtime snapshot is refreshed first so GC/heap counters
-// describe the finished run rather than process startup.
+// describe the finished run rather than process startup. The write is
+// atomic (temp file + fsync + rename): a crash mid-write leaves either the
+// previous manifest or none, never a torn document.
 func (m *Manifest) Write(path string) error {
 	m.Provenance.refreshRuntime()
 	b, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return atomicio.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // WriteJSON writes any value as an indented JSON document at path — the
-// shared helper behind -stats-json style flags.
+// shared helper behind -stats-json style flags. Atomic like Manifest.Write.
 func WriteJSON(path string, v any) error {
 	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return atomicio.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadManifest loads a manifest written by Write, rejecting torn or
+// trailing-garbage documents: the file must be exactly one JSON object.
+// Comparison tooling reads crash-site manifests through this, so a
+// half-written document surfaces as an error instead of zeroed stats.
+func ReadManifest(path string) (*Manifest, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	m := &Manifest{}
+	if err := dec.Decode(m); err != nil {
+		return nil, fmt.Errorf("obs: manifest %s is torn or invalid: %w", path, err)
+	}
+	if t, err := dec.Token(); err == nil {
+		return nil, fmt.Errorf("obs: manifest %s has trailing content after the document: %v", path, t)
+	}
+	return m, nil
 }

@@ -135,3 +135,49 @@ func TestWriteJSON(t *testing.T) {
 		t.Fatalf("bad stats file: %v %v", err, m)
 	}
 }
+
+func TestReadManifestRejectsTorn(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.json")
+	man := NewManifest("masc-test")
+	man.Set("storage", "masc")
+	if err := man.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil || got.Tool != "masc-test" {
+		t.Fatalf("round-trip: %v, %+v", err, got)
+	}
+	// The atomic writer must leave no temp files behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("manifest dir has %d entries, want 1", len(ents))
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn manifest — cut anywhere strictly inside the document — must be
+	// rejected, not decoded into zeroed stats.
+	for _, cut := range []int{1, len(raw) / 4, len(raw) / 2, len(raw) - 3} {
+		torn := filepath.Join(dir, "torn.json")
+		if err := os.WriteFile(torn, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadManifest(torn); err == nil {
+			t.Fatalf("torn manifest (cut %d) accepted", cut)
+		}
+	}
+	// So must trailing garbage after the document.
+	junk := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(junk, append(append([]byte(nil), raw...), []byte("{}")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(junk); err == nil {
+		t.Fatal("manifest with trailing garbage accepted")
+	}
+}

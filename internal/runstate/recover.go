@@ -1,0 +1,243 @@
+package runstate
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+
+	"masc/internal/blobframe"
+)
+
+// ErrNoConfig reports a journal whose very first frame is missing or
+// invalid: nothing can be recovered from it.
+var ErrNoConfig = errors.New("runstate: journal has no valid config record")
+
+// Recovered is the trusted prefix of a journal: every frame up to (not
+// including) the first torn, corrupt, or semantically inconsistent one.
+type Recovered struct {
+	Config Config
+	// Steps holds the contiguous forward checkpoints 0..len(Steps)-1.
+	Steps []StepRec
+	// ForwardDone reports whether the forward phase completed; ForwardSteps
+	// is the final step index it recorded.
+	ForwardDone  bool
+	ForwardSteps int
+	// Windows maps completed adjoint window index -> its journaled progress.
+	Windows map[int]*WindowRec
+	// Done is non-nil when the run finished.
+	Done *DoneRec
+	// Offset is the file offset just past the last valid frame — the append
+	// point for a resumed run (everything beyond it is a torn tail).
+	Offset int64
+}
+
+// LastStep returns the newest forward checkpoint, or nil when only the
+// config record survived.
+func (r *Recovered) LastStep() *StepRec {
+	if len(r.Steps) == 0 {
+		return nil
+	}
+	return &r.Steps[len(r.Steps)-1]
+}
+
+// Recover scans a journal to its last valid frame. The scan stops — without
+// error — at the first frame that is incomplete (torn tail), fails its
+// CRC32C, or violates the record grammar (a step out of order, a second
+// config, a checkpoint after forward-done): everything after a bad frame is
+// untrusted by construction, because append order is the only order. Only a
+// missing or invalid leading config record is a hard error.
+func Recover(path string) (*Recovered, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("runstate: read journal: %w", err)
+	}
+	rec := &Recovered{Windows: map[int]*WindowRec{}}
+	off := 0
+	for {
+		if len(data)-off < blobframe.HeaderSize {
+			break
+		}
+		kind, step, plen, perr := blobframe.Peek(data[off:])
+		if perr != nil {
+			break
+		}
+		end := off + blobframe.HeaderSize + plen
+		if plen < 0 || end > len(data) {
+			break // torn tail: the payload never finished writing
+		}
+		payload, oerr := blobframe.Open(data[off:end], kind, step)
+		if oerr != nil {
+			break
+		}
+		if off == 0 {
+			if kind != KindConfig {
+				return nil, ErrNoConfig
+			}
+		} else if kind == KindConfig {
+			break // a second config mid-stream is nonsense
+		}
+		if !rec.apply(kind, step, payload) {
+			break
+		}
+		off = end
+	}
+	if off == 0 {
+		return nil, ErrNoConfig
+	}
+	rec.Offset = int64(off)
+	return rec, nil
+}
+
+// apply folds one verified frame into the recovered state; false means the
+// frame is semantically inconsistent and the scan must stop before it.
+func (r *Recovered) apply(kind byte, step int, payload []byte) bool {
+	switch kind {
+	case KindConfig:
+		// The frame step is a fixed 0 for config records; checking it closes
+		// the one header field the payload CRC cannot vouch for.
+		if step != 0 {
+			return false
+		}
+		if err := json.Unmarshal(payload, &r.Config); err != nil {
+			return false
+		}
+		if r.Config.FormatVersion != FormatVersion {
+			return false
+		}
+		return true
+	case KindStep:
+		if r.ForwardDone || step != len(r.Steps) {
+			return false
+		}
+		sr, ok := decodeStep(step, payload)
+		if !ok || (r.Config.N > 0 && len(sr.X) != r.Config.N) {
+			return false
+		}
+		r.Steps = append(r.Steps, sr)
+		return true
+	case KindForwardDone:
+		if r.ForwardDone || len(payload) != 4 {
+			return false
+		}
+		n := int(binary.LittleEndian.Uint32(payload))
+		if n != step || n != len(r.Steps)-1 {
+			return false
+		}
+		r.ForwardDone = true
+		r.ForwardSteps = n
+		return true
+	case KindWindow:
+		if !r.ForwardDone {
+			return false
+		}
+		wr, ok := decodeWindow(payload)
+		if !ok || wr.J != step {
+			return false
+		}
+		r.Windows[wr.J] = wr
+		return true
+	case KindDone:
+		if step != 0 || !r.ForwardDone || r.Done != nil {
+			return false
+		}
+		dr, ok := decodeDone(payload)
+		if !ok {
+			return false
+		}
+		r.Done = dr
+		return true
+	default:
+		return false // unknown kind: written by a future version
+	}
+}
+
+func decodeStep(step int, p []byte) (StepRec, bool) {
+	if len(p) < 32 {
+		return StepRec{}, false
+	}
+	n := int(binary.LittleEndian.Uint32(p[28:]))
+	if len(p) != 32+8*n {
+		return StepRec{}, false
+	}
+	sr := StepRec{
+		Step:  step,
+		T:     math.Float64frombits(binary.LittleEndian.Uint64(p[0:])),
+		H:     math.Float64frombits(binary.LittleEndian.Uint64(p[8:])),
+		NextH: math.Float64frombits(binary.LittleEndian.Uint64(p[16:])),
+		Cuts:  int(binary.LittleEndian.Uint32(p[24:])),
+		X:     make([]float64, n),
+	}
+	for i := range sr.X {
+		sr.X[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[32+8*i:]))
+	}
+	return sr, true
+}
+
+func decodeWindow(p []byte) (*WindowRec, bool) {
+	if len(p) < 20 {
+		return nil, false
+	}
+	wr := &WindowRec{
+		J:      int(binary.LittleEndian.Uint32(p[0:])),
+		Lo:     int(binary.LittleEndian.Uint32(p[4:])),
+		Hi:     int(binary.LittleEndian.Uint32(p[8:])),
+		RowLen: int(binary.LittleEndian.Uint32(p[12:])),
+	}
+	deg := int(binary.LittleEndian.Uint32(p[16:]))
+	steps := wr.Hi - wr.Lo + 1
+	if steps < 0 || wr.RowLen < 0 || len(p) != 20+4*deg+8*steps*wr.RowLen {
+		return nil, false
+	}
+	off := 20
+	if deg > 0 {
+		wr.Degraded = make([]int, deg)
+		for i := range wr.Degraded {
+			wr.Degraded[i] = int(binary.LittleEndian.Uint32(p[off:]))
+			off += 4
+		}
+	}
+	wr.Rows = make([][]float64, steps)
+	for i := range wr.Rows {
+		row := make([]float64, wr.RowLen)
+		for k := range row {
+			row[k] = math.Float64frombits(binary.LittleEndian.Uint64(p[off:]))
+			off += 8
+		}
+		wr.Rows[i] = row
+	}
+	return wr, true
+}
+
+func decodeDone(p []byte) (*DoneRec, bool) {
+	if len(p) < 12 {
+		return nil, false
+	}
+	K := int(binary.LittleEndian.Uint32(p[0:]))
+	P := int(binary.LittleEndian.Uint32(p[4:]))
+	deg := int(binary.LittleEndian.Uint32(p[8:]))
+	if K < 0 || P < 0 || len(p) != 12+4*deg+8*K*P {
+		return nil, false
+	}
+	dr := &DoneRec{}
+	off := 12
+	if deg > 0 {
+		dr.Degraded = make([]int, deg)
+		for i := range dr.Degraded {
+			dr.Degraded[i] = int(binary.LittleEndian.Uint32(p[off:]))
+			off += 4
+		}
+	}
+	dr.DOdp = make([][]float64, K)
+	for o := range dr.DOdp {
+		row := make([]float64, P)
+		for k := range row {
+			row[k] = math.Float64frombits(binary.LittleEndian.Uint64(p[off:]))
+			off += 8
+		}
+		dr.DOdp[o] = row
+	}
+	return dr, true
+}

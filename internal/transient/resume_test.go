@@ -1,0 +1,222 @@
+package transient
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"masc/internal/circuit"
+	"masc/internal/device"
+)
+
+// buildDiodeRC is a mildly nonlinear fixture (several Newton iterations per
+// step) so resume tests exercise real solver state, not a linear shortcut.
+func buildDiodeRC(t testing.TB) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder()
+	b.AddVSource("vin", "in", "0", device.Sin{VA: 2, Freq: 5e3})
+	b.AddResistor("r1", "in", "a", 500)
+	b.AddDiode("d1", "a", "out")
+	b.AddCapacitor("c1", "out", "0", 1e-7)
+	b.AddResistor("rl", "out", "0", 2e3)
+	ckt, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ckt
+}
+
+// snapshot is what a journal would hold at checkpoint C: the accepted
+// trajectory prefix plus the loop-carried nextH and cuts.
+type snapshot struct {
+	times  []float64
+	hs     []float64
+	states [][]float64
+	nextH  float64
+	cuts   int
+}
+
+// TestResumeBitIdenticalTrajectory is the core crash-durability property at
+// the transient layer: for every checkpoint C, running to C, snapshotting
+// the AfterStep tuple, and resuming must reproduce the uninterrupted
+// trajectory bit for bit. FreshFactorPerStep is on for both runs, exactly
+// as a journaled run sets it.
+func TestResumeBitIdenticalTrajectory(t *testing.T) {
+	opts := Options{TStop: 2e-4, TStep: 2e-6, FreshFactorPerStep: true}
+
+	// Uninterrupted reference, recording every AfterStep tuple.
+	var snaps []snapshot
+	ref := func() *Result {
+		ckt := buildDiodeRC(t)
+		o := opts
+		o.AfterStep = func(step int, tm, h, nextH float64, cuts int, x []float64) error {
+			var sn snapshot
+			if len(snaps) > 0 {
+				prev := snaps[len(snaps)-1]
+				sn.times = append([]float64(nil), prev.times...)
+				sn.hs = append([]float64(nil), prev.hs...)
+				sn.states = append([][]float64(nil), prev.states...)
+			}
+			sn.times = append(sn.times, tm)
+			sn.hs = append(sn.hs, h)
+			sn.states = append(sn.states, append([]float64(nil), x...))
+			sn.nextH = nextH
+			sn.cuts = cuts
+			snaps = append(snaps, sn)
+			return nil
+		}
+		res, err := Run(ckt, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+	if len(snaps) < 10 {
+		t.Fatalf("only %d checkpoints recorded", len(snaps))
+	}
+
+	// Resume from a spread of checkpoints, including 0 (right after DC) and
+	// the final one (forward already complete).
+	picks := []int{0, 1, len(snaps) / 3, len(snaps) / 2, len(snaps) - 2, len(snaps) - 1}
+	for _, c := range picks {
+		sn := snaps[c]
+		ckt := buildDiodeRC(t)
+		o := opts
+		o.Resume = &ResumeState{Times: sn.times, Hs: sn.hs, States: sn.states,
+			NextH: sn.nextH, Cuts: sn.cuts}
+		res, err := Run(ckt, o)
+		if err != nil {
+			t.Fatalf("resume at %d: %v", c, err)
+		}
+		if len(res.Times) != len(ref.Times) {
+			t.Fatalf("resume at %d: %d steps, reference has %d", c, len(res.Times), len(ref.Times))
+		}
+		for i := range ref.Times {
+			if res.Times[i] != ref.Times[i] || res.Hs[i] != ref.Hs[i] {
+				t.Fatalf("resume at %d: time axis diverges at step %d", c, i)
+			}
+			for k := range ref.States[i] {
+				if math.Float64bits(res.States[i][k]) != math.Float64bits(ref.States[i][k]) {
+					t.Fatalf("resume at %d: state[%d][%d] = %x, want %x",
+						c, i, k, math.Float64bits(res.States[i][k]), math.Float64bits(ref.States[i][k]))
+				}
+			}
+		}
+	}
+}
+
+// TestResumeSkipsSeededCaptures: Capture and AfterStep must fire only for
+// newly integrated steps, starting at C+1.
+func TestResumeSkipsSeededCaptures(t *testing.T) {
+	ckt := buildDiodeRC(t)
+	var sn snapshot
+	o := Options{TStop: 5e-5, TStep: 2e-6, FreshFactorPerStep: true}
+	o.AfterStep = func(step int, tm, h, nextH float64, cuts int, x []float64) error {
+		sn.times = append(sn.times, tm)
+		sn.hs = append(sn.hs, h)
+		sn.states = append(sn.states, append([]float64(nil), x...))
+		sn.nextH, sn.cuts = nextH, cuts
+		if step == 5 {
+			return errors.New("simulated crash")
+		}
+		return nil
+	}
+	if _, err := Run(ckt, o); err == nil {
+		t.Fatal("expected the AfterStep abort to surface")
+	}
+	first := -1
+	o2 := Options{TStop: 5e-5, TStep: 2e-6, FreshFactorPerStep: true}
+	o2.Resume = &ResumeState{Times: sn.times, Hs: sn.hs, States: sn.states,
+		NextH: sn.nextH, Cuts: sn.cuts}
+	o2.AfterStep = func(step int, _, _, _ float64, _ int, _ []float64) error {
+		if first < 0 {
+			first = step
+		}
+		return nil
+	}
+	if _, err := Run(buildDiodeRC(t), o2); err != nil {
+		t.Fatal(err)
+	}
+	if first != 6 {
+		t.Fatalf("first AfterStep on resume fired for step %d, want 6", first)
+	}
+}
+
+// TestResumePastTStop: a checkpoint taken at the final step resumes into a
+// loop that exits immediately, returning the seeded trajectory unchanged.
+func TestResumePastTStop(t *testing.T) {
+	ckt, _ := buildRC(t, 1e3, 1e-6)
+	res, err := Run(ckt, Options{TStop: 1e-4, TStep: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(ckt, Options{TStop: 1e-4, TStep: 1e-5, Resume: &ResumeState{
+		Times: res.Times, Hs: res.Hs, States: res.States, NextH: 1e-5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Times) != len(res.Times) {
+		t.Fatalf("resume past TStop integrated %d extra steps", len(res2.Times)-len(res.Times))
+	}
+	if res2.Stats.StepsAccepted != 0 {
+		t.Fatalf("resume past TStop accepted %d steps", res2.Stats.StepsAccepted)
+	}
+}
+
+func TestResumeRejectsMalformedState(t *testing.T) {
+	ckt, _ := buildRC(t, 1e3, 1e-6)
+	bad := []*ResumeState{
+		{}, // empty
+		{Times: []float64{0}, Hs: []float64{0}, States: [][]float64{{1, 2, 3}}, NextH: 0}, // no step size
+		{Times: []float64{0, 1}, Hs: []float64{0}, States: [][]float64{{1}}, NextH: 1e-5}, // ragged
+		{Times: []float64{0}, Hs: []float64{0}, States: [][]float64{{1}}, NextH: 1e-5},    // wrong N
+	}
+	for i, rs := range bad {
+		if _, err := Run(ckt, Options{TStop: 1e-4, TStep: 1e-5, Resume: rs}); err == nil {
+			t.Fatalf("case %d: malformed resume state accepted", i)
+		}
+	}
+}
+
+// TestContextCancelStopsRun: cancellation is observed at a step boundary and
+// surfaces as ErrInterrupted plus the context cause, with the partial
+// trajectory intact.
+func TestContextCancelStopsRun(t *testing.T) {
+	ckt, _ := buildRC(t, 1e3, 1e-6)
+	ctx, cancel := context.WithCancel(context.Background())
+	captured := 0
+	res, err := Run(ckt, Options{
+		TStop: 1e-4, TStep: 1e-5, Ctx: ctx,
+		AfterStep: func(step int, _, _, _ float64, _ int, _ []float64) error {
+			captured++
+			if captured == 3 {
+				cancel()
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, ErrInterrupted) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want ErrInterrupted wrapping context.Canceled, got %v", err)
+	}
+	if res == nil || len(res.Times) != captured {
+		t.Fatalf("partial result mismatch: %v", res)
+	}
+}
+
+// TestContextDeadlineStopsRun: an already-expired deadline halts before the
+// first new step and reports DeadlineExceeded.
+func TestContextDeadlineStopsRun(t *testing.T) {
+	ckt, _ := buildRC(t, 1e3, 1e-6)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	res, err := Run(ckt, Options{TStop: 1e-4, TStep: 1e-5, Ctx: ctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if res == nil || res.Stats.StepsAccepted != 0 {
+		t.Fatalf("deadline run accepted steps: %+v", res)
+	}
+}

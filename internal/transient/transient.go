@@ -7,6 +7,7 @@
 package transient
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -72,6 +73,48 @@ type Options struct {
 	// mid-Newton, only between steps.
 	Stop func() bool
 
+	// Ctx, if non-nil, cancels the run between steps. The loop polls it at
+	// every step boundary exactly like Stop, so a deadline or an explicit
+	// cancel halts cleanly with the partial trajectory and an error that
+	// wraps both ErrInterrupted and the context's error. The solver never
+	// observes cancellation mid-Newton.
+	Ctx context.Context
+
+	// Resume, if non-nil, restarts the integration from a checkpointed
+	// trajectory prefix instead of solving the DC operating point: the
+	// prefix is copied into the Result and the loop enters at the step
+	// after the checkpoint, carrying the recorded step size and cut count.
+	// Capture and AfterStep are NOT replayed for the seeded steps —
+	// rebuilding a Jacobian store for them is the caller's job (see
+	// adjoint.RecomputeSource).
+	Resume *ResumeState
+
+	// AfterStep, if non-nil, runs after each accepted step has been
+	// recorded and captured, receiving the exact loop-carried state: the
+	// accepted step index and time, the step size h just taken, the step
+	// size nextH the loop will try next, the carried cut count, and the
+	// converged solution. The tuple is sufficient to re-enter the loop
+	// bit-identically through Resume — this is the write-ahead journal's
+	// checkpoint hook. Step 0 (the DC point) is reported with h=0. A
+	// non-nil error aborts the run with the partial trajectory.
+	AfterStep func(step int, t, h, nextH float64, cuts int, x []float64) error
+
+	// FreshFactorPerStep drops the LU pivot recipe before every step
+	// attempt, so each solve factors from scratch. Pivot reuse chains
+	// factorization state across the whole step history, which a
+	// checkpoint cannot capture; journaled runs set this so a resumed run
+	// takes bit-identical Newton trajectories, trading a few percent of
+	// forward time for replayability.
+	FreshFactorPerStep bool
+
+	// NewtonBudget, if positive, bounds the wall time one integration step
+	// may spend in *failed* Newton attempts across its step cuts. A step
+	// that exhausts the budget aborts the run with an error wrapping
+	// ErrNewtonBudget instead of grinding through MaxCuts halvings against
+	// a solve that will never converge — the watchdog that turns a hung
+	// forward phase into a typed error.
+	NewtonBudget time.Duration
+
 	// Obs, if non-nil, receives per-step telemetry: the
 	// masc_transient_* metric families and one trace event per solve
 	// attempt ("dc", "solve", "step_cut").
@@ -134,6 +177,21 @@ func (o *Options) withDefaults() Options {
 // halt. The partial Result is still returned alongside it: every step
 // recorded in it was fully accepted and captured before the stop.
 var ErrInterrupted = errors.New("transient: interrupted")
+
+// ErrNewtonBudget is wrapped into Run's error when a single step burns more
+// wall time in failed Newton solves than Options.NewtonBudget allows.
+var ErrNewtonBudget = errors.New("transient: newton budget exhausted")
+
+// ResumeState seeds Run mid-trajectory from a recovered journal: the
+// accepted prefix (steps 0..C of Times/Hs/States) plus the loop-carried
+// step size and cut count journaled with checkpoint C.
+type ResumeState struct {
+	Times  []float64
+	Hs     []float64
+	States [][]float64
+	NextH  float64 // step size the loop tries next
+	Cuts   int     // carried cut count at the checkpoint
+}
 
 // Method is a numerical integration scheme.
 type Method string
@@ -385,67 +443,118 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 	// dynamic scope so store-side spans (put/compress) nest causally under
 	// the step that triggered them; clear it however the loop exits.
 	defer ro.rec.SetScope(0)
-	var dcStart time.Time
-	if ro.on {
-		dcStart = time.Now()
-	}
-	dsp := ro.rec.Start(fsp.ID(), span.DC, 0)
-	x, dcStats, err := DCOperatingPoint(ckt, opt.TStart, opt)
-	if err != nil {
-		dsp.End()
-		return nil, err
-	}
-	dsp.Attr("iters", int64(dcStats.NewtonIters))
-	dsp.End()
-	res.Stats = dcStats
-	if ro.on {
-		d := time.Since(dcStart)
-		ro.steps.Inc()
-		ro.newton.Add(float64(dcStats.NewtonIters))
-		ro.facts.Add(float64(dcStats.Factorizations + dcStats.Refactorizations))
-		ro.stepSec.Observe(d.Seconds())
-		ro.simTime.Set(opt.TStart)
-		ro.tr.Emit(obs.Event{Step: 0, Phase: "dc", T: opt.TStart, Dur: d,
-			Key: "iters", N: int64(dcStats.NewtonIters)})
-	}
-	s := newSolver(ckt, opt, &res.Stats)
-
 	record := func(t, h float64, xx []float64) {
 		res.Times = append(res.Times, t)
 		res.Hs = append(res.Hs, h)
 		res.States = append(res.States, append([]float64(nil), xx...))
 	}
 
-	// Accept the DC point as step 0 and hand it to Capture.
-	s.ev.Run(x, opt.TStart)
-	s.ev.BuildJ(s.J, 0)
-	ckt.AddGmin(s.J, opt.Gmin)
-	record(opt.TStart, 0, x)
-	if opt.Capture != nil {
-		s0 := ro.rec.Start(fsp.ID(), span.Step, 0)
-		ro.rec.SetScope(s0.ID())
-		err := opt.Capture(0, opt.TStart, x, s.J, s.ev.C)
-		ro.rec.SetScope(0)
-		s0.End()
-		if err != nil {
-			return nil, fmt.Errorf("transient: capture step 0: %w", err)
+	var (
+		s            *solver
+		x            []float64
+		qPrev, fPrev []float64
+		t, h         float64
+		cuts         int
+		xPrev        []float64 // previous accepted state, for the LTE predictor
+		hPrev        float64
+		startStep    int
+	)
+	if rs := opt.Resume; rs != nil {
+		C := len(rs.States) - 1
+		if C < 0 || len(rs.Times) != C+1 || len(rs.Hs) != C+1 || rs.NextH <= 0 {
+			return nil, fmt.Errorf("transient: malformed resume state: %d states, %d times, %d step sizes, next h %g",
+				len(rs.States), len(rs.Times), len(rs.Hs), rs.NextH)
 		}
-	}
-	qPrev := append([]float64(nil), s.ev.Q...)
-	// The trapezoidal residual needs the previous step's static currents.
-	fPrev := append([]float64(nil), s.ev.F...)
+		for i, st := range rs.States {
+			if len(st) != ckt.N {
+				return nil, fmt.Errorf("transient: resume state %d has %d unknowns, circuit has %d", i, len(st), ckt.N)
+			}
+			record(rs.Times[i], rs.Hs[i], st)
+		}
+		s = newSolver(ckt, opt, &res.Stats)
+		x = append([]float64(nil), rs.States[C]...)
+		// Re-evaluating the checkpoint state regenerates the integrator's
+		// charge/current history: Eval is stateless, so Q and F come back
+		// bit-identical to what the original run carried at step C.
+		s.ev.Run(x, rs.Times[C])
+		qPrev = append([]float64(nil), s.ev.Q...)
+		fPrev = append([]float64(nil), s.ev.F...)
+		t = rs.Times[C]
+		h = rs.NextH
+		cuts = rs.Cuts
+		xPrev = append([]float64(nil), rs.States[max(C-1, 0)]...)
+		hPrev = rs.Hs[C]
+		startStep = C + 1
+	} else {
+		var dcStart time.Time
+		if ro.on {
+			dcStart = time.Now()
+		}
+		dsp := ro.rec.Start(fsp.ID(), span.DC, 0)
+		dcX, dcStats, err := DCOperatingPoint(ckt, opt.TStart, opt)
+		if err != nil {
+			dsp.End()
+			return nil, err
+		}
+		dsp.Attr("iters", int64(dcStats.NewtonIters))
+		dsp.End()
+		res.Stats = dcStats
+		if ro.on {
+			d := time.Since(dcStart)
+			ro.steps.Inc()
+			ro.newton.Add(float64(dcStats.NewtonIters))
+			ro.facts.Add(float64(dcStats.Factorizations + dcStats.Refactorizations))
+			ro.stepSec.Observe(d.Seconds())
+			ro.simTime.Set(opt.TStart)
+			ro.tr.Emit(obs.Event{Step: 0, Phase: "dc", T: opt.TStart, Dur: d,
+				Key: "iters", N: int64(dcStats.NewtonIters)})
+		}
+		s = newSolver(ckt, opt, &res.Stats)
+		x = dcX
 
-	t := opt.TStart
-	h := opt.TStep
-	cuts := 0
+		// Accept the DC point as step 0 and hand it to Capture.
+		s.ev.Run(x, opt.TStart)
+		s.ev.BuildJ(s.J, 0)
+		ckt.AddGmin(s.J, opt.Gmin)
+		record(opt.TStart, 0, x)
+		if opt.Capture != nil {
+			s0 := ro.rec.Start(fsp.ID(), span.Step, 0)
+			ro.rec.SetScope(s0.ID())
+			err := opt.Capture(0, opt.TStart, x, s.J, s.ev.C)
+			ro.rec.SetScope(0)
+			s0.End()
+			if err != nil {
+				return nil, fmt.Errorf("transient: capture step 0: %w", err)
+			}
+		}
+		if opt.AfterStep != nil {
+			if err := opt.AfterStep(0, opt.TStart, 0, opt.TStep, 0, x); err != nil {
+				return res, fmt.Errorf("transient: after step 0: %w", err)
+			}
+		}
+		qPrev = append([]float64(nil), s.ev.Q...)
+		// The trapezoidal residual needs the previous step's static currents.
+		fPrev = append([]float64(nil), s.ev.F...)
+		t = opt.TStart
+		h = opt.TStep
+		xPrev = append([]float64(nil), x...)
+		startStep = 1
+	}
+
 	xTrial := make([]float64, ckt.N)
-	// Previous accepted state and step for the adaptive LTE predictor.
-	xPrev := append([]float64(nil), x...)
-	hPrev := 0.0
-	for step := 1; t < opt.TStop-1e-12*opt.TStop; {
+	// Wall time burnt in failed Newton attempts for the current step, for
+	// the NewtonBudget watchdog; reset on every acceptance.
+	var failedSolveTime time.Duration
+	for step := startStep; t < opt.TStop-1e-12*opt.TStop; {
 		if opt.Stop != nil && opt.Stop() {
 			return res, fmt.Errorf("transient: stopped at t=%g after %d accepted steps: %w",
 				t, res.Stats.StepsAccepted, ErrInterrupted)
+		}
+		if opt.Ctx != nil {
+			if cerr := opt.Ctx.Err(); cerr != nil {
+				return res, fmt.Errorf("transient: canceled at t=%g after %d accepted steps: %w: %w",
+					t, res.Stats.StepsAccepted, ErrInterrupted, cerr)
+			}
 		}
 		if t+h > opt.TStop {
 			h = opt.TStop - t
@@ -456,8 +565,11 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 		itersBefore := res.Stats.NewtonIters
 		factsBefore := res.Stats.Factorizations + res.Stats.Refactorizations
 		var attemptStart time.Time
-		if ro.on || opt.StepCost != nil {
+		if ro.on || opt.StepCost != nil || opt.NewtonBudget > 0 {
 			attemptStart = time.Now()
+		}
+		if opt.FreshFactorPerStep {
+			s.fact = nil
 		}
 		ssp := ro.rec.Start(fsp.ID(), span.Step, step)
 		ro.rec.SetScope(ssp.ID())
@@ -492,6 +604,13 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 				ro.facts.Add(float64(res.Stats.Factorizations + res.Stats.Refactorizations - factsBefore))
 				ro.tr.Emit(obs.Event{Step: step, Phase: "step_cut", T: tNext,
 					Dur: time.Since(attemptStart), Key: "cuts", N: int64(cuts)})
+			}
+			if opt.NewtonBudget > 0 {
+				failedSolveTime += time.Since(attemptStart)
+				if failedSolveTime > opt.NewtonBudget {
+					return nil, fmt.Errorf("transient: step at t=%g spent %v in failed newton solves (budget %v): %w",
+						t, failedSolveTime.Round(time.Millisecond), opt.NewtonBudget, ErrNewtonBudget)
+				}
 			}
 			if cuts > opt.MaxCuts {
 				return nil, fmt.Errorf("transient: step at t=%g failed after %d cuts: %w", t, cuts, err)
@@ -565,6 +684,8 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 		copy(qPrev, s.ev.Q)
 		copy(fPrev, s.ev.F)
 		t = tNext
+		failedSolveTime = 0
+		accepted := step
 		step++
 		if opt.Adaptive {
 			cuts = 0
@@ -577,6 +698,13 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 		} else {
 			h = opt.TStep
 			cuts = 0
+		}
+		if opt.AfterStep != nil {
+			// hPrev still holds the step size just taken; h and cuts now
+			// carry what the next iteration will start from.
+			if err := opt.AfterStep(accepted, t, hPrev, h, cuts, x); err != nil {
+				return res, fmt.Errorf("transient: after step %d: %w", accepted, err)
+			}
 		}
 	}
 	fsp.Attr("steps", int64(res.Stats.StepsAccepted))

@@ -1,0 +1,44 @@
+package verify
+
+import (
+	"os"
+	"testing"
+)
+
+// TestCrashChildHelper is not a test: it is the re-exec target the crash
+// gauntlet forks. CrashFleet launches this binary with
+// -test.run=TestCrashChildHelper and the spec in the environment; without
+// the spec it skips.
+func TestCrashChildHelper(t *testing.T) {
+	if !IsCrashChild() {
+		t.Skip("not a crash child")
+	}
+	os.Exit(CrashChild())
+}
+
+// TestCrashResumeGauntlet kills real child processes mid-run and gates
+// resume bit-identity — the process-level proof behind masc-verify -crash.
+func TestCrashResumeGauntlet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks and kills child processes; skipped in -short")
+	}
+	rep := CrashFleet(2, 7, Options{Logf: t.Logf}, []string{
+		"-test.run=TestCrashChildHelper", "-test.v=false"})
+	for _, r := range rep.Reports {
+		for _, f := range r.Failures {
+			name := "?"
+			if r.Case != nil {
+				name = r.Case.Name()
+			}
+			t.Errorf("%s %s: %s", name, r.Scenario, f)
+		}
+	}
+	if rep.Failed == 0 && rep.Killed == 0 {
+		// Every child finished before its trigger: the gauntlet degenerated
+		// into plain resume tests. The throttles make this effectively
+		// impossible; fail loudly rather than silently losing coverage.
+		t.Fatal("no child was ever killed mid-run; kill triggers never landed")
+	}
+	t.Logf("crash gauntlet: %d runs, %d killed mid-run, %d failed",
+		len(rep.Reports), rep.Killed, rep.Failed)
+}

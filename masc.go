@@ -26,6 +26,7 @@
 package masc
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -41,6 +42,7 @@ import (
 	"masc/internal/jactensor"
 	"masc/internal/netlist"
 	"masc/internal/obs"
+	"masc/internal/runstate"
 	"masc/internal/obs/span"
 	"masc/internal/sparse"
 	"masc/internal/transient"
@@ -263,6 +265,37 @@ type SimOptions struct {
 	// DisableDegrade turns off the reverse sweep's recompute-on-corruption
 	// fallback: a corrupt blob then fails the run instead of degrading.
 	DisableDegrade bool
+	// Ctx, if non-nil, cancels the run cooperatively: the forward loop and
+	// the reverse sweep poll it at step boundaries, and the disk-backed
+	// stores' I/O retry sleeps abort on it. The run returns the context's
+	// error (wrapped); the forward phase additionally wraps ErrInterrupted.
+	Ctx context.Context
+	// Deadline, if positive, bounds the whole run's wall time (forward +
+	// adjoint + store I/O) by layering a timeout context over Ctx. A run
+	// past its deadline fails with context.DeadlineExceeded — and, when
+	// journaled, resumes from where it stopped.
+	Deadline time.Duration
+	// NewtonBudget, if positive, bounds the wall time one integration step
+	// may burn in failed Newton attempts before the run aborts with
+	// transient.ErrNewtonBudget (see TransientOptions.NewtonBudget).
+	NewtonBudget time.Duration
+	// FetchStallTimeout, if positive, bounds how long the adjoint sweep
+	// waits for one Jacobian fetch before aborting with
+	// adjoint.ErrFetchStalled instead of hanging on a wedged read.
+	FetchStallTimeout time.Duration
+	// Journal, if non-empty, write-ahead journals the run to this path: the
+	// resolved configuration, a checkpoint per accepted forward step, and
+	// the adjoint engine's per-window progress, fsync'd on a bounded
+	// cadence. A run killed at any instant resumes via masc.Resume with
+	// bit-identical sensitivities. Journaling pins
+	// TransientOptions.FreshFactorPerStep so checkpoints fully determine
+	// the solver's downstream trajectory.
+	Journal string
+	// JournalFsyncEvery overrides the journal fsync cadence (checkpoints
+	// per fsync; default runstate.DefaultFsyncEvery). Phase boundaries
+	// always fsync. Smaller values shrink the crash window at the cost of
+	// forward throughput.
+	JournalFsyncEvery int
 }
 
 // Run bundles everything a sensitivity simulation produces.
@@ -278,11 +311,23 @@ type Run struct {
 	HasCodecStats            bool
 }
 
-// Simulate runs the full MASC pipeline on ckt: forward transient analysis
-// with Jacobian capture under the selected storage strategy, then the
-// reverse adjoint sweep for the given objectives. params selects parameter
-// indices from ckt.Params(); nil means all parameters.
-func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int) (*Run, error) {
+// runPlan is the fully resolved shape of one simulation: the merged solver
+// options plus the storage and parallelism choices Simulate derives from
+// SimOptions (some of which depend on runtime.NumCPU). Resolving the plan
+// once — and journaling the resolved values — is what lets Resume replay an
+// identical shape on a different machine.
+type runPlan struct {
+	topt        TransientOptions
+	storage     Storage
+	workers     int
+	windows     int
+	anchorEvery int
+	objectives  []Objective
+	params      []int
+}
+
+// newRunPlan resolves opt into a concrete plan.
+func newRunPlan(opt *SimOptions, objectives []Objective, params []int) (*runPlan, error) {
 	if len(objectives) == 0 {
 		return nil, fmt.Errorf("masc: at least one objective is required")
 	}
@@ -293,6 +338,9 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 	if opt.TStop != 0 {
 		topt.TStop = opt.TStop
 	}
+	if opt.NewtonBudget > 0 {
+		topt.NewtonBudget = opt.NewtonBudget
+	}
 	storage := opt.Storage
 	if storage == "" {
 		storage = StorageMASC
@@ -302,6 +350,71 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 		workers = 1
 	}
 	windows := resolveAdjointWindows(opt.AdjointWindows, topt.EstimatedSteps())
+	anchorEvery := 0
+	if windows > 1 {
+		// Pin ~W anchor steps so window boundaries land on self-contained
+		// frames the reverse sweeps restart from (and, under a budget,
+		// frames the scheduler demotes last and never drops).
+		if est := topt.EstimatedSteps(); est > 0 {
+			anchorEvery = est / windows
+			if anchorEvery < 1 {
+				anchorEvery = 1
+			}
+		}
+	}
+	return &runPlan{topt: topt, storage: storage, workers: workers, windows: windows,
+		anchorEvery: anchorEvery, objectives: objectives, params: params}, nil
+}
+
+// Simulate runs the full MASC pipeline on ckt: forward transient analysis
+// with Jacobian capture under the selected storage strategy, then the
+// reverse adjoint sweep for the given objectives. params selects parameter
+// indices from ckt.Params(); nil means all parameters.
+func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int) (*Run, error) {
+	plan, err := newRunPlan(&opt, objectives, params)
+	if err != nil {
+		return nil, err
+	}
+	var jw *runstate.Writer
+	if opt.Journal != "" {
+		jw, err = runstate.Create(opt.Journal, plan.journalConfig(ckt, &opt))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return plan.execute(ckt, &opt, jw, nil)
+}
+
+// execute runs a resolved plan. jw, if non-nil, receives the write-ahead
+// journal records; rec, if non-nil, is recovered journal state to resume
+// from (the store is re-seeded from its checkpoints, the forward loop
+// re-enters after the last one, and completed adjoint windows are replayed
+// instead of re-swept).
+func (plan *runPlan) execute(ckt *Circuit, opt *SimOptions, jw *runstate.Writer, rcv *runstate.Recovered) (*Run, error) {
+	topt := plan.topt
+	storage, workers, windows := plan.storage, plan.workers, plan.windows
+	objectives, params := plan.objectives, plan.params
+
+	// One context governs the forward loop, the reverse sweep, and the
+	// disk-backed stores' retry sleeps.
+	ctx := opt.Ctx
+	if opt.Deadline > 0 {
+		base := ctx
+		if base == nil {
+			base = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(base, opt.Deadline)
+		defer cancel()
+	}
+	topt.Ctx = ctx
+
+	// The re-derivation gmin must match the forward solver's effective
+	// value or recomputed step-0 Jacobians diverge from captured ones.
+	gmin := topt.Gmin
+	if gmin == 0 {
+		gmin = 1e-12
+	}
 
 	// The run root span: every forward/adjoint/store span of this simulation
 	// nests under it. Inert (zero span, ID 0) without a recorder.
@@ -323,16 +436,8 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 				DiskDir:         opt.DiskDir,
 				DiskBytesPerSec: opt.DiskBytesPerSec,
 			})
-			if windows > 1 {
-				// Pin ~W anchor steps so window boundaries land on frames
-				// the budget scheduler demotes last and never drops.
-				if est := topt.EstimatedSteps(); est > 0 {
-					every := est / windows
-					if every < 1 {
-						every = 1
-					}
-					tiered.SetAnchorEvery(every)
-				}
+			if plan.anchorEvery > 0 {
+				tiered.SetAnchorEvery(plan.anchorEvery)
 			}
 			// The solver's per-step wall time is the cost model's
 			// recompute-price proxy, sampled from the first steps on.
@@ -372,17 +477,11 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 		} else {
 			cs = jactensor.NewCompressedStore(jc, cc, ckt.JPat, ckt.CPat)
 		}
-		if windows > 1 {
+		if plan.anchorEvery > 0 {
 			// Cut the prediction chain so every window boundary lands on a
 			// self-contained anchor frame the reverse sweeps can restart
 			// from. ~W anchors across the estimated trajectory.
-			if est := topt.EstimatedSteps(); est > 0 {
-				every := est / windows
-				if every < 1 {
-					every = 1
-				}
-				cs.SetAnchorEvery(every)
-			}
+			cs.SetAnchorEvery(plan.anchorEvery)
 		}
 		store = cs
 	default:
@@ -404,6 +503,18 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 			sf.SetFault(opt.Fault)
 		}
 	}
+	if store != nil && ctx != nil {
+		if sc, ok := store.(interface{ SetContext(context.Context) }); ok {
+			sc.SetContext(ctx)
+		}
+	}
+	if jw != nil && store != nil {
+		// Spill blobs a durable checkpoint logically covers must reach
+		// stable storage before the checkpoint record does.
+		if sy, ok := store.(interface{ SyncSpill() error }); ok {
+			jw.SetPreSync(sy.SyncSpill)
+		}
+	}
 	topt.Obs = opt.Obs
 	topt.SpanParent = rsp.ID()
 
@@ -422,12 +533,81 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 		}
 	}
 
-	tr, err := transient.Run(ckt, topt)
-	if err != nil {
+	// fail syncs and closes everything on an error path; the journal stays a
+	// valid, resumable prefix of the work accepted so far. The journal closes
+	// first: its final sync runs the spill pre-sync hook, which needs the
+	// store still open.
+	fail := func(err error) (*Run, error) {
+		if jw != nil {
+			jw.Close()
+		}
 		if store != nil {
 			store.Close() // shuts down any async pipeline worker
 		}
 		return nil, err
+	}
+
+	if jw != nil {
+		// Checkpoint every accepted step. FreshFactorPerStep pins the LU
+		// pivot discipline so a checkpoint fully determines the resumed
+		// solver's downstream trajectory.
+		topt.FreshFactorPerStep = true
+		prevAfter := topt.AfterStep
+		topt.AfterStep = func(step int, t, h, nextH float64, cuts int, x []float64) error {
+			if prevAfter != nil {
+				if err := prevAfter(step, t, h, nextH, cuts, x); err != nil {
+					return err
+				}
+			}
+			return jw.AppendStep(&runstate.StepRec{Step: step, T: t, H: h,
+				NextH: nextH, Cuts: cuts, X: x})
+		}
+	}
+
+	// Resume seeding: re-derive the journaled prefix's Jacobians into the
+	// fresh store (bit-exact, via the recompute source), then either
+	// re-enter the forward loop after the last checkpoint or, when the
+	// forward phase already completed, skip it entirely.
+	var tr *transient.Result
+	if rcv != nil && len(rcv.Steps) > 0 {
+		method := topt.Method
+		if method == "" {
+			method = MethodBE
+		}
+		seeded := trajectoryFromSteps(rcv.Steps, method)
+		if store != nil {
+			rs := adjoint.NewRecomputeSource(ckt, seeded)
+			rs.SetGmin(gmin)
+			for i := range rcv.Steps {
+				jv, cv, err := rs.Fetch(i)
+				if err != nil {
+					return fail(fmt.Errorf("masc: resume: re-derive step %d: %w", i, err))
+				}
+				if err := store.Put(i, jv, cv); err != nil {
+					return fail(fmt.Errorf("masc: resume: re-seed step %d: %w", i, err))
+				}
+			}
+		}
+		if rcv.ForwardDone {
+			tr = seeded
+		} else {
+			last := rcv.LastStep()
+			topt.Resume = &transient.ResumeState{Times: seeded.Times, Hs: seeded.Hs,
+				States: seeded.States, NextH: last.NextH, Cuts: last.Cuts}
+		}
+	}
+
+	if tr == nil {
+		fresh, err := transient.Run(ckt, topt)
+		if err != nil {
+			return fail(err)
+		}
+		tr = fresh
+		if jw != nil {
+			if err := jw.ForwardDone(tr.Steps()); err != nil {
+				return fail(err)
+			}
+		}
 	}
 	run := &Run{Tran: tr, Storage: storage}
 	if tiered != nil {
@@ -435,29 +615,56 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 		// recompute path for deliberately dropped steps — the same
 		// re-derivation the degradation ladder uses for corruption, but
 		// wired inside the store so planned drops never count as degraded.
-		tiered.SetRecompute(adjoint.NewRecomputeSource(ckt, tr).Fetch)
+		rs := adjoint.NewRecomputeSource(ckt, tr)
+		rs.SetGmin(gmin)
+		tiered.SetRecompute(rs.Fetch)
 	}
 
 	var src adjoint.JacobianSource
 	if store != nil {
 		if err := store.EndForward(); err != nil {
-			store.Close()
-			return nil, err
+			return fail(err)
 		}
 		src = store
 	} else {
-		src = adjoint.NewRecomputeSource(ckt, tr)
+		rs := adjoint.NewRecomputeSource(ckt, tr)
+		rs.SetGmin(gmin)
+		src = rs
 	}
-	sens, err := adjoint.Sensitivities(ckt, tr, src, objectives,
-		adjoint.Options{Params: params, Obs: opt.Obs, DisableDegrade: opt.DisableDegrade,
-			Workers: opt.AdjointWorkers, Windows: windows, SpanParent: rsp.ID()})
-	if err != nil {
-		if store != nil {
-			store.Close()
+	aopt := adjoint.Options{Params: params, Obs: opt.Obs, DisableDegrade: opt.DisableDegrade,
+		Workers: opt.AdjointWorkers, Windows: windows, SpanParent: rsp.ID(),
+		Ctx: ctx, FetchStallTimeout: opt.FetchStallTimeout}
+	if jw != nil && windows > 1 {
+		rowLen := len(objectives) * paramCount(ckt, params)
+		aopt.WindowDone = func(j, lo, hi int, rows [][]float64, degraded []int) error {
+			return jw.WindowDone(&runstate.WindowRec{J: j, Lo: lo, Hi: hi,
+				RowLen: rowLen, Rows: rows, Degraded: degraded})
 		}
-		return nil, err
+	}
+	if rcv != nil && len(rcv.Windows) > 0 {
+		aopt.Completed = make(map[int]*adjoint.WindowProgress, len(rcv.Windows))
+		for j, wr := range rcv.Windows {
+			aopt.Completed[j] = &adjoint.WindowProgress{Lo: wr.Lo, Hi: wr.Hi,
+				Rows: wr.Rows, Degraded: wr.Degraded}
+		}
+	}
+	sens, err := adjoint.Sensitivities(ckt, tr, src, objectives, aopt)
+	if err != nil {
+		return fail(err)
 	}
 	run.Sens = sens
+	if jw != nil {
+		if err := jw.Done(sens.DOdp, sens.DegradedSteps); err != nil {
+			return fail(err)
+		}
+		if opt.Obs != nil {
+			reg := opt.Obs.Registry()
+			reg.Gauge("masc_journal_fsync_seconds",
+				"Cumulative wall time spent in run-journal fsyncs.").Set(jw.FsyncTime().Seconds())
+			reg.Counter("masc_journal_fsyncs_total",
+				"Run-journal fsyncs performed.").Add(float64(jw.Fsyncs()))
+		}
+	}
 	if store != nil {
 		run.TensorStats = store.Stats()
 		if cs, ok := store.(*jactensor.CompressedStore); ok {
@@ -470,11 +677,31 @@ func Simulate(ckt *Circuit, opt SimOptions, objectives []Objective, params []int
 				}
 			}
 		}
+	}
+	// Journal before store: the journal's closing sync drives the spill
+	// pre-sync hook, which needs the store still open.
+	if jw != nil {
+		if err := jw.Close(); err != nil {
+			if store != nil {
+				store.Close()
+			}
+			return nil, err
+		}
+	}
+	if store != nil {
 		if err := store.Close(); err != nil {
 			return nil, err
 		}
 	}
 	return run, nil
+}
+
+// paramCount resolves the effective parameter count of a params selection.
+func paramCount(ckt *Circuit, params []int) int {
+	if params == nil {
+		return len(ckt.Params())
+	}
+	return len(params)
 }
 
 // resolveAdjointWindows maps the SimOptions.AdjointWindows knob to a

@@ -1,0 +1,220 @@
+package masc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"masc/internal/blobframe"
+)
+
+// journalFrameEnds scans a journal's frame boundaries: every frame end is a
+// clean truncation point, every end plus a few bytes a torn one.
+func journalFrameEnds(t *testing.T, data []byte) []int {
+	t.Helper()
+	var ends []int
+	off := 0
+	for off < len(data) {
+		_, _, plen, err := blobframe.Peek(data[off:])
+		if err != nil {
+			t.Fatalf("bad frame at offset %d: %v", off, err)
+		}
+		off += blobframe.HeaderSize + plen
+		if off > len(data) {
+			t.Fatal("journal ends mid-frame")
+		}
+		ends = append(ends, off)
+	}
+	return ends
+}
+
+func sameBits(t *testing.T, label string, got, want [][]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d objectives, want %d", label, len(got), len(want))
+	}
+	for o := range want {
+		for k := range want[o] {
+			if math.Float64bits(got[o][k]) != math.Float64bits(want[o][k]) {
+				t.Fatalf("%s: DOdp[%d][%d] = %x, want %x", label, o, k,
+					math.Float64bits(got[o][k]), math.Float64bits(want[o][k]))
+			}
+		}
+	}
+}
+
+// TestJournalResumeTruncateAnywhere is the tentpole property at the facade:
+// a journaled run's journal, truncated at ANY point — frame boundaries, torn
+// mid-frame, mid-forward, after forward-done, between adjoint window records,
+// or complete — either refuses to resume (nothing recovered) or resumes to
+// bit-identical sensitivities.
+func TestJournalResumeTruncateAnywhere(t *testing.T) {
+	ckt, _, obj := buildTestCircuit(t)
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.journal")
+	opt := SimOptions{TStep: 2e-6, TStop: 2e-4, Storage: StorageMASC,
+		AdjointWindows: 3, Journal: refPath, JournalFsyncEvery: 8}
+	objs := []Objective{obj, {Name: "int(v)", Node: obj.Node, Weight: 2, Integral: true}}
+	ref, err := Simulate(ckt, opt, objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends := journalFrameEnds(t, data)
+	if len(ends) < 10 {
+		t.Fatalf("journal has only %d frames", len(ends))
+	}
+
+	cuts := map[int]bool{0: true, 1: true, ends[0] - 3: true}
+	for _, i := range []int{0, 1, len(ends) / 4, len(ends) / 2,
+		len(ends) - 5, len(ends) - 4, len(ends) - 3, len(ends) - 2, len(ends) - 1} {
+		if i < 0 || i >= len(ends) {
+			continue
+		}
+		cuts[ends[i]] = true   // clean cut after a frame
+		cuts[ends[i]+7] = true // torn a few bytes into the next frame
+	}
+	for cut := range cuts {
+		if cut > len(data) {
+			cut = len(data)
+		}
+		p := filepath.Join(dir, fmt.Sprintf("cut%d.journal", cut))
+		if err := os.WriteFile(p, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		run, err := Resume(ckt, p, SimOptions{})
+		if cut < ends[0] {
+			if err == nil {
+				t.Fatalf("cut %d inside the config frame resumed anyway", cut)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		sameBits(t, fmt.Sprintf("cut %d", cut), run.Sens.DOdp, ref.Sens.DOdp)
+
+		// The healed journal ends in a done record now: resuming again must
+		// short-circuit to the same result without replaying anything.
+		again, err := Resume(ckt, p, SimOptions{})
+		if err != nil {
+			t.Fatalf("cut %d: second resume: %v", cut, err)
+		}
+		if again.Tran != nil {
+			t.Fatalf("cut %d: second resume replayed the forward phase", cut)
+		}
+		sameBits(t, fmt.Sprintf("cut %d (short-circuit)", cut), again.Sens.DOdp, ref.Sens.DOdp)
+	}
+}
+
+// TestJournalResumeAfterForwardCrash aborts a journaled run mid-forward (the
+// in-process stand-in for a kill) and resumes it in place.
+func TestJournalResumeAfterForwardCrash(t *testing.T) {
+	ckt, _, obj := buildTestCircuit(t)
+	dir := t.TempDir()
+	opt := SimOptions{TStep: 2e-6, TStop: 1e-4, Storage: StorageMASC, AdjointWindows: 2}
+	objs := []Objective{obj}
+
+	opt.Journal = filepath.Join(dir, "ref.journal")
+	ref, err := Simulate(ckt, opt, objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt.Journal = filepath.Join(dir, "crash.journal")
+	copt := opt
+	copt.Transient.AfterStep = func(step int, _, _, _ float64, _ int, _ []float64) error {
+		if step == 25 {
+			return errors.New("simulated crash")
+		}
+		return nil
+	}
+	if _, err := Simulate(ckt, copt, objs, nil); err == nil {
+		t.Fatal("crashing run succeeded")
+	}
+	run, err := Resume(ckt, opt.Journal, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, "resume after crash", run.Sens.DOdp, ref.Sens.DOdp)
+}
+
+// TestResumeRejectsForeignCircuit: a journal must not resume against a
+// circuit whose topology or parameter values differ.
+func TestResumeRejectsForeignCircuit(t *testing.T) {
+	ckt, _, obj := buildTestCircuit(t)
+	path := filepath.Join(t.TempDir(), "run.journal")
+	if _, err := Simulate(ckt, SimOptions{TStep: 2e-6, TStop: 5e-5, Journal: path},
+		[]Objective{obj}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewBuilder()
+	b.AddVSource("vin", "in", "0", Sin{VA: 1, Freq: 5e3})
+	b.AddResistor("r1", "in", "mid", 999) // nudged value
+	b.AddCapacitor("c1", "mid", "0", 1e-8)
+	b.AddDiode("d1", "mid", "out")
+	b.AddResistor("r2", "out", "0", 5e3)
+	b.AddCapacitor("c2", "out", "0", 2e-8)
+	other, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(other, path, SimOptions{}); err == nil {
+		t.Fatal("resume accepted a circuit with a nudged parameter")
+	}
+	if _, err := Resume(ckt, path, SimOptions{}); err != nil {
+		t.Fatalf("resume rejected the original circuit: %v", err)
+	}
+}
+
+// TestSimulateCancellation: a pre-canceled context and an expired deadline
+// both surface as the context error from Simulate, and a journaled run
+// interrupted that way stays resumable.
+func TestSimulateCancellation(t *testing.T) {
+	ckt, _, obj := buildTestCircuit(t)
+	objs := []Objective{obj}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Simulate(ckt, SimOptions{TStep: 2e-6, TStop: 1e-4, Ctx: ctx},
+		objs, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+
+	dir := t.TempDir()
+	opt := SimOptions{TStep: 2e-6, TStop: 1e-4, Journal: filepath.Join(dir, "ref.journal")}
+	ref, err := Simulate(ckt, opt, objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel mid-forward via the user AfterStep hook (which the journal
+	// chains after), then resume to completion.
+	cctx, ccancel := context.WithCancel(context.Background())
+	defer ccancel()
+	copt := opt
+	copt.Ctx = cctx
+	copt.Journal = filepath.Join(dir, "canceled.journal")
+	copt.Transient.AfterStep = func(step int, _, _, _ float64, _ int, _ []float64) error {
+		if step == 10 {
+			ccancel()
+		}
+		return nil
+	}
+	if _, err := Simulate(ckt, copt, objs, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	run, err := Resume(ckt, copt.Journal, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, "resume after cancel", run.Sens.DOdp, ref.Sens.DOdp)
+}
