@@ -8,12 +8,17 @@ import (
 )
 
 // Table3Cell holds one (dataset, codec) measurement of the paper's Table 3.
+// The *RateMBps fields are the derived throughputs (raw MB per second of
+// codec time); their names carry "Rate" so the -baseline regression gate
+// treats them as higher-is-better metrics.
 type Table3Cell struct {
-	Dataset   string
-	Codec     string
-	CR        float64
-	CompSec   float64
-	DecompSec float64
+	Dataset        string
+	Codec          string
+	CR             float64
+	CompSec        float64
+	DecompSec      float64
+	CompRateMBps   float64
+	DecompRateMBps float64
 }
 
 // RunTable3 measures every codec over every dataset. Each dataset is
@@ -61,11 +66,13 @@ func MeasureAllCodecs(tn *Tensor, codecs []string, workers int) ([]Table3Cell, e
 			return nil, err
 		}
 		cells = append(cells, Table3Cell{
-			Dataset:   tn.Name,
-			Codec:     cn,
-			CR:        r.CR,
-			CompSec:   r.CompressTime.Seconds(),
-			DecompSec: r.DecompressTime.Seconds(),
+			Dataset:        tn.Name,
+			Codec:          cn,
+			CR:             r.CR,
+			CompSec:        r.CompressTime.Seconds(),
+			DecompSec:      r.DecompressTime.Seconds(),
+			CompRateMBps:   r.CompressMBps,
+			DecompRateMBps: r.DecompressMBps,
 		})
 	}
 	return cells, nil
@@ -92,19 +99,22 @@ func FormatTable3(cells []Table3Cell) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-10s", "Dataset")
 	for _, cn := range codecs {
-		fmt.Fprintf(&b, " | %-24s", cn+" CR/Tc/Td")
+		fmt.Fprintf(&b, " | %-40s", cn+" CR/Tc/Td/Rc/Rd")
 	}
 	b.WriteString("\n")
-	sums := map[string][3]float64{}
+	sums := map[string][5]float64{}
 	for _, dn := range datasets {
 		fmt.Fprintf(&b, "%-10s", dn)
 		for _, cn := range codecs {
 			c := cell[dn+"\x00"+cn]
-			fmt.Fprintf(&b, " | %7.2f %7.3fs %7.3fs", c.CR, c.CompSec, c.DecompSec)
+			fmt.Fprintf(&b, " | %7.2f %7.3fs %7.3fs %6.1f %6.1f MB/s",
+				c.CR, c.CompSec, c.DecompSec, c.CompRateMBps, c.DecompRateMBps)
 			s := sums[cn]
 			s[0] += c.CR
 			s[1] += c.CompSec
 			s[2] += c.DecompSec
+			s[3] += c.CompRateMBps
+			s[4] += c.DecompRateMBps
 			sums[cn] = s
 		}
 		b.WriteString("\n")
@@ -113,7 +123,8 @@ func FormatTable3(cells []Table3Cell) string {
 	n := float64(len(datasets))
 	for _, cn := range codecs {
 		s := sums[cn]
-		fmt.Fprintf(&b, " | %7.2f %7.3fs %7.3fs", s[0]/n, s[1]/n, s[2]/n)
+		fmt.Fprintf(&b, " | %7.2f %7.3fs %7.3fs %6.1f %6.1f MB/s",
+			s[0]/n, s[1]/n, s[2]/n, s[3]/n, s[4]/n)
 	}
 	b.WriteString("\n")
 	return b.String()

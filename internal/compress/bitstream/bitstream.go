@@ -7,6 +7,7 @@ package bitstream
 import (
 	"encoding/binary"
 	"errors"
+	"math/bits"
 )
 
 // ErrOverrun is reported by Reader when a read extends past the end of the
@@ -85,6 +86,18 @@ func (w *Writer) WriteBits(v uint64, n uint) {
 	if n > 0 {
 		w.acc = v & ((1 << n) - 1)
 		w.n = n
+	}
+}
+
+// WriteOnes appends n '1' bits as word-parallel writes: a run of exact
+// temporal hits in the residual coder becomes a handful of 8-byte stores
+// instead of n accumulator round-trips.
+func (w *Writer) WriteOnes(n int) {
+	for ; n >= 64; n -= 64 {
+		w.WriteBits(^uint64(0), 64)
+	}
+	if n > 0 {
+		w.WriteBits(^uint64(0), uint(n))
 	}
 }
 
@@ -167,6 +180,104 @@ func (r *Reader) ReadBit() uint64 {
 	bit := r.acc >> r.n
 	r.acc &= (1 << r.n) - 1
 	return bit
+}
+
+// Peek64 returns the next up-to-64 bits of the stream left-aligned in a
+// word, without consuming them, plus the number of valid bits. Bits past the
+// end of the stream are zero — the same padding Bytes applies to the final
+// partial byte on the write side — so callers that extract fields from the
+// word see exactly what sequential ReadBit/ReadBits calls would have
+// returned (modulo the deferred ErrOverrun, which the eventual Skip or read
+// still reports).
+func (r *Reader) Peek64() (uint64, uint) {
+	w := r.acc << (64 - r.n) // r.n == 0 shifts by 64 and yields 0
+	valid := r.n
+	pos := r.pos
+	if pos+8 <= len(r.buf) {
+		// Common case: one 8-byte load tops the window up to 64 bits.
+		return w | binary.BigEndian.Uint64(r.buf[pos:])>>valid, 64
+	}
+	for valid <= 56 && pos < len(r.buf) {
+		w |= uint64(r.buf[pos]) << (56 - valid)
+		pos++
+		valid += 8
+	}
+	if valid < 64 && pos < len(r.buf) {
+		w |= uint64(r.buf[pos]) >> (valid - 56)
+		valid = 64
+	}
+	return w, valid
+}
+
+// PeekBits returns the next n bits (n in [0,64]) right-aligned without
+// consuming them, zero-padded past the end of the stream.
+func (r *Reader) PeekBits(n uint) uint64 {
+	if n == 0 {
+		return 0
+	}
+	w, _ := r.Peek64()
+	return w >> (64 - n)
+}
+
+// Skip discards n bits, recording ErrOverrun if the stream ends first.
+func (r *Reader) Skip(n uint) {
+	r.total += int(n)
+	if n <= r.n {
+		r.n -= n
+		r.acc &= (1 << r.n) - 1
+		return
+	}
+	n -= r.n
+	r.acc = 0
+	r.n = 0
+	whole := int(n / 8)
+	if r.pos+whole > len(r.buf) {
+		r.pos = len(r.buf)
+		r.err = ErrOverrun
+		return
+	}
+	r.pos += whole
+	if rem := n % 8; rem != 0 {
+		if r.pos >= len(r.buf) {
+			r.err = ErrOverrun
+			return
+		}
+		b := uint64(r.buf[r.pos])
+		r.pos++
+		r.n = 8 - rem
+		r.acc = b & ((1 << r.n) - 1)
+	}
+}
+
+// RunOfOnes counts and consumes a maximal run of '1' bits, at most max. The
+// run ends at the first '0' bit (which stays unconsumed) or at the end of
+// the stream. A whole word of the run is counted with one
+// LeadingZeros64(^w) instead of per-bit reads; zero padding past the end of
+// the stream terminates the count, so the run never overruns the buffer.
+func (r *Reader) RunOfOnes(max int) int {
+	n := 0
+	for n < max {
+		w, valid := r.Peek64()
+		if valid == 0 {
+			break
+		}
+		ones := bits.LeadingZeros64(^w)
+		if uint(ones) > valid {
+			ones = int(valid)
+		}
+		if rem := max - n; ones > rem {
+			ones = rem
+		}
+		if ones == 0 {
+			break
+		}
+		r.Skip(uint(ones))
+		n += ones
+		if uint(ones) < valid {
+			break // stopped at a genuine '0' bit within the window
+		}
+	}
+	return n
 }
 
 // ReadBits reads n bits (n in [0,64]) MSB-first and returns them

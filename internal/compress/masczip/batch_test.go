@@ -1,0 +1,236 @@
+package masczip
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"masc/internal/sparse"
+)
+
+// runHeavyFrames builds a deterministic frame chain dominated by bit-exact
+// temporal hits: most steps touch only a handful of slots (long exact-hit
+// runs for the batched coder), and every third step perturbs a contiguous
+// band with like-magnitude relative deltas so consecutive residuals share a
+// leading-zero window (window-shared streaks).
+func runHeavyFrames(rng *rand.Rand, p *sparse.Pattern, steps int) [][]float64 {
+	nnz := p.NNZ()
+	frames := [][]float64{mnaValues(rng, p, 0.05)}
+	for s := 0; s < steps; s++ {
+		nv := append([]float64(nil), frames[len(frames)-1]...)
+		if s%3 == 2 {
+			lo := rng.Intn(nnz)
+			n := rng.Intn(nnz/4+1) + 4
+			for i := lo; i < lo+n && i < nnz; i++ {
+				nv[i] *= 1 + 1e-7*(1+rng.Float64())
+			}
+		} else {
+			for t := 0; t < 3; t++ {
+				nv[rng.Intn(nnz)] *= 1 + 1e-6*rng.NormFloat64()
+			}
+		}
+		frames = append(frames, nv)
+	}
+	return frames
+}
+
+// batchFixtures returns the (options, frame-chain) matrix the wire-identity
+// property test runs over: every coding mode (best-fit, Markov with a short
+// calibration period, chunked) and every ablation switch, crossed with a
+// generic evolving chain, a run-heavy chain, a fully static chain, and a
+// specials-laced chain.
+func batchFixtures() []struct {
+	name   string
+	opt    Options
+	p      *sparse.Pattern
+	frames [][]float64
+} {
+	type fix = struct {
+		name   string
+		opt    Options
+		p      *sparse.Pattern
+		frames [][]float64
+	}
+	var out []fix
+
+	opts := []struct {
+		name string
+		opt  Options
+	}{
+		{"plain", Options{}},
+		{"markov", Options{Markov: true, CalibEvery: 2}},
+		{"chunked", Options{Workers: 3}},
+		{"markov-chunked", Options{Markov: true, CalibEvery: 3, Workers: 4}},
+		{"stats", Options{CollectStats: true}},
+		{"no-stamp", Options{DisableStamp: true}},
+		{"no-lastvalue", Options{DisableLastValue: true}},
+		{"no-window", Options{DisableSharedWindow: true}},
+	}
+	chains := []struct {
+		name  string
+		build func(rng *rand.Rand, p *sparse.Pattern) [][]float64
+	}{
+		{"evolving", func(rng *rand.Rand, p *sparse.Pattern) [][]float64 {
+			v := mnaValues(rng, p, 0.05)
+			fr := [][]float64{v}
+			for i := 0; i < 5; i++ {
+				v = evolve(rng, v, 1e-6)
+				fr = append(fr, v)
+			}
+			return fr
+		}},
+		{"run-heavy", func(rng *rand.Rand, p *sparse.Pattern) [][]float64 {
+			return runHeavyFrames(rng, p, 7)
+		}},
+		{"static", func(rng *rand.Rand, p *sparse.Pattern) [][]float64 {
+			v := mnaValues(rng, p, 0.01)
+			return [][]float64{v, v, v}
+		}},
+		{"specials", func(rng *rand.Rand, p *sparse.Pattern) [][]float64 {
+			v := mnaValues(rng, p, 0.05)
+			specials := []float64{0, math.Copysign(0, -1),
+				math.Inf(1), math.Inf(-1), math.NaN(),
+				math.MaxFloat64, math.SmallestNonzeroFloat64}
+			w := append([]float64(nil), v...)
+			for i := 0; i < len(w); i += 5 {
+				w[i] = specials[(i/5)%len(specials)]
+			}
+			return [][]float64{w, v, w}
+		}},
+	}
+	for _, o := range opts {
+		for _, ch := range chains {
+			rng := rand.New(rand.NewSource(99))
+			p := mnaPattern(rng, 18, 22)
+			out = append(out, fix{o.name + "/" + ch.name, o.opt, p, ch.build(rng, p)})
+		}
+	}
+	return out
+}
+
+// withScalarPaths runs f with the batched region coders disabled, restoring
+// them afterwards. Tests using it cannot run in parallel with each other.
+func withScalarPaths(f func()) {
+	useBatched = false
+	defer func() { useBatched = true }()
+	f()
+}
+
+// TestBatchedWireIdentity is the property test gating the word-parallel
+// paths: across every fixture, the batched encoder must emit byte-identical
+// blobs to the element-at-a-time reference path, each decoder must invert
+// the other's blobs bit-exactly, and the encoder statistics must agree.
+func TestBatchedWireIdentity(t *testing.T) {
+	for _, fx := range batchFixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			encodeChain := func() ([][]byte, Stats) {
+				c := New(fx.p, fx.opt)
+				var blobs [][]byte
+				for i := 0; i < len(fx.frames)-1; i++ {
+					blobs = append(blobs, c.Compress(nil, fx.frames[i], fx.frames[i+1]))
+				}
+				blobs = append(blobs, c.Compress(nil, fx.frames[len(fx.frames)-1], nil))
+				return blobs, c.Stats()
+			}
+			batched, batchedStats := encodeChain()
+			var scalar [][]byte
+			var scalarStats Stats
+			withScalarPaths(func() { scalar, scalarStats = encodeChain() })
+
+			for i := range batched {
+				if !bytes.Equal(batched[i], scalar[i]) {
+					t.Fatalf("blob %d: batched encode diverged from scalar (%d vs %d bytes)",
+						i, len(batched[i]), len(scalar[i]))
+				}
+			}
+			if batchedStats != scalarStats {
+				t.Fatalf("stats diverged:\nbatched: %+v\nscalar:  %+v", batchedStats, scalarStats)
+			}
+
+			decodeChain := func(blobs [][]byte) [][]float64 {
+				d := New(fx.p, fx.opt)
+				var got [][]float64
+				for i := range blobs {
+					var ref []float64
+					if i < len(fx.frames)-1 {
+						ref = fx.frames[i+1]
+					}
+					out := make([]float64, fx.p.NNZ())
+					if err := d.Decompress(out, blobs[i], ref); err != nil {
+						t.Fatalf("blob %d: %v", i, err)
+					}
+					got = append(got, out)
+				}
+				return got
+			}
+			// Batched decoder over scalar-encoded blobs (and vice versa —
+			// the blobs are identical, so one decode per mode covers both).
+			fromBatched := decodeChain(scalar)
+			var fromScalar [][]float64
+			withScalarPaths(func() { fromScalar = decodeChain(batched) })
+			for i := range fromBatched {
+				for k := range fromBatched[i] {
+					want := math.Float64bits(fx.frames[i][k])
+					if g := math.Float64bits(fromBatched[i][k]); g != want {
+						t.Fatalf("batched decode blob %d value %d: got %x want %x", i, k, g, want)
+					}
+					if g := math.Float64bits(fromScalar[i][k]); g != want {
+						t.Fatalf("scalar decode blob %d value %d: got %x want %x", i, k, g, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedTruncatedAgreesWithScalar pins the error path: on truncated
+// blobs both decoders must report an error through the same surface (no
+// panics), keeping the hardened-decoder contract of the conformance matrix.
+func TestBatchedTruncatedAgreesWithScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := mnaPattern(rng, 14, 16)
+	frames := runHeavyFrames(rng, p, 3)
+	c := New(p, Options{})
+	blob := c.Compress(nil, frames[0], frames[1])
+	out := make([]float64, p.NNZ())
+	for k := 0; k < len(blob); k++ {
+		berr := New(p, Options{}).Decompress(out, blob[:k], frames[1])
+		var serr error
+		withScalarPaths(func() {
+			serr = New(p, Options{}).Decompress(out, blob[:k], frames[1])
+		})
+		if (berr == nil) != (serr == nil) {
+			t.Fatalf("prefix %d: batched err %v, scalar err %v", k, berr, serr)
+		}
+	}
+}
+
+// TestEncodeAllocsPinnedZero pins the steady-state compress/decompress hot
+// path at zero allocations per call: a MASC run pushes thousands of frames
+// through one Compressor, so a per-call allocation is a regression.
+func TestEncodeAllocsPinnedZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := mnaPattern(rng, 24, 30)
+	frames := runHeavyFrames(rng, p, 4)
+	c := New(p, Options{})
+	dst := make([]byte, 0, 1<<20)
+	// Warm up scratch (first calls size the chunk state and zeros buffer).
+	blob := c.Compress(dst, frames[0], frames[1])
+	if avg := testing.AllocsPerRun(200, func() {
+		dst = c.Compress(dst[:0], frames[0], frames[1])
+	}); avg != 0 {
+		t.Fatalf("Compress allocates %.1f per call, want 0", avg)
+	}
+	out := make([]float64, p.NNZ())
+	if err := c.Decompress(out, blob, frames[1]); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := c.Decompress(out, blob, frames[1]); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("Decompress allocates %.1f per call, want 0", avg)
+	}
+}

@@ -18,6 +18,15 @@ func FuzzDecompress(f *testing.F) {
 	f.Add(c.Compress(nil, cur, ref))
 	cm := New(p, Options{Markov: true, CalibEvery: 1, Workers: 2})
 	f.Add(cm.Compress(nil, cur, ref))
+	// Run-heavy seeds: blobs dominated by long '1'-bit hit runs and
+	// window-shared residual streaks, steering the fuzzer at the batched
+	// RunOfOnes/bulk-copy decode paths.
+	rf := runHeavyFrames(rng, p, 4)
+	cr := New(p, Options{})
+	f.Add(cr.Compress(nil, rf[1], rf[2]))
+	crm := New(p, Options{Markov: true, CalibEvery: 2})
+	crm.Compress(nil, rf[0], rf[1]) // advance past calibration
+	f.Add(crm.Compress(nil, rf[1], rf[2]))
 	f.Add([]byte{})
 	f.Add([]byte{0, 1, 2, 3})
 	// Adversarial headers for the hardened parser: a chunk-boundary delta

@@ -30,6 +30,15 @@ func goldenFrames() (*sparse.Pattern, [][]float64) {
 	return p, frames
 }
 
+// goldenRunFrames returns the deterministic run-heavy frame chain behind
+// the golden-runs corpora: long exact-hit runs and window-shared residual
+// streaks, the inputs the word-parallel batched coder specializes for.
+func goldenRunFrames() (*sparse.Pattern, [][]float64) {
+	rng := rand.New(rand.NewSource(43))
+	p := mnaPattern(rng, 24, 30)
+	return p, runHeavyFrames(rng, p, 6)
+}
+
 // writeCorpus serializes blobs as: uvarint count, then per blob uvarint
 // length + bytes. Written atomically so an interrupted MASC_UPDATE_GOLDEN
 // run cannot leave a torn corpus that later runs trust.
@@ -73,15 +82,32 @@ func readCorpus(path string) ([][]byte, error) {
 // change with MASC_UPDATE_GOLDEN=1 go test ./internal/compress/masczip
 // -run TestGoldenFormat, and say so in the commit message.
 func TestGoldenFormat(t *testing.T) {
-	p, frames := goldenFrames()
-	profiles := []struct {
-		name string
-		opt  Options
-	}{
+	goldenCorpusTest(t, goldenFrames, []goldenProfile{
 		{"plain", Options{}},
 		{"markov", Options{Markov: true, CalibEvery: 2}},
 		{"chunked", Options{Workers: 3}},
-	}
+	})
+}
+
+// TestGoldenRuns pins the format over the run-heavy corpus: blobs dominated
+// by long '1'-bit hit runs and shared-window residual streaks, the exact
+// shapes the batched word-parallel paths rewrite. Any drift in run batching
+// shows up here as an encode-identity failure.
+func TestGoldenRuns(t *testing.T) {
+	goldenCorpusTest(t, goldenRunFrames, []goldenProfile{
+		{"runs", Options{}},
+		{"runs-markov", Options{Markov: true, CalibEvery: 3}},
+		{"runs-chunked", Options{Workers: 4}},
+	})
+}
+
+type goldenProfile struct {
+	name string
+	opt  Options
+}
+
+func goldenCorpusTest(t *testing.T, mk func() (*sparse.Pattern, [][]float64), profiles []goldenProfile) {
+	p, frames := mk()
 	for _, prof := range profiles {
 		t.Run(prof.name, func(t *testing.T) {
 			// Encode the frame chain the way the store does: frame i against

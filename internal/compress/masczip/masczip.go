@@ -242,8 +242,13 @@ func (c *Compressor) encodeChunk(ci int) {
 		calib: c.calib, tables: &c.tbl,
 		counts: &c.counts[ci],
 	}
+	// The stats sink is never nil: with collection off it points at the
+	// coder's own discard field (zeroed by the assignment above, never
+	// merged), so the per-element hot path carries no nil checks.
+	ec.stats = &ec.discard
 	if c.opt.CollectStats {
 		ec.stats = &c.chStats[ci]
+		ec.statsOn = true
 	}
 	ec.encode(w)
 }
@@ -345,6 +350,7 @@ func (c *Compressor) decodeChunk(ci int) {
 		rowLo: c.decBounds[ci], rowHi: c.decBounds[ci+1],
 		calib: c.calib, tables: &c.tbl,
 	}
+	dc.stats = &dc.discard
 	if err := dc.decode(r); err != nil {
 		c.errs[ci] = fmt.Errorf("masczip: chunk %d: %w", ci, err)
 	} else {
@@ -470,7 +476,14 @@ type chunkCoder struct {
 	calib  bool
 	tables *markovTables
 	counts *markovCounts // calibration output (encoder only)
-	stats  *Stats        // optional
+
+	// stats is never nil: it points at chStats when collection is on and at
+	// discard otherwise, so the hot loops increment unconditionally instead
+	// of branching per element. statsOn guards only the counters whose
+	// computation itself costs something (the Markov exactness probe).
+	stats   *Stats
+	statsOn bool
+	discard Stats
 
 	win   window
 	prevU uint8 // Markov chain states per region
@@ -575,25 +588,27 @@ func (cc *chunkCoder) candsD(row int32, k int32, out *[4]float64) int {
 
 // bestSym picks the candidate closest to val (bit-exact match wins
 // immediately; ties prefer the lowest symbol).
+//
+// The bit-pattern pass runs first so the common case — some candidate
+// reproduces val exactly — costs n integer compares with val's bits hoisted
+// out of the loop. The distance pass needs no explicit NaN guard: a NaN
+// distance compares false against bestDist, which is exactly the "treat as
+// infinitely far" behavior, and when every distance is NaN the initial
+// best=0 matches the old fallback.
 func bestSym(val float64, cands *[4]float64, n int) uint8 {
 	vb := math.Float64bits(val)
-	best := -1
-	bestDist := math.Inf(1)
 	for s := 0; s < n; s++ {
 		if math.Float64bits(cands[s]) == vb {
 			return uint8(s)
 		}
-		d := math.Abs(cands[s] - val)
-		if math.IsNaN(d) {
-			d = math.Inf(1)
-		}
-		if d < bestDist {
+	}
+	best := 0
+	bestDist := math.Inf(1)
+	for s := 0; s < n; s++ {
+		if d := math.Abs(cands[s] - val); d < bestDist {
 			bestDist = d
 			best = s
 		}
-	}
-	if best < 0 {
-		return 0
 	}
 	return uint8(best)
 }
@@ -603,10 +618,8 @@ func (cc *chunkCoder) encodeResidual(w *bitstream.Writer, val, pred float64) {
 	x := math.Float64bits(val) ^ math.Float64bits(pred)
 	if x == 0 {
 		w.WriteBit(1)
-		if cc.stats != nil {
-			cc.stats.LZHist[8]++
-			cc.stats.PayloadBits++
-		}
+		cc.stats.LZHist[8]++
+		cc.stats.PayloadBits++
 		return
 	}
 	before := w.BitLen()
@@ -634,13 +647,13 @@ func (cc *chunkCoder) encodeResidual(w *bitstream.Writer, val, pred float64) {
 		cc.win.lz8 = lz8
 		cc.win.len = length
 	}
-	if cc.stats != nil {
-		cc.stats.LZHist[lz8>>3]++
-		cc.stats.PayloadBits += int64(w.BitLen() - before)
-	}
+	cc.stats.LZHist[lz8>>3]++
+	cc.stats.PayloadBits += int64(w.BitLen() - before)
 }
 
-// decodeResidual mirrors encodeResidual and returns the value.
+// decodeResidual mirrors encodeResidual and returns the value. This is the
+// sequential reference path; the batched decoder fuses these reads into the
+// single-peek field extraction of decodeMissAt.
 func (cc *chunkCoder) decodeResidual(r *bitstream.Reader, pred float64) float64 {
 	if r.ReadBit() == 1 {
 		return pred
@@ -679,11 +692,9 @@ func (cc *chunkCoder) codeElement(w *bitstream.Writer, r *bitstream.Reader,
 	if w != nil { // encode
 		if math.Float64bits(val) == math.Float64bits(cands[0]) {
 			w.WriteBit(1)
-			if cc.stats != nil {
-				cc.stats.Elements++
-				cc.stats.PayloadBits++
-				cc.stats.LZHist[8]++
-			}
+			cc.stats.Elements++
+			cc.stats.PayloadBits++
+			cc.stats.LZHist[8]++
 			*prev = 0
 			return val, 0
 		}
@@ -699,12 +710,10 @@ func (cc *chunkCoder) codeElement(w *bitstream.Writer, r *bitstream.Reader,
 			if counts != nil {
 				counts(*prev, sym)
 			}
-			if cc.stats != nil {
-				cc.stats.SelectorBits += int64(bitsN)
-			}
+			cc.stats.SelectorBits += int64(bitsN)
 		} else {
 			sym = table[*prev]
-			if cc.stats != nil {
+			if cc.statsOn {
 				cc.stats.MarkovPredicted++
 				if math.Float64bits(val) == math.Float64bits(cands[sym]) {
 					cc.stats.MarkovExact++
@@ -734,14 +743,28 @@ func (cc *chunkCoder) codeElement(w *bitstream.Writer, r *bitstream.Reader,
 	return cc.decodeResidual(r, cands[sym]), sym
 }
 
+// useBatched selects the word-parallel region coders. The element-at-a-time
+// path in runRegions is kept as the reference implementation; the
+// batched-wire-identity property test flips this off to prove both paths
+// produce byte-identical streams.
+var useBatched = true
+
 // encode writes the chunk's three regions (U, L, D) to w.
 func (cc *chunkCoder) encode(w *bitstream.Writer) {
+	if useBatched {
+		cc.encodeRegions(w)
+		return
+	}
 	cc.runRegions(w, nil)
 }
 
 // decode fills cc.cur for the chunk's rows from r.
 func (cc *chunkCoder) decode(r *bitstream.Reader) error {
-	cc.runRegions(nil, r)
+	if useBatched {
+		cc.decodeRegions(r)
+	} else {
+		cc.runRegions(nil, r)
+	}
 	return r.Err()
 }
 
@@ -830,9 +853,6 @@ const (
 // Figure-6 statistics. It is called only for selector-coded elements (the
 // temporal-exact fast path is tallied separately in codeElement).
 func (cc *chunkCoder) note(sym uint8, rg region) {
-	if cc.stats == nil {
-		return
-	}
 	cc.stats.Elements++
 	cc.stats.SelectorElements++
 	switch rg {

@@ -25,6 +25,13 @@ type plan struct {
 	// per-row pointers so any row range maps to contiguous subslices.
 	uSlots, lSlots   []int32
 	uRowPtr, lRowPtr []int32 // length n+1
+
+	// Diagonal slots packed contiguously (rows without a diagonal entry are
+	// absent), with the owning row alongside and per-row pointers, so the
+	// batched region-D coder walks one dense slice exactly like U and L.
+	dSlots  []int32
+	dRows   []int32
+	dRowPtr []int32 // length n+1
 }
 
 func newPlan(p *sparse.Pattern) *plan {
@@ -37,6 +44,7 @@ func newPlan(p *sparse.Pattern) *plan {
 		diag:    p.DiagSlots(),
 		uRowPtr: make([]int32, n+1),
 		lRowPtr: make([]int32, n+1),
+		dRowPtr: make([]int32, n+1),
 	}
 	for i := int32(0); i < n; i++ {
 		for k := p.RowPtr[i]; k < p.RowPtr[i+1]; k++ {
@@ -48,8 +56,13 @@ func newPlan(p *sparse.Pattern) *plan {
 				pl.lSlots = append(pl.lSlots, k)
 			}
 		}
+		if d := pl.diag[i]; d >= 0 {
+			pl.dSlots = append(pl.dSlots, d)
+			pl.dRows = append(pl.dRows, i)
+		}
 		pl.uRowPtr[i+1] = int32(len(pl.uSlots))
 		pl.lRowPtr[i+1] = int32(len(pl.lSlots))
+		pl.dRowPtr[i+1] = int32(len(pl.dSlots))
 	}
 	return pl
 }

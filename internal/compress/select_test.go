@@ -1,0 +1,131 @@
+package compress
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"masc/internal/tiersched"
+)
+
+// fakeCodec is a deterministic stand-in: every Compress emits outBytes
+// bytes regardless of input, so trial scores depend only on the injected
+// clock and the configured size.
+type fakeCodec struct {
+	name     string
+	outBytes int
+	lossless bool
+	calls    int
+}
+
+func (f *fakeCodec) Name() string   { return f.name }
+func (f *fakeCodec) Lossless() bool { return f.lossless }
+func (f *fakeCodec) Compress(dst []byte, cur, ref []float64) []byte {
+	f.calls++
+	return append(dst, make([]byte, f.outBytes)...)
+}
+func (f *fakeCodec) Decompress(cur []float64, blob []byte, ref []float64) error { return nil }
+
+func frames(n, vals int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, vals)
+		for k := range out[i] {
+			out[i][k] = float64(i*vals + k)
+		}
+	}
+	return out
+}
+
+func TestRunTrialDeterministic(t *testing.T) {
+	j := &fakeCodec{name: "x", outBytes: 10, lossless: true}
+	c := &fakeCodec{name: "x", outBytes: 10, lossless: true}
+	jF, cF := frames(4, 8), frames(4, 8)
+	clk := tiersched.NewFakeClock(time.Millisecond)
+	res := RunTrial(NewCandidate("x", j, c), jF, cF, clk)
+
+	// 4 warm-up + 3×4 scored calls per tensor.
+	if j.calls != 16 || c.calls != 16 {
+		t.Fatalf("compress calls J=%d C=%d, want 16/16", j.calls, c.calls)
+	}
+	if res.RawBytes != 2*4*8*8 {
+		t.Fatalf("RawBytes = %d, want %d", res.RawBytes, 2*4*8*8)
+	}
+	if res.CompressedBytes != 2*4*10 {
+		t.Fatalf("CompressedBytes = %d, want %d", res.CompressedBytes, 2*4*10)
+	}
+	// FakeClock ticks 1ms per Now; each of the 8 Compress calls is bracketed
+	// by two Now calls, so the meter sees exactly 8ms.
+	wantSec := 8 * time.Millisecond.Seconds()
+	wantScore := float64(res.RawBytes-res.CompressedBytes) / wantSec
+	if math.Abs(res.Score-wantScore) > 1e-9*wantScore {
+		t.Fatalf("Score = %g, want %g", res.Score, wantScore)
+	}
+	if !res.Committable {
+		t.Fatalf("lossless pair must be committable")
+	}
+
+	// Identical run, identical result — selection is deterministic under an
+	// injected clock.
+	j2 := &fakeCodec{name: "x", outBytes: 10, lossless: true}
+	c2 := &fakeCodec{name: "x", outBytes: 10, lossless: true}
+	res2 := RunTrial(NewCandidate("x", j2, c2), jF, cF, tiersched.NewFakeClock(time.Millisecond))
+	if res2 != res {
+		t.Fatalf("repeat trial diverged: %+v vs %+v", res2, res)
+	}
+}
+
+func TestRunTrialInflation(t *testing.T) {
+	// A codec that inflates (emits more than raw) must score negative, never
+	// win against a shrinking one.
+	big := &fakeCodec{name: "bloat", outBytes: 1000, lossless: true}
+	bigC := &fakeCodec{name: "bloat", outBytes: 1000, lossless: true}
+	res := RunTrial(NewCandidate("bloat", big, bigC), frames(3, 4), frames(3, 4),
+		tiersched.NewFakeClock(time.Millisecond))
+	if res.Score >= 0 {
+		t.Fatalf("inflating codec scored %g, want negative", res.Score)
+	}
+}
+
+func TestPickPrefersEarlierOnTie(t *testing.T) {
+	results := []TrialResult{
+		{Name: "masc", Committable: true, Score: 100},
+		{Name: "gzip", Committable: true, Score: 100},
+	}
+	if got := Pick(results); got != 0 {
+		t.Fatalf("tie picked index %d, want 0 (earlier entry)", got)
+	}
+}
+
+func TestPickSkipsLossy(t *testing.T) {
+	results := []TrialResult{
+		{Name: "masc", Committable: true, Score: 10},
+		{Name: "spicemate", Committable: false, Score: 1e12},
+	}
+	if got := Pick(results); got != 0 {
+		t.Fatalf("lossy candidate won (index %d); must never be committable", got)
+	}
+	if got := Pick([]TrialResult{{Name: "spicemate", Committable: false, Score: 1}}); got != -1 {
+		t.Fatalf("all-lossy menu picked %d, want -1", got)
+	}
+}
+
+func TestPickHigherScoreWins(t *testing.T) {
+	results := []TrialResult{
+		{Name: "masc", Committable: true, Score: 10},
+		{Name: "gzip", Committable: true, Score: 50},
+		{Name: "markov", Committable: true, Score: 30},
+	}
+	if got := Pick(results); got != 1 {
+		t.Fatalf("picked %d, want 1", got)
+	}
+}
+
+func TestTrialResultRatio(t *testing.T) {
+	if r := (TrialResult{RawBytes: 100, CompressedBytes: 25}).Ratio(); r != 4 {
+		t.Fatalf("Ratio = %g, want 4", r)
+	}
+	if r := (TrialResult{RawBytes: 100}).Ratio(); r != 0 {
+		t.Fatalf("empty Ratio = %g, want 0", r)
+	}
+}

@@ -94,26 +94,40 @@ func (c *FakeClock) Advance(d time.Duration) {
 	c.now = c.now.Add(d)
 }
 
-// rate accumulates (bytes, duration) samples of one operation class.
-type rate struct {
+// RateMeter accumulates (bytes, duration) samples of one operation class —
+// the cost-model primitive behind the tier ladder, also reused by the codec
+// autopilot to score compression trials. The zero value is an empty meter.
+// Not safe for concurrent use on its own; Model serializes access under its
+// mutex.
+type RateMeter struct {
 	ns    float64
 	bytes float64
 	n     int
 }
 
-func (r *rate) observe(bytes int, d time.Duration) {
+// Observe feeds one sample.
+func (r *RateMeter) Observe(bytes int, d time.Duration) {
 	r.ns += float64(d)
 	r.bytes += float64(bytes)
 	r.n++
 }
 
-// perByte returns seconds per byte, or 0 with no usable samples.
-func (r *rate) perByte() float64 {
+// PerByte returns seconds per byte, or 0 with no usable samples.
+func (r *RateMeter) PerByte() float64 {
 	if r.n == 0 || r.bytes <= 0 {
 		return 0
 	}
 	return r.ns / 1e9 / r.bytes
 }
+
+// Samples returns the number of fed samples.
+func (r *RateMeter) Samples() int { return r.n }
+
+// Bytes returns the total bytes observed.
+func (r *RateMeter) Bytes() float64 { return r.bytes }
+
+// Seconds returns the total wall time observed.
+func (r *RateMeter) Seconds() float64 { return r.ns / 1e9 }
 
 // Model prices the tier ladder with measured per-op timings. The zero-value
 // rates make every unmeasured cost read as 0 — callers resolve those with
@@ -123,10 +137,10 @@ type Model struct {
 	mu    sync.Mutex
 	clock Clock
 
-	compress   rate
-	decompress rate
-	diskWrite  rate
-	diskRead   rate
+	compress   RateMeter
+	decompress RateMeter
+	diskWrite  RateMeter
+	diskRead   RateMeter
 
 	recomputeNS float64
 	recomputeN  int
@@ -147,28 +161,28 @@ func (m *Model) Now() time.Time { return m.clock.Now() }
 // ObserveCompress feeds one compression sample (raw bytes in, wall time).
 func (m *Model) ObserveCompress(bytes int, d time.Duration) {
 	m.mu.Lock()
-	m.compress.observe(bytes, d)
+	m.compress.Observe(bytes, d)
 	m.mu.Unlock()
 }
 
 // ObserveDecompress feeds one decompression sample (raw bytes out).
 func (m *Model) ObserveDecompress(bytes int, d time.Duration) {
 	m.mu.Lock()
-	m.decompress.observe(bytes, d)
+	m.decompress.Observe(bytes, d)
 	m.mu.Unlock()
 }
 
 // ObserveDiskWrite feeds one spill-append sample (blob bytes written).
 func (m *Model) ObserveDiskWrite(bytes int, d time.Duration) {
 	m.mu.Lock()
-	m.diskWrite.observe(bytes, d)
+	m.diskWrite.Observe(bytes, d)
 	m.mu.Unlock()
 }
 
 // ObserveDiskRead feeds one spill-read sample (blob bytes read).
 func (m *Model) ObserveDiskRead(bytes int, d time.Duration) {
 	m.mu.Lock()
-	m.diskRead.observe(bytes, d)
+	m.diskRead.Observe(bytes, d)
 	m.mu.Unlock()
 }
 
@@ -202,13 +216,13 @@ func (m *Model) FetchCost(t Tier, blobBytes, rawBytes int) time.Duration {
 	sec := 0.0
 	switch t {
 	case Compressed:
-		sec = m.decompress.perByte() * float64(rawBytes)
+		sec = m.decompress.PerByte() * float64(rawBytes)
 	case Disk:
-		readPB := m.diskRead.perByte()
+		readPB := m.diskRead.PerByte()
 		if readPB == 0 {
-			readPB = m.diskWrite.perByte() // no reads yet: assume symmetric
+			readPB = m.diskWrite.PerByte() // no reads yet: assume symmetric
 		}
-		sec = readPB*float64(blobBytes) + m.decompress.perByte()*float64(rawBytes)
+		sec = readPB*float64(blobBytes) + m.decompress.PerByte()*float64(rawBytes)
 	case Dropped:
 		sec = m.recomputeSec()
 	}
@@ -251,12 +265,12 @@ func (m *Model) ExplainSpill(blobBytes, rawBytes int, diskOK bool) SpillDecision
 		d.Target = Disk
 		return d
 	}
-	readPB := m.diskRead.perByte()
+	readPB := m.diskRead.PerByte()
 	if readPB == 0 {
-		readPB = m.diskWrite.perByte()
+		readPB = m.diskWrite.PerByte()
 	}
-	diskSec := (m.diskWrite.perByte()+readPB)*float64(blobBytes) +
-		m.decompress.perByte()*float64(rawBytes)
+	diskSec := (m.diskWrite.PerByte()+readPB)*float64(blobBytes) +
+		m.decompress.PerByte()*float64(rawBytes)
 	d.DiskNS = int64(diskSec * 1e9)
 	d.Measured = true
 	if rec < diskSec {
@@ -287,10 +301,10 @@ func (m *Model) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Snapshot{
-		CompressSecPerByte:   m.compress.perByte(),
-		DecompressSecPerByte: m.decompress.perByte(),
-		DiskWriteSecPerByte:  m.diskWrite.perByte(),
-		DiskReadSecPerByte:   m.diskRead.perByte(),
+		CompressSecPerByte:   m.compress.PerByte(),
+		DecompressSecPerByte: m.decompress.PerByte(),
+		DiskWriteSecPerByte:  m.diskWrite.PerByte(),
+		DiskReadSecPerByte:   m.diskRead.PerByte(),
 		RecomputeSecPerStep:  m.recomputeSec(),
 		CompressSamples:      m.compress.n,
 		DecompressSamples:    m.decompress.n,

@@ -272,12 +272,85 @@ func VerifyCase(c *Case, opt Options) (*CaseReport, error) {
 		}
 	}
 
+	verifyAuto(c, opt, rep, dense)
 	verifyStores(c, opt, rep)
 	verifyDirect(c, opt, rep, dense)
 	if opt.FDChecks > 0 {
 		verifyFD(c, opt, rep, dense)
 	}
 	return rep, nil
+}
+
+// verifyAuto runs the adaptive-codec storage through every execution mode —
+// sync, async, windowed reverse sweeps, and a tiered memory budget — and
+// requires bit-identical sensitivities against the dense oracle for all of
+// them. The auto trial buffers and replays the first captured steps, so any
+// replay divergence (wrong codec state, lost step, reordered Put) surfaces
+// here as a bit mismatch.
+func verifyAuto(c *Case, opt Options, rep *CaseReport, dense *masc.Run) {
+	runMode := func(label string, mutate func(*masc.SimOptions)) *masc.Run {
+		bt, err := c.Build()
+		if err != nil {
+			rep.failf("auto %s rebuild: %v", label, err)
+			return nil
+		}
+		so := bt.SimBase
+		so.Storage = masc.StorageAuto
+		so.Workers = opt.Workers
+		so.PipelineDepth = opt.PipelineDepth
+		if mutate != nil {
+			mutate(&so)
+		}
+		run, err := masc.Simulate(bt.Ckt, so, bt.Objectives, nil)
+		if err != nil {
+			rep.failf("auto %s run: %v", label, err)
+			return nil
+		}
+		compareDOdp(rep, "auto-"+label+" vs dense", dense.Sens.DOdp, run.Sens.DOdp)
+		return run
+	}
+
+	if sync := runMode("sync", nil); sync != nil {
+		if sync.SelectedCodec == "" {
+			rep.failf("auto-sync: no codec selected")
+		}
+		if sync.TensorStats.Steps != dense.TensorStats.Steps {
+			rep.failf("auto-sync store steps %d vs dense %d",
+				sync.TensorStats.Steps, dense.TensorStats.Steps)
+		}
+		if async := runMode("async", func(so *masc.SimOptions) { so.Async = true }); async != nil {
+			if async.SelectedCodec == "" {
+				rep.failf("auto-async: no codec selected")
+			}
+			// The winner is a timing call (bytes saved per second), so sync
+			// and async runs may legitimately crown different codecs; but
+			// when they agree, the committed blob streams must be identical.
+			if async.SelectedCodec == sync.SelectedCodec &&
+				async.TensorStats.StoredBytes != sync.TensorStats.StoredBytes {
+				rep.failf("auto-async stored %d bytes vs sync %d under the same codec %q: pipelines diverged",
+					async.TensorStats.StoredBytes, sync.TensorStats.StoredBytes, sync.SelectedCodec)
+			}
+		}
+	}
+
+	windows := opt.AdjointWindows
+	if windows <= 1 {
+		windows = 3
+	}
+	runMode("windows", func(so *masc.SimOptions) { so.AdjointWindows = windows })
+
+	budget := opt.MemBudgetBytes
+	if budget <= 0 {
+		// Tight enough to force demotions on every verification case while
+		// leaving the hot tier usable.
+		budget = 1 << 20
+	}
+	if tiered := runMode("budget", func(so *masc.SimOptions) { so.MemBudgetBytes = budget }); tiered != nil {
+		if tiered.SelectedCodec != "" {
+			rep.failf("auto-budget: trial ran under a budget (selected %q); it must be inert",
+				tiered.SelectedCodec)
+		}
+	}
 }
 
 // verifyStores runs ONE forward integration captured into three stores at

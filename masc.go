@@ -36,14 +36,17 @@ import (
 
 	"masc/internal/adjoint"
 	"masc/internal/circuit"
+	"masc/internal/compress"
+	"masc/internal/compress/gzipz"
 	"masc/internal/compress/masczip"
+	"masc/internal/compress/spicemate"
 	"masc/internal/device"
 	"masc/internal/faultinject"
 	"masc/internal/jactensor"
 	"masc/internal/netlist"
 	"masc/internal/obs"
-	"masc/internal/runstate"
 	"masc/internal/obs/span"
+	"masc/internal/runstate"
 	"masc/internal/sparse"
 	"masc/internal/transient"
 )
@@ -94,6 +97,9 @@ type (
 	// CodecStats is the predictor-selection statistics of one masczip
 	// encoder (J or C), available via SimOptions.CollectCodecStats.
 	CodecStats = masczip.Stats
+	// CodecTrial is one candidate's scorecard from the "auto" storage
+	// selection trial (Run.CodecTrials).
+	CodecTrial = compress.TrialResult
 
 	// SpanRecorder is the bounded in-memory recorder of hierarchical run
 	// spans (Observer.Spans). Nil recorders are inert everywhere.
@@ -192,6 +198,14 @@ const (
 	StorageMASC Storage = "masc"
 	// StorageMASCMarkov is MASC with the Markov model selector.
 	StorageMASCMarkov Storage = "masc+markov"
+	// StorageAuto trials the codec menu (masc, masc+markov, gzip,
+	// spicemate) on the first captured steps, scores each candidate on
+	// bytes saved per second of compression, and commits the run to the
+	// best lossless codec (ties fall back to masc). The committed blob
+	// stream is byte-identical to a run that had selected that codec from
+	// step 0, so sensitivities stay bit-exact. Under MemBudgetBytes the
+	// tiered store takes over with the MASC codec and the trial is inert.
+	StorageAuto Storage = "auto"
 )
 
 // SimOptions configures Simulate.
@@ -234,7 +248,8 @@ type SimOptions struct {
 	DiskDir         string
 	// MemBudgetBytes caps the Jacobian store's modelled resident bytes
 	// ("finish this sweep in 256 MB"). A positive budget replaces the
-	// in-RAM storage strategies (memory, masc, masc+markov) with a tiered
+	// in-RAM storage strategies (memory, masc, masc+markov, auto) with a
+	// tiered
 	// store that places each step across hot RAM → compressed RAM → disk
 	// spill → deliberate drop-and-recompute, scheduled by a cost model fed
 	// with timings measured from the first steps of the run. The selected
@@ -309,6 +324,12 @@ type Run struct {
 	// SimOptions.CollectCodecStats set).
 	CodecStatsJ, CodecStatsC CodecStats
 	HasCodecStats            bool
+	// SelectedCodec names the codec the "auto" storage committed the run
+	// to; empty for every other storage strategy (and for budget-tiered
+	// auto runs, where the trial is inert). CodecTrials holds the
+	// per-candidate scorecards behind the selection.
+	SelectedCodec string
+	CodecTrials   []CodecTrial
 }
 
 // runPlan is the fully resolved shape of one simulation: the merged solver
@@ -428,7 +449,10 @@ func (plan *runPlan) execute(ckt *Circuit, opt *SimOptions, jw *runstate.Writer,
 	var tiered *jactensor.TieredStore
 	if opt.MemBudgetBytes > 0 {
 		switch storage {
-		case StorageMemory, StorageMASC, StorageMASCMarkov:
+		case StorageMemory, StorageMASC, StorageMASCMarkov, StorageAuto:
+			// Under a budget the tiered store owns residency policy, so the
+			// auto trial is inert (like Async/CollectCodecStats) and the
+			// codec is the best-fit MASC pair.
 			mo := masczip.Options{Markov: storage == StorageMASCMarkov, Workers: workers}
 			jc, cc := masczip.New(ckt.JPat, mo), masczip.New(ckt.CPat, mo)
 			tiered = jactensor.NewTieredStore(jc, cc, jactensor.TieredConfig{
@@ -484,6 +508,45 @@ func (plan *runPlan) execute(ckt *Circuit, opt *SimOptions, jw *runstate.Writer,
 			cs.SetAnchorEvery(plan.anchorEvery)
 		}
 		store = cs
+	case storage == StorageAuto:
+		// Adaptive codec selection: trial the menu on the first captured
+		// steps, commit to the best lossless codec by bytes saved per second.
+		// The MASC pairs are listed first so "nothing is measurably better"
+		// falls back to masczip; spicemate is lossy and therefore trialed for
+		// telemetry only, never committed.
+		mascPair := func(markov bool) func() (compress.Compressor, compress.Compressor) {
+			return func() (compress.Compressor, compress.Compressor) {
+				mo := masczip.Options{
+					Markov:       markov,
+					Workers:      workers,
+					CollectStats: opt.CollectCodecStats,
+				}
+				return masczip.New(ckt.JPat, mo), masczip.New(ckt.CPat, mo)
+			}
+		}
+		as, err := jactensor.NewAutoStore(jactensor.AutoConfig{
+			Candidates: []jactensor.AutoCandidate{
+				{Name: string(StorageMASC), New: mascPair(false)},
+				{Name: string(StorageMASCMarkov), New: mascPair(true)},
+				{Name: "gzip", New: func() (compress.Compressor, compress.Compressor) {
+					return gzipz.New(), gzipz.New()
+				}},
+				{Name: "spicemate", New: func() (compress.Compressor, compress.Compressor) {
+					return spicemate.New(), spicemate.New()
+				}},
+			},
+			Async:         opt.Async,
+			PipelineDepth: opt.PipelineDepth,
+			JPat:          ckt.JPat,
+			CPat:          ckt.CPat,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if plan.anchorEvery > 0 {
+			as.SetAnchorEvery(plan.anchorEvery)
+		}
+		store = as
 	default:
 		return nil, fmt.Errorf("masc: unknown storage strategy %q", storage)
 	}
@@ -667,7 +730,14 @@ func (plan *runPlan) execute(ckt *Circuit, opt *SimOptions, jw *runstate.Writer,
 	}
 	if store != nil {
 		run.TensorStats = store.Stats()
-		if cs, ok := store.(*jactensor.CompressedStore); ok {
+		if as, ok := store.(*jactensor.AutoStore); ok {
+			if name, trials, ok := as.Selected(); ok {
+				run.SelectedCodec, run.CodecTrials = name, trials
+			}
+		}
+		if cs, ok := store.(interface {
+			PredictorStats() (masczip.Stats, masczip.Stats, bool)
+		}); ok {
 			if j, c, ok := cs.PredictorStats(); ok {
 				run.CodecStatsJ, run.CodecStatsC = j, c
 				run.HasCodecStats = true
